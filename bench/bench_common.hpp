@@ -1,0 +1,57 @@
+// Shared helpers for the reproduction benches: every bench prints its
+// paper-artifact table(s) first, then runs the registered
+// google-benchmark kernels.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "analytic/tradeoff.hpp"
+#include "core/table.hpp"
+#include "machine/spec.hpp"
+#include "sim/dc_uniproc.hpp"
+#include "sim/multiproc.hpp"
+#include "sim/naive.hpp"
+#include "sim/reference.hpp"
+#include "workload/rules.hpp"
+
+namespace bsmp::bench {
+
+inline machine::MachineSpec spec(int d, std::int64_t n, std::int64_t p,
+                                 std::int64_t m) {
+  machine::MachineSpec s;
+  s.d = d;
+  s.n = n;
+  s.p = p;
+  s.m = m;
+  return s;
+}
+
+/// Abort loudly if a simulation diverged from the guest — a bench must
+/// never report costs of a wrong computation.
+template <int D>
+void require_equivalent(const sim::SimResult<D>& res,
+                        const sim::SimResult<D>& ref, const char* what) {
+  if (!sim::same_values<D>(res.final_values, ref.final_values)) {
+    std::cerr << "FATAL: " << what
+              << " produced wrong guest values; cost data is meaningless\n";
+    std::abort();
+  }
+}
+
+inline int run_bench_main(int argc, char** argv, void (*emit_tables)()) {
+  emit_tables();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}
+
+}  // namespace bsmp::bench
+
+#define BSMP_BENCH_MAIN(emit_tables_fn)                              \
+  int main(int argc, char** argv) {                                  \
+    return ::bsmp::bench::run_bench_main(argc, argv, emit_tables_fn); \
+  }

@@ -1,0 +1,197 @@
+// bsmp_sim: command-line front end to every simulator in the library.
+//
+// Usage:
+//   bsmp_sim --scheme <reference|naive|brent|pipelined|dc|multiproc>
+//            [--d 1|2|3] [--n <volume>] [--p <procs>] [--m <cells>]
+//            [--T <steps>] [--s <strip>] [--tile <width>] [--leaf <width>]
+//            [--workload mix|parity|rule110|sort|max|diffusion]
+//            [--guest-m <m'>] [--seed <u64>] [--csv] [--verify]
+//            [--compare]   # run every scheme and tabulate agreement
+//
+// Examples:
+//   bsmp_sim --scheme dc --n 256 --m 4                # Theorem 3
+//   bsmp_sim --scheme multiproc --n 256 --p 8 --m 2   # Theorem 4
+//   bsmp_sim --scheme naive --d 2 --n 1024            # Proposition 1
+//   bsmp_sim --scheme multiproc --n 128 --p 4 --verify
+#include <iostream>
+
+#include "analytic/tradeoff.hpp"
+#include "core/args.hpp"
+#include "core/table.hpp"
+#include "sim/compare.hpp"
+#include "sim/dc_uniproc.hpp"
+#include "sim/multiproc.hpp"
+#include "sim/naive.hpp"
+#include "sim/reference.hpp"
+#include "workload/rules.hpp"
+
+using namespace bsmp;
+
+namespace {
+
+int usage() {
+  std::cerr <<
+      "usage: bsmp_sim --scheme reference|naive|brent|pipelined|dc|multiproc\n"
+      "               [--d 1|2|3] [--n volume] [--p procs] [--m cells]\n"
+      "               [--T steps] [--s strip] [--tile width] [--leaf width]\n"
+      "               [--workload mix|parity|rule110|sort|max|diffusion]\n"
+      "               [--guest-m m'] [--seed u64] [--csv] [--verify]\n"
+      "               [--compare]  run every scheme, check agreement\n";
+  return 2;
+}
+
+template <int D>
+sep::Guest<D> build_guest(const std::string& workload,
+                          std::array<int64_t, D> extent, int64_t T,
+                          int64_t m, std::uint64_t seed) {
+  sep::Guest<D> g;
+  g.stencil.extent = extent;
+  g.stencil.horizon = T;
+  g.stencil.m = m;
+  g.input = workload::random_input<D>(seed);
+  if (workload == "mix") {
+    g.rule = workload::mix_rule<D>();
+  } else if (workload == "parity") {
+    g.rule = workload::parity_rule<D>();
+  } else if (workload == "max") {
+    g.rule = workload::max_rule<D>();
+  } else if (workload == "diffusion") {
+    g.rule = workload::diffusion_rule<D>();
+  } else if (workload == "rule110") {
+    if constexpr (D == 1) {
+      g.rule = workload::rule110();
+    } else {
+      throw bsmp::precondition_error("rule110 requires --d 1");
+    }
+  } else if (workload == "sort") {
+    if constexpr (D == 1) {
+      g.rule = workload::sort_rule(extent[0]);
+      if (m != 1)
+        throw bsmp::precondition_error("sort requires --guest-m 1");
+    } else {
+      throw bsmp::precondition_error("sort requires --d 1");
+    }
+  } else {
+    throw bsmp::precondition_error("unknown workload: " + workload);
+  }
+  return g;
+}
+
+template <int D>
+int run(const core::Args& args) {
+  const std::string scheme = args.get_string("scheme", "dc");
+  const std::string workload = args.get_string("workload", "mix");
+  const int64_t n = args.get_int("n", 64);
+  const int64_t p = args.get_int("p", 1);
+  const int64_t m = args.get_int("m", 1);
+  const int64_t guest_m = args.get_int("guest-m", m);
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  const bool csv = args.get_flag("csv");
+  const bool verify = args.get_flag("verify");
+
+  machine::MachineSpec host{D, n, p, m};
+  host.validate();
+  std::array<int64_t, D> extent;
+  extent.fill(host.node_side());
+  if constexpr (D == 3) {
+    int64_t side = 1;
+    while ((side + 1) * (side + 1) * (side + 1) <= n) ++side;
+    BSMP_REQUIRE_MSG(side * side * side == n, "--d 3 requires a cube n");
+    extent.fill(side);
+  }
+  const int64_t T = args.get_int("T", extent[0]);
+
+  sep::Guest<D> guest = build_guest<D>(workload, extent, T, guest_m, seed);
+
+  if (args.get_flag("compare")) {
+    auto cmp = sim::compare_schemes<D>(guest, host, args.get_int("s", 0));
+    core::Table t("scheme comparison: d=" + std::to_string(D) + " n=" +
+                      std::to_string(n) + " p=" + std::to_string(p) +
+                      " m'=" + std::to_string(guest_m),
+                  {"scheme", "Tp/Tn", "utilization", "output"});
+    for (const auto& run : cmp.runs)
+      t.add_row({run.name, run.slowdown, run.utilization,
+                 std::string(run.matches_guest ? "matches guest" : "WRONG")});
+    t.print(std::cout);
+    std::cout << "Theorem-1 bound (n/p)A = " << cmp.bound
+              << ", Prop.-1 naive bound = " << cmp.naive_bound << "\n";
+    return cmp.all_match ? 0 : 1;
+  }
+
+  sim::SimResult<D> res;
+  if (scheme == "reference") {
+    res = sim::reference_run<D>(guest);
+  } else if (scheme == "naive" || scheme == "brent" ||
+             scheme == "pipelined") {
+    sim::NaiveConfig cfg;
+    cfg.instantaneous = (scheme == "brent");
+    cfg.pipelined = (scheme == "pipelined");
+    res = sim::simulate_naive<D>(guest, host, cfg);
+  } else if (scheme == "dc") {
+    sim::DcConfig cfg;
+    cfg.tile_width = args.get_int("tile", 0);
+    cfg.leaf_width = args.get_int("leaf", 0);
+    res = sim::simulate_dc_uniproc<D>(guest, host, cfg);
+  } else if (scheme == "multiproc") {
+    sim::MultiprocConfig cfg;
+    cfg.s = args.get_int("s", 0);
+    cfg.leaf_width = args.get_int("leaf", 0);
+    res = sim::simulate_multiproc<D>(guest, host, cfg);
+  } else {
+    return usage();
+  }
+
+  if (verify && scheme != "reference") {
+    auto ref = sim::reference_run<D>(guest);
+    if (!sim::same_values<D>(res.final_values, ref.final_values)) {
+      std::cerr << "VERIFY FAILED: outputs differ from the guest run\n";
+      return 1;
+    }
+    std::cerr << "verify: OK (" << res.final_values.size()
+              << " final values match the guest)\n";
+  }
+
+  double bound = analytic::slowdown_bound(D <= 2 ? D : 2, (double)n,
+                                          (double)guest_m, (double)p);
+  if (csv) {
+    std::cout << "scheme,d,n,p,m,guest_m,T,time,guest_time,slowdown,bound,"
+                 "utilization,preprocess,vertices\n"
+              << scheme << ',' << D << ',' << n << ',' << p << ',' << m
+              << ',' << guest_m << ',' << T << ',' << res.time << ','
+              << res.guest_time << ',' << res.slowdown() << ',' << bound
+              << ',' << res.utilization << ',' << res.preprocess << ','
+              << res.vertices << '\n';
+  } else {
+    core::Table t("bsmp_sim: " + scheme + " (d=" + std::to_string(D) + ")",
+                  {"n", "p", "m", "m'", "T", "Tp/Tn", "bound (n/p)A",
+                   "util", "preprocess"});
+    t.add_row({(long long)n, (long long)p, (long long)m, (long long)guest_m,
+               (long long)T, res.slowdown(), bound, res.utilization,
+               res.preprocess});
+    t.print(std::cout);
+    std::cout << "ledger: " << res.ledger.report() << "\n";
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  core::Args args(argc, argv, {"csv", "verify", "help", "compare"});
+  if (args.get_flag("help") || argc <= 1) return usage();
+  if (!args.unknown().empty()) {
+    std::cerr << "unknown option: --" << args.unknown().front() << "\n";
+    return usage();
+  }
+  try {
+    switch (args.get_int("d", 1)) {
+      case 1: return run<1>(args);
+      case 2: return run<2>(args);
+      case 3: return run<3>(args);
+      default: return usage();
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}

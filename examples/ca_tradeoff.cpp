@@ -1,0 +1,82 @@
+// Cellular-automaton tradeoff study: run a rule-110 linear array and a
+// 2-d parity automaton through every simulation scheme and show how
+// the locality slowdown A(n,m,p) splits off from the parallelism
+// slowdown n/p.
+//
+//   $ ./ca_tradeoff
+#include <iostream>
+
+#include "analytic/tradeoff.hpp"
+#include "core/table.hpp"
+#include "sim/dc_uniproc.hpp"
+#include "sim/multiproc.hpp"
+#include "sim/naive.hpp"
+#include "sim/reference.hpp"
+#include "workload/rules.hpp"
+
+using namespace bsmp;
+
+int main() {
+  // --- d = 1: rule 110 on a 128-cell array ----------------------------
+  const std::int64_t n = 128;
+  sep::Guest<1> ca;
+  ca.stencil = geom::Stencil<1>{{n}, n, 1};
+  ca.rule = workload::rule110();
+  ca.input = workload::random_input<1>(2026);
+  auto ref = sim::reference_run<1>(ca);
+
+  core::Table t1("rule 110, M1(128,128,1) simulated by M1(128,p,1)",
+                 {"p", "naive Tp/Tn", "D&C/2-regime Tp/Tn", "Brent n/p",
+                  "locality factor A (measured)"});
+  for (std::int64_t p : {1, 2, 4, 8, 16, 32}) {
+    machine::MachineSpec host{1, n, p, 1};
+    auto nv = sim::simulate_naive<1>(ca, host);
+    sim::SimResult<1> dc;
+    if (p == 1) {
+      dc = sim::simulate_dc_uniproc<1>(ca, host);
+    } else {
+      dc = sim::simulate_multiproc<1>(ca, host);
+    }
+    if (!sim::same_values<1>(nv.final_values, ref.final_values) ||
+        !sim::same_values<1>(dc.final_values, ref.final_values)) {
+      std::cerr << "BUG: values disagree\n";
+      return 1;
+    }
+    double brent = static_cast<double>(n) / static_cast<double>(p);
+    t1.add_row({(long long)p, nv.slowdown(), dc.slowdown(), brent,
+                dc.slowdown() / brent});
+  }
+  t1.print(std::cout);
+
+  // --- d = 2: parity automaton on a 16x16 mesh ------------------------
+  const std::int64_t side = 16, n2 = side * side;
+  sep::Guest<2> mesh_ca;
+  mesh_ca.stencil = geom::Stencil<2>{{side, side}, side, 1};
+  mesh_ca.rule = workload::parity_rule<2>();
+  mesh_ca.input = workload::random_input<2>(9);
+  auto ref2 = sim::reference_run<2>(mesh_ca);
+
+  core::Table t2("parity CA, M2(256,256,1) simulated by M2(256,p,1)",
+                 {"p", "scheme", "Tp/Tn", "bound", "ratio"});
+  for (std::int64_t p : {1, 4, 16}) {
+    machine::MachineSpec host{2, n2, p, 1};
+    sim::SimResult<2> res;
+    std::string scheme;
+    if (p == 1) {
+      res = sim::simulate_dc_uniproc<2>(mesh_ca, host);
+      scheme = "D&C (Thm 5)";
+    } else {
+      res = sim::simulate_multiproc<2>(mesh_ca, host);
+      scheme = "2-regime (Thm 1, d=2)";
+    }
+    if (!sim::same_values<2>(res.final_values, ref2.final_values)) {
+      std::cerr << "BUG: values disagree (d=2, p=" << p << ")\n";
+      return 1;
+    }
+    double bound = analytic::slowdown_bound(2, n2, 1, p);
+    t2.add_row({(long long)p, scheme, res.slowdown(), bound,
+                res.slowdown() / bound});
+  }
+  t2.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Figures gallery: renders the paper's decomposition figures in ASCII.
+//
+//   Figure 1 — the five-piece ordered partition of the d=1 volume V;
+//   Figure 2 — the zig-zag band of diamonds assigned to one processor;
+//   the 4-way diamond split of Theorem 2's separator;
+//   a time-slice view of the 14-way octahedron split (Figure 3a).
+//
+//   $ ./figures_gallery [n]
+#include <cstdlib>
+#include <iostream>
+
+#include "geom/figures.hpp"
+#include "geom/render.hpp"
+#include "geom/tiling.hpp"
+#include "machine/rearrange.hpp"
+
+using namespace bsmp;
+
+int main(int argc, char** argv) {
+  std::int64_t n = argc > 1 ? std::atoll(argv[1]) : 24;
+  if (n < 8 || n % 4 != 0) {
+    std::cerr << "usage: figures_gallery [n multiple of 4, >= 8]\n";
+    return 2;
+  }
+
+  geom::Stencil<1> st{{n}, n, 1};
+
+  std::cout << "Figure 1 — ordered partition (U1..U5) of V = [0," << n
+            << ") x [0," << n << "):\n\n";
+  auto fig1 = geom::fig1_partition(&st);
+  std::cout << geom::render_partition_1d(st, fig1) << "\n";
+
+  std::cout << "Diamond separator (Theorem 2): D(n) splits into four "
+               "D(n/2) in topological order 1,2,3,4:\n\n";
+  auto diamond = geom::make_diamond(&st, n / 2, -n / 2, n);
+  std::cout << geom::render_partition_1d(st, diamond.split()) << "\n";
+
+  std::cout << "Figure 2 — one processor's zig-zag band: the D(s) "
+               "subtiles owned by processor 0 of p=4 (s=" << n / 8
+            << "):\n\n";
+  {
+    std::int64_t s = n / 8, p = 4;
+    geom::TileGrid<1> grid(&st, s);
+    std::vector<geom::Region<1>> mine;
+    for (const auto& wave : grid.wavefronts())
+      for (const auto& tile : wave) {
+        auto fp = tile.first_point();
+        if (fp && (fp->x[0] / s) % p == 0) mine.push_back(tile);
+      }
+    std::cout << geom::render_partition_1d(st, mine) << "\n";
+  }
+
+  std::cout << "Figure 3a — octahedron P splitting into 6 P + 8 W "
+               "(one time-slice through the middle):\n\n";
+  {
+    geom::Stencil<2> st2{{2 * n, 2 * n}, 2 * n, 1};
+    auto p = geom::make_octahedron(&st2, n / 2, -n / 2, n / 2, -n / 2, n);
+    auto kids = p.split();
+    auto [tmin, tmax] = p.time_range();
+    std::cout << geom::render_partition_2d_slice(st2, kids,
+                                                 (tmin + tmax) / 2);
+    std::cout << "\npieces: " << kids.size() << " (";
+    int np = 0, nw = 0;
+    for (const auto& k : kids) {
+      if (geom::classify_d2(k) == geom::DomainClass::kOctahedron)
+        ++np;
+      else
+        ++nw;
+    }
+    std::cout << np << " octahedra, " << nw << " tetrahedra)\n";
+  }
+  return 0;
+}

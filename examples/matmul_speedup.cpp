@@ -1,0 +1,52 @@
+// The paper's introductory example: superlinear speedup of the mesh
+// over the uniprocessor for matrix multiplication under bounded-speed
+// message propagation.
+//
+// Multiplies two sqrt(n) x sqrt(n) matrices (real values, verified) on:
+//   * the sqrt(n) x sqrt(n) mesh (systolic / Cannon): Θ(sqrt(n));
+//   * a uniprocessor H-RAM, row-major naive: Θ(n^2);
+//   * the same H-RAM with AACS87 recursive blocking: Θ(n^(3/2) log n).
+//
+//   $ ./matmul_speedup
+#include <iostream>
+
+#include "analytic/tradeoff.hpp"
+#include "core/logmath.hpp"
+#include "core/rng.hpp"
+#include "core/table.hpp"
+#include "workload/matmul.hpp"
+
+using namespace bsmp;
+
+int main() {
+  core::Table table(
+      "matrix multiply under the limiting technology (d=2, m=1)",
+      {"n", "mesh", "hram-naive", "hram-blocked", "speedup vs naive",
+       "speedup vs blocked", "speedup/n"});
+  for (std::int64_t side : {8, 16, 32, 64}) {
+    std::int64_t n = side * side;
+    core::SplitMix64 rng(7);
+    std::vector<hram::Word> a(n), b(n);
+    for (auto& v : a) v = rng.next();
+    for (auto& v : b) v = rng.next();
+
+    auto mesh = workload::matmul_mesh_systolic(side, a, b);
+    auto naive = workload::matmul_hram_naive(side, a, b);
+    auto blocked = workload::matmul_hram_blocked(side, a, b);
+    if (mesh.c != naive.c || mesh.c != blocked.c) {
+      std::cerr << "BUG: products disagree\n";
+      return 1;
+    }
+    double sp_naive = naive.time / mesh.time;
+    double sp_blocked = blocked.time / mesh.time;
+    table.add_row({(long long)n, mesh.time, naive.time, blocked.time,
+                   sp_naive, sp_blocked,
+                   sp_blocked / static_cast<double>(n)});
+  }
+  table.print(std::cout);
+  std::cout
+      << "\nThe mesh has n processors; its speedup over the *best*\n"
+         "uniprocessor grows like n log n — superlinear in n. Under the\n"
+         "instantaneous model the same comparison caps at n (Brent).\n";
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Quickstart: simulate a 64-node linear-array computation (the guest
+// M1(64, 64, 4)) on hosts with fewer processors, and compare the
+// measured slowdown with the paper's Theorem-1/4 bound.
+//
+//   $ ./quickstart
+#include <iostream>
+
+#include "analytic/tradeoff.hpp"
+#include "core/table.hpp"
+#include "sim/dc_uniproc.hpp"
+#include "sim/multiproc.hpp"
+#include "sim/naive.hpp"
+#include "sim/reference.hpp"
+#include "workload/rules.hpp"
+
+using namespace bsmp;
+
+int main() {
+  const std::int64_t n = 64, m = 4, T = 64;
+
+  // 1. Define the guest: a 64-node linear array, 4 memory cells per
+  //    node, running a mixing cellular-automaton rule for T steps.
+  sep::Guest<1> guest = workload::make_mix_guest<1>({n}, T, m, /*seed=*/1);
+
+  // 2. Run it directly — this is Md(n, n, m), the machine with one
+  //    processor per unit of volume. Its time is Tn = T.
+  auto ref = sim::reference_run<1>(guest);
+  std::cout << "guest M1(" << n << "," << n << "," << m << ") ran " << T
+            << " steps in Tn = " << ref.time << " units\n\n";
+
+  // 3. Simulate the same computation on hosts with p < n processors
+  //    and identical total memory, and compare with Theorem 1.
+  core::Table table("simulating M1(64,64,4) on M1(64,p,4)",
+                    {"p", "scheme", "Tp/Tn (measured)", "bound (n/p)*A",
+                     "measured/bound", "range"});
+  for (std::int64_t p : {1, 2, 4, 8, 16}) {
+    machine::MachineSpec host{1, n, p, m};
+    sim::SimResult<1> res;
+    std::string scheme;
+    if (p == 1) {
+      res = sim::simulate_dc_uniproc<1>(guest, host);
+      scheme = "D&C (Thm 3)";
+    } else {
+      res = sim::simulate_multiproc<1>(guest, host);
+      scheme = "2-regime (Thm 4)";
+    }
+    if (!sim::same_values<1>(res.final_values, ref.final_values)) {
+      std::cerr << "BUG: simulated values disagree with the guest!\n";
+      return 1;
+    }
+    double bound = analytic::slowdown_bound(1, n, m, p);
+    table.add_row({(long long)p, scheme, res.slowdown(), bound,
+                   res.slowdown() / bound,
+                   std::string(analytic::to_string(
+                       analytic::classify_range(1, n, m, p)))});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nEvery simulation produced bit-identical guest outputs;\n"
+               "the measured/bound column is Θ(1) — the simulations track\n"
+               "the paper's processor-time tradeoff.\n";
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Data locality on the H-RAM machine (Definition 1 over the
+// Cook-Reckhow RAM): the same program, the same data, different
+// addresses — different running times. This is the paper's definition
+// of data locality made tangible: "an algorithm possesses data
+// locality if its running time depends upon the addresses at which
+// both input and intermediate values of the computation are stored."
+//
+//   $ ./ram_locality [count]
+#include <cstdlib>
+#include <iostream>
+
+#include "core/table.hpp"
+#include "hram/ram_machine.hpp"
+#include "workload/ram_programs.hpp"
+
+using namespace bsmp;
+
+int main(int argc, char** argv) {
+  std::int64_t count = argc > 1 ? std::atoll(argv[1]) : 256;
+  if (count < 1) {
+    std::cerr << "usage: ram_locality [count >= 1]\n";
+    return 2;
+  }
+
+  core::Table t("summing " + std::to_string(count) +
+                    " words on three memories, data near vs far",
+                {"machine", "array base", "virtual time", "vs unit RAM"});
+  double unit_time = 0;
+  for (int machine = 0; machine < 3; ++machine) {
+    hram::AccessFn f = machine == 0 ? hram::AccessFn::unit()
+                       : machine == 1
+                           ? hram::AccessFn::hierarchical(1, 1.0)
+                           : hram::AccessFn::hierarchical(2, 1.0);
+    const char* name = machine == 0   ? "unit-cost RAM"
+                       : machine == 1 ? "H-RAM d=1 (f=x)"
+                                      : "H-RAM d=2 (f=sqrt x)";
+    for (std::int64_t base : {std::int64_t{64}, 16 * count}) {
+      hram::HRam ram(static_cast<std::size_t>(base + count + 64), f);
+      for (std::int64_t i = 0; i < count; ++i)
+        ram.write(base + i, static_cast<hram::Word>(i));
+      double pre = ram.ledger().total();
+      auto res = hram::run_ram_program(workload::ram_sum(base, count), ram);
+      if (!res.halted ||
+          res.acc != static_cast<hram::Word>(count * (count - 1) / 2)) {
+        std::cerr << "BUG: wrong sum\n";
+        return 1;
+      }
+      double time = res.time - pre;
+      if (machine == 0 && base == 64) unit_time = time;
+      t.add_row({std::string(name), (long long)base, time,
+                 time / unit_time});
+    }
+  }
+  t.print(std::cout);
+  std::cout
+      << "\nThe unit-cost RAM is address-blind; the bounded-speed H-RAMs\n"
+         "slow down with distance — steeply for d=1, as sqrt for d=2.\n"
+         "Careful address management (keeping hot data low) is exactly\n"
+         "the lever the paper's divide-and-conquer simulations pull.\n";
+  return 0;
+}

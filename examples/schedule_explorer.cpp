@@ -1,0 +1,63 @@
+// Schedule explorer: plan a simulation, inspect the operation stream,
+// validate it by replay, and re-cost the identical plan under three
+// memory regimes (instantaneous RAM, hierarchical H-RAM, pipelined
+// H-RAM) — showing that the locality slowdown lives entirely in the
+// access function, not in the schedule.
+//
+//   $ ./schedule_explorer [n] [m] [leaf]
+#include <cstdlib>
+#include <iostream>
+
+#include "core/table.hpp"
+#include "sched/planner.hpp"
+#include "sched/runner.hpp"
+#include "sim/observe.hpp"
+#include "sim/reference.hpp"
+#include "workload/rules.hpp"
+
+using namespace bsmp;
+
+int main(int argc, char** argv) {
+  std::int64_t n = argc > 1 ? std::atoll(argv[1]) : 64;
+  std::int64_t m = argc > 2 ? std::atoll(argv[2]) : 2;
+  std::int64_t leaf = argc > 3 ? std::atoll(argv[3]) : m;
+
+  auto guest = workload::make_mix_guest<1>({n}, n, m, 1);
+  sched::PlannerConfig<1> cfg;
+  cfg.tile_width = n;
+  cfg.leaf_width = leaf;
+  cfg.machine_scale = static_cast<double>(n * m);
+  sched::Planner<1> planner(&guest.stencil, cfg);
+  auto sched = planner.plan();
+
+  std::cout << "plan for M1(" << n << "," << n << "," << m
+            << "), leaf width " << leaf << ":\n  " << sched.summary()
+            << "\n  vertices covered: " << sched.vertices(guest.stencil)
+            << " (expect " << n * n << ")\n\n";
+
+  // Replay with real values and verify against the guest.
+  auto run = sched::run_schedule<1>(guest, sched);
+  auto ref = sim::reference_run<1>(guest);
+  auto fin = sim::extract_final<1>(guest.stencil, run.values);
+  std::cout << "replay: " << run.vertices << " vertices, outputs "
+            << (sim::same_values<1>(fin, ref.final_values) ? "MATCH"
+                                                           : "DIFFER")
+            << " the guest's\n\n";
+
+  // The same plan under three memory regimes.
+  core::Table t("one schedule, three machines",
+                {"machine", "virtual time", "slowdown Tp/Tn"});
+  auto hier = hram::AccessFn::hierarchical(1, static_cast<double>(m));
+  double tn = static_cast<double>(n);
+  double c_unit = sched.cost_under(guest.stencil, hram::AccessFn::unit());
+  double c_hier = sched.cost_under(guest.stencil, hier);
+  double c_pipe = sched.cost_under(guest.stencil, hier, true);
+  t.add_row({std::string("instantaneous RAM"), c_unit, c_unit / tn});
+  t.add_row({std::string("H-RAM f(x)=(x/m)^(1/d)"), c_hier, c_hier / tn});
+  t.add_row({std::string("pipelined H-RAM"), c_pipe, c_pipe / tn});
+  t.print(std::cout);
+  std::cout << "\nThe plan is identical in all three rows; bounded-speed\n"
+               "propagation alone accounts for the gap (Section 1), and\n"
+               "pipelining recovers part of it (Section 6).\n";
+  return 0;
+}

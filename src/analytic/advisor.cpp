@@ -1,0 +1,83 @@
+#include "analytic/advisor.hpp"
+
+#include <cmath>
+
+#include "analytic/fit.hpp"
+#include "core/expect.hpp"
+
+namespace bsmp::analytic {
+
+const char* to_string(Scheme s) {
+  switch (s) {
+    case Scheme::kNaive: return "naive";
+    case Scheme::kDcUniproc: return "dc_uniproc";
+    case Scheme::kMultiproc: return "multiproc";
+  }
+  return "?";
+}
+
+Recommendation recommend(int d, double n, double m, double p) {
+  BSMP_REQUIRE(d >= 1 && d <= 3);
+  Recommendation rec;
+  rec.range = classify_range(d, n, m, p);
+  double thm1 = slowdown_bound(d, n, m, p);
+  double naive = naive_bound(d, n, m, p);
+  if (rec.range == Range::k4 || naive <= thm1) {
+    rec.scheme = Scheme::kNaive;
+    rec.predicted_slowdown = naive;
+    return rec;
+  }
+  rec.predicted_slowdown = thm1;
+  if (p <= 1.0) {
+    rec.scheme = Scheme::kDcUniproc;
+  } else {
+    rec.scheme = Scheme::kMultiproc;
+    if (d == 1) rec.s_star = s_star(n, m, p);
+  }
+  return rec;
+}
+
+std::array<double, 3> Calibration::terms(double n, double m, double p) {
+  double s = s_star(n, m, p);
+  if (s * p > n) s = n / p;
+  ATerms t = A_terms(n, m, p, s);
+  double brent = n / p;
+  return {brent * t.relocation, brent * t.execution, brent * t.communication};
+}
+
+void Calibration::add_measurement(double n, double m, double p,
+                                  double slowdown) {
+  BSMP_REQUIRE(slowdown > 0);
+  x_.push_back(terms(n, m, p));
+  y_.push_back(slowdown);
+  fitted_ = false;
+}
+
+void Calibration::fit() {
+  BSMP_REQUIRE_MSG(x_.size() >= 3, "need at least 3 measurements");
+  // Relative-error weighting: scale each row by 1/y.
+  std::vector<std::array<double, 3>> xr = x_;
+  std::vector<double> yr(y_.size(), 1.0);
+  for (std::size_t i = 0; i < y_.size(); ++i)
+    for (double& v : xr[i]) v /= y_[i];
+  c_ = fit_least_squares<3>(xr, yr);
+  fitted_ = true;
+}
+
+double Calibration::predict(double n, double m, double p) const {
+  BSMP_REQUIRE_MSG(fitted_, "call fit() first");
+  auto t = terms(n, m, p);
+  return c_[0] * t[0] + c_[1] * t[1] + c_[2] * t[2];
+}
+
+double Calibration::training_error() const {
+  BSMP_REQUIRE(fitted_);
+  double mre = 0;
+  for (std::size_t i = 0; i < y_.size(); ++i) {
+    double pred = c_[0] * x_[i][0] + c_[1] * x_[i][1] + c_[2] * x_[i][2];
+    mre += std::fabs(pred - y_[i]) / y_[i];
+  }
+  return mre / static_cast<double>(y_.size());
+}
+
+}  // namespace bsmp::analytic

@@ -1,0 +1,67 @@
+// Scheme advisor and constant calibration.
+//
+// The paper's bounds tell which simulation scheme wins asymptotically;
+// a user of the library also wants (a) the recommended scheme for a
+// concrete (d, n, m, p) and (b) predictions that account for the
+// implementation constants. The advisor compares the closed-form
+// bounds; the calibrator fits per-mechanism constants from a few
+// measurements (via analytic::fit_least_squares) and predicts measured
+// slowdowns at other sizes.
+#pragma once
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "analytic/tradeoff.hpp"
+
+namespace bsmp::analytic {
+
+enum class Scheme { kNaive, kDcUniproc, kMultiproc };
+const char* to_string(Scheme s);
+
+struct Recommendation {
+  Scheme scheme;
+  double predicted_slowdown;  ///< the winning closed-form bound
+  double s_star = 0;          ///< strip width, when multiproc (d=1)
+  Range range = Range::k1;
+};
+
+/// Recommend a simulation scheme for simulating Md(n,n,m) on Md(n,p,m)
+/// from the constant-free bounds: naive (Prop. 1) vs the Theorem-1
+/// scheme; for m >= n^(1/d) they coincide (range 4 *is* naive).
+Recommendation recommend(int d, double n, double m, double p);
+
+/// Calibration: given measured slowdowns at a few (n, m, p) points,
+/// fit the constants of the model
+///   slowdown ~ (n/p) * (c_r * t_reloc + c_e * t_exec + c_c * t_comm)
+/// evaluated at s = s*(n,m,p), and predict elsewhere.
+class Calibration {
+ public:
+  void add_measurement(double n, double m, double p, double slowdown);
+
+  /// Least-squares fit of the three mechanism constants (relative
+  /// error weighting). Requires >= 3 measurements.
+  void fit();
+
+  bool fitted() const { return fitted_; }
+  double c_relocation() const { return c_[0]; }
+  double c_execution() const { return c_[1]; }
+  double c_communication() const { return c_[2]; }
+
+  /// Predicted measured slowdown at (n, m, p).
+  double predict(double n, double m, double p) const;
+
+  /// Mean relative error of the fit on the training points.
+  double training_error() const;
+
+ private:
+  static std::array<double, 3> terms(double n, double m, double p);
+
+  std::vector<std::array<double, 3>> x_;
+  std::vector<double> y_;
+  std::array<double, 3> c_{};
+  bool fitted_ = false;
+};
+
+}  // namespace bsmp::analytic

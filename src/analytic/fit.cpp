@@ -1,0 +1,111 @@
+#include "analytic/fit.hpp"
+
+#include <cmath>
+
+#include "core/expect.hpp"
+
+namespace bsmp::analytic {
+
+namespace {
+
+/// Gaussian elimination with partial pivoting on a K x K system.
+template <std::size_t K>
+std::array<double, K> solve(std::array<std::array<double, K + 1>, K> a) {
+  for (std::size_t col = 0; col < K; ++col) {
+    std::size_t piv = col;
+    for (std::size_t r = col + 1; r < K; ++r)
+      if (std::fabs(a[r][col]) > std::fabs(a[piv][col])) piv = r;
+    std::swap(a[col], a[piv]);
+    double d = a[col][col];
+    if (std::fabs(d) < 1e-12) {
+      // Singular direction: zero out this unknown.
+      for (auto& v : a[col]) v = 0;
+      a[col][col] = 1;
+      d = 1;
+    }
+    for (std::size_t r = 0; r < K; ++r) {
+      if (r == col) continue;
+      double f = a[r][col] / d;
+      for (std::size_t c = col; c <= K; ++c) a[r][c] -= f * a[col][c];
+    }
+  }
+  std::array<double, K> out{};
+  for (std::size_t i = 0; i < K; ++i) out[i] = a[i][K] / a[i][i];
+  return out;
+}
+
+template <std::size_t K>
+std::array<double, K> fit_masked(
+    const std::vector<std::array<double, K>>& x, const std::vector<double>& y,
+    const std::array<bool, K>& active) {
+  std::array<std::array<double, K + 1>, K> normal{};
+  for (std::size_t row = 0; row < x.size(); ++row) {
+    for (std::size_t i = 0; i < K; ++i) {
+      if (!active[i]) continue;
+      for (std::size_t j = 0; j < K; ++j)
+        if (active[j]) normal[i][j] += x[row][i] * x[row][j];
+      normal[i][K] += x[row][i] * y[row];
+    }
+  }
+  for (std::size_t i = 0; i < K; ++i) {
+    if (!active[i]) {
+      normal[i] = {};
+      normal[i][i] = 1;  // forces coefficient 0
+    }
+  }
+  return solve<K>(normal);
+}
+
+}  // namespace
+
+template <std::size_t K>
+std::array<double, K> fit_least_squares(
+    const std::vector<std::array<double, K>>& x,
+    const std::vector<double>& y) {
+  BSMP_REQUIRE(x.size() == y.size());
+  BSMP_REQUIRE(x.size() >= K);
+  std::array<bool, K> active;
+  active.fill(true);
+  for (int pass = 0; pass < static_cast<int>(K); ++pass) {
+    auto c = fit_masked<K>(x, y, active);
+    bool clamped = false;
+    for (std::size_t i = 0; i < K; ++i) {
+      if (active[i] && c[i] < 0) {
+        active[i] = false;
+        clamped = true;
+      }
+    }
+    if (!clamped) return c;
+  }
+  return fit_masked<K>(x, y, active);
+}
+
+template <std::size_t K>
+double fit_r2(const std::vector<std::array<double, K>>& x,
+              const std::vector<double>& y, const std::array<double, K>& c) {
+  double mean = 0;
+  for (double v : y) mean += v;
+  mean /= static_cast<double>(y.size());
+  double ss_res = 0, ss_tot = 0;
+  for (std::size_t row = 0; row < x.size(); ++row) {
+    double pred = 0;
+    for (std::size_t i = 0; i < K; ++i) pred += c[i] * x[row][i];
+    ss_res += (y[row] - pred) * (y[row] - pred);
+    ss_tot += (y[row] - mean) * (y[row] - mean);
+  }
+  if (ss_tot <= 0) return 1.0;
+  return 1.0 - ss_res / ss_tot;
+}
+
+template std::array<double, 3> fit_least_squares<3>(
+    const std::vector<std::array<double, 3>>&, const std::vector<double>&);
+template double fit_r2<3>(const std::vector<std::array<double, 3>>&,
+                          const std::vector<double>&,
+                          const std::array<double, 3>&);
+template std::array<double, 2> fit_least_squares<2>(
+    const std::vector<std::array<double, 2>>&, const std::vector<double>&);
+template double fit_r2<2>(const std::vector<std::array<double, 2>>&,
+                          const std::vector<double>&,
+                          const std::array<double, 2>&);
+
+}  // namespace bsmp::analytic

@@ -1,0 +1,25 @@
+// Tiny least-squares fitter used by the benches to calibrate the
+// per-mechanism constants of the measured slowdown curves against the
+// paper's closed forms (e.g. the three terms of A(s)).
+#pragma once
+
+#include <array>
+#include <vector>
+
+namespace bsmp::analytic {
+
+/// Solve min ||X c - y||_2 for c (K unknowns) via the normal equations.
+/// Returns the coefficient vector; coefficients clamped at zero are
+/// re-fit with the remaining columns (mechanism constants are
+/// physically non-negative).
+template <std::size_t K>
+std::array<double, K> fit_least_squares(
+    const std::vector<std::array<double, K>>& x,
+    const std::vector<double>& y);
+
+/// R^2 of a fit: 1 - SS_res / SS_tot.
+template <std::size_t K>
+double fit_r2(const std::vector<std::array<double, K>>& x,
+              const std::vector<double>& y, const std::array<double, K>& c);
+
+}  // namespace bsmp::analytic

@@ -1,0 +1,107 @@
+#include "analytic/tradeoff.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/expect.hpp"
+#include "core/logmath.hpp"
+
+namespace bsmp::analytic {
+
+using core::logbar;
+
+const char* to_string(Range r) {
+  switch (r) {
+    case Range::k1: return "range1 (m <= (n/p)^(1/2d))";
+    case Range::k2: return "range2 ((n/p)^(1/2d) <= m <= (np)^(1/2d))";
+    case Range::k3: return "range3 ((np)^(1/2d) <= m <= n^(1/d))";
+    case Range::k4: return "range4 (m >= n^(1/d))";
+  }
+  return "?";
+}
+
+namespace {
+void check_params(int d, double n, double m, double p) {
+  BSMP_REQUIRE(d >= 1 && d <= 3);
+  BSMP_REQUIRE(n >= 1 && m >= 1 && p >= 1 && p <= n);
+}
+}  // namespace
+
+Range classify_range(int d, double n, double m, double p) {
+  check_params(d, n, m, p);
+  double b1 = std::pow(n / p, 1.0 / (2 * d));
+  double b2 = std::pow(n * p, 1.0 / (2 * d));
+  double b3 = std::pow(n, 1.0 / d);
+  if (m <= b1) return Range::k1;
+  if (m <= b2) return Range::k2;
+  if (m <= b3) return Range::k3;
+  return Range::k4;
+}
+
+double locality_A(int d, double n, double m, double p) {
+  check_params(d, n, m, p);
+  double pd = std::pow(p, 1.0 / d);
+  double nd = std::pow(n, 1.0 / d);
+  switch (classify_range(d, n, m, p)) {
+    case Range::k1:
+      return (m / pd) * logbar(m) + m * logbar(2.0 * nd / (pd * m * m));
+    case Range::k2:
+      return (m / p) * logbar(n / p) / (2.0 * d) +
+             2.0 * std::pow(n / p, 1.0 / (2 * d));
+    case Range::k3:
+      return (m / pd) * logbar(2.0 * nd / m) + nd / m;
+    case Range::k4:
+      return std::pow(n / p, 1.0 / d);
+  }
+  return 0;
+}
+
+double slowdown_bound(int d, double n, double m, double p) {
+  return (n / p) * locality_A(d, n, m, p);
+}
+
+double A_of_s(double n, double m, double p, double s) {
+  ATerms t = A_terms(n, m, p, s);
+  return t.relocation + t.execution + t.communication;
+}
+
+ATerms A_terms(double n, double m, double p, double s) {
+  BSMP_REQUIRE(s >= 1);
+  return {(m / p) * logbar(n / (p * s)),
+          std::min(s, m * logbar(s / m)), n / (p * s)};
+}
+
+double s_star(double n, double m, double p) {
+  switch (classify_range(1, n, m, p)) {
+    case Range::k1: return std::max(1.0, n / (m * p));
+    case Range::k2: return std::max(1.0, std::sqrt(n / p));
+    case Range::k3: return std::max(1.0, m / p);
+    case Range::k4: return std::max(1.0, n / p);
+  }
+  return 1.0;
+}
+
+double thm2_bound(double n) { return n * logbar(n); }
+
+double thm3_bound(double n, double m) {
+  return n * std::min(n, m * logbar(n / m));
+}
+
+double thm5_bound(double n) { return n * logbar(n); }
+
+double naive_bound(int d, double n, double m, double p) {
+  check_params(d, n, m, p);
+  return std::pow(n / p, 1.0 + 1.0 / d);
+}
+
+double brent_bound(double n, double p) { return n / p; }
+
+double matmul_mesh_time(double n) { return 2.0 * std::sqrt(n); }
+
+double matmul_hram_naive_time(double n) { return n * n; }
+
+double matmul_hram_blocked_time(double n) {
+  return std::pow(n, 1.5) * logbar(n);
+}
+
+}  // namespace bsmp::analytic

@@ -1,0 +1,73 @@
+// Closed forms of the paper's bounds.
+//
+// All logarithms are the paper's saturated loḡ(a) = log2(a+2) >= 1.
+// Slowdowns are Tp/Tn for simulating Md(n,n,m) on Md(n,p,m); the
+// parallelism factor n/p and the locality factor A(n,m,p) are exposed
+// separately (Theorem 1's decomposition).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace bsmp::analytic {
+
+/// Which of Theorem 1's four ranges m falls in (boundaries at
+/// (n/p)^(1/2d), (np)^(1/2d) and n^(1/d)).
+enum class Range { k1, k2, k3, k4 };
+const char* to_string(Range r);
+
+Range classify_range(int d, double n, double m, double p);
+
+/// The locality slowdown A(n, m, p) of Theorem 1 (d = 1 or 2; the d=1
+/// case coincides with Theorem 4). d = 3 evaluates the same expressions
+/// — the paper's Section-6 conjecture.
+double locality_A(int d, double n, double m, double p);
+
+/// Full slowdown bound of Theorem 1: (n/p) * A(n, m, p).
+double slowdown_bound(int d, double n, double m, double p);
+
+/// The objective A(s) of Section 4.2 (d=1):
+/// (m/p) loḡ(n/(p s)) + min(s, m loḡ(s/m)) + n/(p s).
+double A_of_s(double n, double m, double p, double s);
+
+/// The three mechanisms of A(s), separately: Regime-1 relocation,
+/// subtile execution, and cooperating-mode communication. A measured
+/// slowdown curve is a positive linear combination of these (each
+/// mechanism carries its own implementation constant); fitting the
+/// coefficients and checking the fit is how the benches validate the
+/// *structure* of Theorem 4 independent of constants.
+struct ATerms {
+  double relocation;     ///< (m/p) loḡ(n/(p s))
+  double execution;      ///< min(s, m loḡ(s/m))
+  double communication;  ///< n/(p s)
+};
+ATerms A_terms(double n, double m, double p, double s);
+
+/// The optimizing strip width s* of Section 4.2, by range:
+/// range 1: n/(m p); range 2: sqrt(n/p); range 3: m/p; range 4: n/p.
+double s_star(double n, double m, double p);
+
+/// Theorem 2 bound: slowdown of M1(n,1,1) simulating M1(n,n,1).
+double thm2_bound(double n);
+
+/// Theorem 3 bound: slowdown of M1(n,1,m) simulating M1(n,n,m):
+/// n * min(n, m loḡ(n/m)).
+double thm3_bound(double n, double m);
+
+/// Theorem 5 bound: slowdown of M2(n,1,1) simulating M2(n,n,1).
+double thm5_bound(double n);
+
+/// Proposition 1 bound: naive simulation slowdown of Md(n,p,m) hosting
+/// Md(n,n,m): (n/p) * f(nm/p) with f(x) = (x/m)^(1/d).
+double naive_bound(int d, double n, double m, double p);
+
+/// Brent / instantaneous-model slowdown: n/p exactly.
+double brent_bound(double n, double p);
+
+/// Introduction example: virtual times for multiplying two
+/// sqrt(n) x sqrt(n) matrices (n total elements per matrix).
+double matmul_mesh_time(double n);          ///< Θ(sqrt(n)) on M2(n,n,1)
+double matmul_hram_naive_time(double n);    ///< Θ(n^2) on a flat-layout H-RAM
+double matmul_hram_blocked_time(double n);  ///< Θ(n^(3/2) log n), AACS87
+
+}  // namespace bsmp::analytic

@@ -1,0 +1,78 @@
+// Precondition / invariant checking for the bsmp library.
+//
+// BSMP_REQUIRE is used for caller-facing precondition checks (always on);
+// BSMP_ASSERT is used for internal invariants (compiled out in NDEBUG,
+// except that we keep them on by default because the simulators are
+// correctness-critical and cheap relative to the cost model they drive).
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace bsmp {
+
+/// Thrown when a documented API precondition is violated.
+class precondition_error : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+/// Thrown when an internal invariant of a simulator/schedule is violated.
+/// Seeing this exception always indicates a bug in bsmp, never user error.
+class invariant_error : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+namespace detail {
+[[noreturn]] inline void throw_require(const char* expr, const char* file,
+                                       int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "BSMP_REQUIRE failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw precondition_error(os.str());
+}
+
+[[noreturn]] inline void throw_assert(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "BSMP_ASSERT failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw invariant_error(os.str());
+}
+}  // namespace detail
+
+}  // namespace bsmp
+
+#define BSMP_REQUIRE(expr)                                              \
+  do {                                                                  \
+    if (!(expr))                                                        \
+      ::bsmp::detail::throw_require(#expr, __FILE__, __LINE__, "");     \
+  } while (0)
+
+#define BSMP_REQUIRE_MSG(expr, msg)                                     \
+  do {                                                                  \
+    if (!(expr)) {                                                      \
+      std::ostringstream bsmp_os_;                                      \
+      bsmp_os_ << msg;                                                  \
+      ::bsmp::detail::throw_require(#expr, __FILE__, __LINE__,          \
+                                    bsmp_os_.str());                    \
+    }                                                                   \
+  } while (0)
+
+#define BSMP_ASSERT(expr)                                               \
+  do {                                                                  \
+    if (!(expr))                                                        \
+      ::bsmp::detail::throw_assert(#expr, __FILE__, __LINE__, "");      \
+  } while (0)
+
+#define BSMP_ASSERT_MSG(expr, msg)                                      \
+  do {                                                                  \
+    if (!(expr)) {                                                      \
+      std::ostringstream bsmp_os_;                                      \
+      bsmp_os_ << msg;                                                  \
+      ::bsmp::detail::throw_assert(#expr, __FILE__, __LINE__,           \
+                                   bsmp_os_.str());                     \
+    }                                                                   \
+  } while (0)

@@ -1,0 +1,34 @@
+// Deterministic pseudo-random generator (SplitMix64) for workload
+// inputs and randomized property tests. We avoid <random> engines so
+// that sequences are reproducible across standard libraries.
+#pragma once
+
+#include <cstdint>
+
+namespace bsmp::core {
+
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform in [0, bound) for bound >= 1 (slight modulo bias is fine
+  /// for workload generation).
+  std::uint64_t next_below(std::uint64_t bound) { return next() % bound; }
+
+  /// Uniform double in [0, 1).
+  double next_double() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace bsmp::core

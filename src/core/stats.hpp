@@ -1,0 +1,51 @@
+// Running statistics accumulator used by benches and sweep tools:
+// count, min, max, mean, geometric mean — enough to summarize a
+// measured/bound ratio column and assert its flatness.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+#include "core/expect.hpp"
+
+namespace bsmp::core {
+
+class RunningStats {
+ public:
+  void add(double x) {
+    BSMP_REQUIRE_MSG(std::isfinite(x), "non-finite sample");
+    ++n_;
+    sum_ += x;
+    if (x > 0) {
+      log_sum_ += std::log(x);
+      ++pos_;
+    }
+    if (x < min_) min_ = x;
+    if (x > max_) max_ = x;
+  }
+
+  std::int64_t count() const { return n_; }
+  double mean() const { return n_ ? sum_ / static_cast<double>(n_) : 0.0; }
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+
+  /// Geometric mean of the positive samples.
+  double geomean() const {
+    return pos_ ? std::exp(log_sum_ / static_cast<double>(pos_)) : 0.0;
+  }
+
+  /// max/min — the "flatness" of a ratio column (1.0 = perfectly flat).
+  double spread() const {
+    if (!n_ || min_ <= 0) return std::numeric_limits<double>::infinity();
+    return max_ / min_;
+  }
+
+ private:
+  std::int64_t n_ = 0, pos_ = 0;
+  double sum_ = 0, log_sum_ = 0;
+  double min_ = std::numeric_limits<double>::max();
+  double max_ = std::numeric_limits<double>::lowest();
+};
+
+}  // namespace bsmp::core

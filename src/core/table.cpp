@@ -1,0 +1,78 @@
+#include "core/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "core/expect.hpp"
+
+namespace bsmp::core {
+
+namespace {
+std::string render(const Cell& c) {
+  if (auto* s = std::get_if<std::string>(&c)) return *s;
+  if (auto* i = std::get_if<long long>(&c)) return std::to_string(*i);
+  return format_real(std::get<double>(c));
+}
+}  // namespace
+
+std::string format_real(double v, int digits) {
+  std::ostringstream os;
+  os << std::setprecision(digits) << v;
+  return os.str();
+}
+
+Table::Table(std::string title, std::vector<std::string> columns)
+    : title_(std::move(title)), columns_(std::move(columns)) {
+  BSMP_REQUIRE(!columns_.empty());
+}
+
+void Table::add_row(std::vector<Cell> row) {
+  BSMP_REQUIRE_MSG(row.size() == columns_.size(),
+                   "row has " << row.size() << " cells, table has "
+                              << columns_.size() << " columns");
+  rows_.push_back(std::move(row));
+}
+
+void Table::print_csv(std::ostream& os) const {
+  auto sanitize = [](std::string s) {
+    for (char& c : s)
+      if (c == ',') c = ';';
+    return s;
+  };
+  for (std::size_t j = 0; j < columns_.size(); ++j)
+    os << (j ? "," : "") << sanitize(columns_[j]);
+  os << '\n';
+  for (const auto& row : rows_) {
+    for (std::size_t j = 0; j < row.size(); ++j)
+      os << (j ? "," : "") << sanitize(render(row[j]));
+    os << '\n';
+  }
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> width(columns_.size());
+  std::vector<std::vector<std::string>> cells(rows_.size());
+  for (std::size_t j = 0; j < columns_.size(); ++j)
+    width[j] = columns_[j].size();
+  for (std::size_t i = 0; i < rows_.size(); ++i) {
+    cells[i].reserve(columns_.size());
+    for (std::size_t j = 0; j < columns_.size(); ++j) {
+      cells[i].push_back(render(rows_[i][j]));
+      width[j] = std::max(width[j], cells[i][j].size());
+    }
+  }
+
+  os << "== " << title_ << " ==\n";
+  for (std::size_t j = 0; j < columns_.size(); ++j)
+    os << std::setw(static_cast<int>(width[j]) + 2) << columns_[j];
+  os << '\n';
+  for (const auto& row : cells) {
+    for (std::size_t j = 0; j < columns_.size(); ++j)
+      os << std::setw(static_cast<int>(width[j]) + 2) << row[j];
+    os << '\n';
+  }
+}
+
+}  // namespace bsmp::core

@@ -1,0 +1,44 @@
+// Minimal fixed-width table printer used by the bench harness to emit
+// the paper-reproduction tables (parameters, measured cost, closed-form
+// prediction, ratio) in a grep-friendly layout.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace bsmp::core {
+
+/// A cell is either text, an integer, or a real (printed with fixed
+/// significant digits).
+using Cell = std::variant<std::string, long long, double>;
+
+class Table {
+ public:
+  /// `title` is printed above the table; `columns` are the header names.
+  Table(std::string title, std::vector<std::string> columns);
+
+  /// Append one row; must have exactly as many cells as columns.
+  void add_row(std::vector<Cell> row);
+
+  std::size_t num_rows() const { return rows_.size(); }
+
+  /// Render with aligned columns to `os`.
+  void print(std::ostream& os) const;
+
+  /// Render as CSV (header row + data rows); commas in cells are
+  /// replaced by semicolons to keep the format line-per-row.
+  void print_csv(std::ostream& os) const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> columns_;
+  std::vector<std::vector<Cell>> rows_;
+};
+
+/// Format a double with `digits` significant digits (used by Table and
+/// ad-hoc reporting).
+std::string format_real(double v, int digits = 5);
+
+}  // namespace bsmp::core

@@ -1,0 +1,164 @@
+// Explicit (materialized) computation dags GT(H) — Definition 3 — and
+// brute-force implementations of the paper's structural notions:
+// preboundary Γin (Section 3), topological partition (Definition 4)
+// and convexity (Definition 5).
+//
+// These are reference implementations with no regard for asymptotic
+// efficiency; the production machinery in geom/ and sep/ is validated
+// against them on small instances.
+#pragma once
+
+#include <unordered_set>
+#include <vector>
+
+#include "geom/lattice.hpp"
+
+namespace bsmp::dag {
+
+using geom::Point;
+using geom::PointHash;
+using geom::Stencil;
+
+template <int D>
+using PointSet = std::unordered_set<Point<D>, PointHash<D>>;
+
+/// Explicit view of the dag GT(H) generalized to memory depth m: the
+/// vertex set is every (x, t) with x in the mesh and 0 <= t < horizon,
+/// and arcs are given by Stencil::preds.
+template <int D>
+class ExplicitDag {
+ public:
+  explicit ExplicitDag(Stencil<D> st) : st_(st) { st_.validate(); }
+
+  const Stencil<D>& stencil() const { return st_; }
+
+  std::vector<Point<D>> all_vertices() const {
+    std::vector<Point<D>> v;
+    for_each_vertex([&](const Point<D>& p) { v.push_back(p); });
+    return v;
+  }
+
+  template <class F>
+  void for_each_vertex(F&& visit) const {
+    Point<D> p;
+    for (int64_t t = 0; t < st_.horizon; ++t) {
+      p.t = t;
+      visit_space(p, 0, visit);
+    }
+  }
+
+  std::vector<Point<D>> preds(const Point<D>& p) const {
+    std::array<Point<D>, geom::kMono<D> + 1> buf;
+    int k = st_.preds(p, buf);
+    return {buf.begin(), buf.begin() + k};
+  }
+
+  /// Vertices of the dag whose predecessor list contains q.
+  std::vector<Point<D>> succs(const Point<D>& q) const {
+    std::array<Point<D>, geom::kMono<D> + 1> buf;
+    int k = st_.succ_positions(q, buf);
+    std::vector<Point<D>> out;
+    for (int i = 0; i < k; ++i)
+      if (st_.is_vertex(buf[i])) out.push_back(buf[i]);
+    return out;
+  }
+
+  /// Γin(U): predecessors of members of U that are not in U.
+  PointSet<D> preboundary(const PointSet<D>& u) const {
+    PointSet<D> out;
+    for (const auto& p : u)
+      for (const auto& q : preds(p))
+        if (!u.contains(q)) out.insert(q);
+    return out;
+  }
+
+  /// Definition 4: (U1,...,Uq) is a topological partition of U if for
+  /// every r, Γin(Ur) ⊆ Γin(U) ∪ U1 ∪ ... ∪ U_{r-1}. Also verifies that
+  /// the parts are disjoint and cover U.
+  bool is_topological_partition(const PointSet<D>& u,
+                                const std::vector<PointSet<D>>& parts) const {
+    std::size_t total = 0;
+    for (const auto& part : parts) {
+      total += part.size();
+      for (const auto& p : part)
+        if (!u.contains(p)) return false;
+    }
+    if (total != u.size()) return false;  // disjoint cover (sizes suffice
+                                          // given parts ⊆ u and pairwise
+                                          // disjointness checked below)
+    PointSet<D> seen;
+    for (const auto& part : parts)
+      for (const auto& p : part)
+        if (!seen.insert(p).second) return false;
+
+    PointSet<D> gin_u = preboundary(u);
+    PointSet<D> executed;  // U1 ∪ ... ∪ U_{r-1}
+    for (const auto& part : parts) {
+      for (const auto& q : preboundary(part)) {
+        if (!gin_u.contains(q) && !executed.contains(q)) return false;
+      }
+      for (const auto& p : part) executed.insert(p);
+    }
+    return true;
+  }
+
+  /// Definition 5: U is convex if every vertex on every path between
+  /// two members of U is in U. Checked by: a vertex w ∉ U that is
+  /// reachable from U and reaches U violates convexity.
+  bool is_convex(const PointSet<D>& u) const {
+    if (u.empty()) return true;
+    // Forward reachability from U.
+    PointSet<D> from_u;
+    for_each_vertex([&](const Point<D>& p) {
+      if (u.contains(p)) {
+        from_u.insert(p);
+        return;
+      }
+      for (const auto& q : preds(p)) {
+        if (from_u.contains(q)) {
+          from_u.insert(p);
+          return;
+        }
+      }
+    });
+    // Backward: does w reach U? Process vertices in reverse topological
+    // (descending t) order.
+    PointSet<D> to_u;
+    std::vector<Point<D>> verts = all_vertices();
+    for (auto it = verts.rbegin(); it != verts.rend(); ++it) {
+      const Point<D>& p = *it;
+      if (u.contains(p)) {
+        to_u.insert(p);
+        continue;
+      }
+      for (const auto& s : succs(p)) {
+        if (to_u.contains(s)) {
+          to_u.insert(p);
+          break;
+        }
+      }
+    }
+    for (const auto& p : verts) {
+      if (!u.contains(p) && from_u.contains(p) && to_u.contains(p))
+        return false;
+    }
+    return true;
+  }
+
+ private:
+  template <class F>
+  void visit_space(Point<D>& p, int dim, F&& visit) const {
+    if (dim == D) {
+      visit(p);
+      return;
+    }
+    for (int64_t x = 0; x < st_.extent[dim]; ++x) {
+      p.x[dim] = x;
+      visit_space(p, dim + 1, visit);
+    }
+  }
+
+  Stencil<D> st_;
+};
+
+}  // namespace bsmp::dag

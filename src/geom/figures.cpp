@@ -1,0 +1,148 @@
+#include "geom/figures.hpp"
+
+#include "core/expect.hpp"
+
+namespace bsmp::geom {
+
+Region<1> make_diamond(const Stencil<1>* st, int64_t u0, int64_t w0,
+                       int64_t r) {
+  BSMP_REQUIRE(r >= 1);
+  return Region<1>(st, {u0, w0}, {u0 + r, w0 + r});
+}
+
+Region<2> make_octahedron(const Stencil<2>* st, int64_t u0, int64_t a0,
+                          int64_t v0, int64_t b0, int64_t r) {
+  BSMP_REQUIRE(r >= 1);
+  BSMP_REQUIRE_MSG(u0 + a0 == v0 + b0,
+                   "octahedron requires aligned sum ranges");
+  return Region<2>(st, {u0, a0, v0, b0}, {u0 + r, a0 + r, v0 + r, b0 + r});
+}
+
+Region<2> make_tetrahedron(const Stencil<2>* st, int64_t u0, int64_t a0,
+                           int64_t v0, int64_t b0, int64_t r) {
+  BSMP_REQUIRE(r >= 2);
+  int64_t off = (u0 + a0) - (v0 + b0);
+  BSMP_REQUIRE_MSG(off == r || off == -r,
+                   "tetrahedron requires sum ranges offset by half their "
+                   "length (offset "
+                       << off << ", r " << r << ")");
+  return Region<2>(st, {u0, a0, v0, b0}, {u0 + r, a0 + r, v0 + r, b0 + r});
+}
+
+DomainClass classify_d2(const Region<2>& r) {
+  // Sum ranges: u+a in [lo_u+lo_a, hi_u+hi_a-2], same for v+b. For
+  // equal-length boxes the class is determined by the lo-sum offset
+  // relative to the common interval length.
+  int64_t len_ua = (r.hi()[0] - r.lo()[0]) + (r.hi()[1] - r.lo()[1]);
+  int64_t len_vb = (r.hi()[2] - r.lo()[2]) + (r.hi()[3] - r.lo()[3]);
+  if (len_ua != len_vb) return DomainClass::kOther;
+  int64_t off = (r.lo()[0] + r.lo()[1]) - (r.lo()[2] + r.lo()[3]);
+  if (off < 0) off = -off;
+  if (off == 0) return DomainClass::kOctahedron;
+  if (off == len_ua / 2) return DomainClass::kTetrahedron;
+  return DomainClass::kOther;
+}
+
+std::string to_string(DomainClass c) {
+  switch (c) {
+    case DomainClass::kOctahedron: return "P (octahedron)";
+    case DomainClass::kTetrahedron: return "W (tetrahedron)";
+    case DomainClass::kOther: return "other";
+  }
+  return "?";
+}
+
+template <int D>
+std::vector<Region<D>> shell_partition(const Stencil<D>* st,
+                                       const Region<D>& center) {
+  BSMP_REQUIRE(st != nullptr);
+  constexpr int K = kMono<D>;
+  // Monotone bounding box of the full volume V.
+  std::array<int64_t, K> vlo, vhi;
+  for (int i = 0; i < D; ++i) {
+    vlo[2 * i] = 0;
+    vhi[2 * i] = (st->horizon - 1) + (st->extent[i] - 1) + 1;
+    vlo[2 * i + 1] = -(st->extent[i] - 1);
+    vhi[2 * i + 1] = (st->horizon - 1) + 1;
+  }
+  for (int k = 0; k < K; ++k) {
+    BSMP_REQUIRE_MSG(vlo[k] <= center.lo()[k] && center.hi()[k] <= vhi[k],
+                     "center must lie inside V's monotone bounding box");
+  }
+
+  // Piece for half-axis (k, low/high): coordinate k outside the center
+  // on that side, coordinates j < k inside the center's range (so each
+  // outside point lands in exactly one piece — classified by its first
+  // out-of-center coordinate), coordinates j > k unrestricted.
+  auto shell_piece = [&](int k, bool low) {
+    std::array<int64_t, K> lo = vlo, hi = vhi;
+    if (low)
+      hi[k] = center.lo()[k];
+    else
+      lo[k] = center.hi()[k];
+    for (int j = 0; j < k; ++j) {
+      lo[j] = center.lo()[j];
+      hi[j] = center.hi()[j];
+    }
+    return Region<D>(st, lo, hi);
+  };
+
+  std::vector<Region<D>> parts;
+  // LOW pieces ascending k: a LOW_k point's predecessors only decrease
+  // coordinates, so they sit in LOW_j with j <= k.
+  for (int k = 0; k < K; ++k) {
+    Region<D> piece = shell_piece(k, true);
+    if (!piece.empty()) parts.push_back(std::move(piece));
+  }
+  parts.push_back(center);
+  // HIGH pieces descending k: a HIGH_k point has coordinates j < k
+  // inside the center range, so its predecessors cannot be in HIGH_j
+  // for j < k.
+  for (int k = K - 1; k >= 0; --k) {
+    Region<D> piece = shell_piece(k, false);
+    if (!piece.empty()) parts.push_back(std::move(piece));
+  }
+  return parts;
+}
+
+template std::vector<Region<1>> shell_partition<1>(const Stencil<1>*,
+                                                   const Region<1>&);
+template std::vector<Region<2>> shell_partition<2>(const Stencil<2>*,
+                                                   const Region<2>&);
+template std::vector<Region<3>> shell_partition<3>(const Stencil<3>*,
+                                                   const Region<3>&);
+
+std::vector<Region<1>> fig1_partition(const Stencil<1>* st) {
+  BSMP_REQUIRE(st != nullptr);
+  const int64_t n = st->extent[0];
+  BSMP_REQUIRE_MSG(st->horizon == n,
+                   "Figure 1 partitions the square V: horizon must equal n");
+  BSMP_REQUIRE_MSG(n % 2 == 0, "Figure 1 construction assumes even n");
+  // V in monotone coordinates: u = t+x in [0, 2n-2], w = t-x in
+  // [-(n-1), n-1]. The central diamond U3 = D(n) is the box
+  // [n/2, 3n/2) x [-n/2, n/2); the complement is covered by a pinwheel
+  // of four boxes, each clipped to V by the Region machinery. The order
+  // (U1, U2, U3, U4, U5) below is a topological partition: U1 and U2
+  // hold the bottom corners, U4 and U5 the top ones, and no piece has a
+  // predecessor in a later piece (verified in tests via Definition 4).
+  const int64_t h = n / 2;
+  std::vector<Region<1>> parts;
+  // U1: u in [0, h), w anywhere low — bottom-left triangle of V.
+  parts.emplace_back(st, std::array<int64_t, 2>{0, -n},
+                     std::array<int64_t, 2>{h, h});
+  // U2: u in [h, 2n), w in [-n, -h) — bottom-right triangle.
+  parts.emplace_back(st, std::array<int64_t, 2>{h, -n},
+                     std::array<int64_t, 2>{2 * n, -h});
+  // U3: the full central diamond D(n).
+  parts.emplace_back(st, std::array<int64_t, 2>{h, -h},
+                     std::array<int64_t, 2>{3 * h, h});
+  // U4: u in [0, 3h), w in [h, n) — top-left triangle.
+  parts.emplace_back(st, std::array<int64_t, 2>{0, h},
+                     std::array<int64_t, 2>{3 * h, n});
+  // U5: u in [3h, 2n), w in [-h, n) — top-right triangle.
+  parts.emplace_back(st, std::array<int64_t, 2>{3 * h, -h},
+                     std::array<int64_t, 2>{2 * n, n});
+  return parts;
+}
+
+}  // namespace bsmp::geom

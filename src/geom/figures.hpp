@@ -1,0 +1,53 @@
+// Constructors for the specific domains and partitions drawn in the
+// paper's Figures 1, 3 and 4, used by the E9 geometry-validation
+// experiment and the separator tests.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "geom/region.hpp"
+
+namespace bsmp::geom {
+
+/// A diamond D(r) of Section 4: x-extent and t-extent r, |D(r)| ~ r^2/2,
+/// centered so that its lowest vertex sits at (x0, t0). Constructed as
+/// the monotone-coordinate box [u0, u0+r) x [w0, w0+r).
+Region<1> make_diamond(const Stencil<1>* st, int64_t u0, int64_t w0,
+                       int64_t r);
+
+/// An octahedron P of Section 5: all four monotone intervals of equal
+/// length r with fully overlapping sums (box [u0,u0+r) x [a0,a0+r) x
+/// [v0,v0+r) x [b0,b0+r) with u0+a0 == v0+b0).
+Region<2> make_octahedron(const Stencil<2>* st, int64_t u0, int64_t a0,
+                          int64_t v0, int64_t b0, int64_t r);
+
+/// A tetrahedron W of Section 5: equal-length intervals whose (u+a) and
+/// (v+b) sum ranges overlap in exactly half their length.
+Region<2> make_tetrahedron(const Stencil<2>* st, int64_t u0, int64_t a0,
+                           int64_t v0, int64_t b0, int64_t r);
+
+/// Classification of a Region<2> box by the offset between its (u+a)
+/// and (v+b) sum ranges: offset 0 is an octahedron (P-type), offset of
+/// half the sum-range length is a tetrahedron (W-type).
+enum class DomainClass { kOctahedron, kTetrahedron, kOther };
+DomainClass classify_d2(const Region<2>& r);
+std::string to_string(DomainClass c);
+
+/// Figure 1: the ordered partition (U1,...,U5) of the full space-time
+/// rectangle V = [0,n) x [0,n) (n nodes, n steps, m=1) into the central
+/// diamond D(n) and four truncated diamonds, in topological order.
+/// The stencil must have extent {n} and horizon n.
+std::vector<Region<1>> fig1_partition(const Stencil<1>* st);
+
+/// The general construction behind Figures 1 and 4: partition the full
+/// volume V into a central domain plus 2K truncated shell pieces (one
+/// per monotone half-axis), returned in topological order
+/// (LOW_0..LOW_{K-1}, center, HIGH_{K-1}..HIGH_0). `center` must lie
+/// inside V's monotone bounding box. d=1 gives Figure 1's five pieces,
+/// d=2 a nine-piece analogue of Figure 4, d=3 thirteen pieces.
+template <int D>
+std::vector<Region<D>> shell_partition(const Stencil<D>* st,
+                                       const Region<D>& center);
+
+}  // namespace bsmp::geom

@@ -1,0 +1,151 @@
+// Space-time lattice points and the dependence stencil of mesh
+// computations (Definition 3, generalized to memory size m).
+//
+// A vertex of the computation dag of a D-dimensional mesh is a pair
+// (x, t): node x executes its step-t operation. Arcs of GT(H) make
+// (x, t) depend on the neighbor values at t-1 and on the node's own
+// memory cell, which — under the scanning access pattern that realizes
+// the worst case charged by the theorems — was last written at t-m.
+// For m = 1 this is exactly the dag of Definition 3.
+//
+// The key structural fact exploited throughout bsmp: in the 2D
+// "monotone coordinates" (t + x_i, t - x_i), every dependence arc is
+// non-increasing in every coordinate. Diamonds (d=1), octahedra and
+// tetrahedra (d=2) are axis-aligned boxes in these coordinates, and
+// splitting such a box at coordinate midpoints yields exactly the
+// paper's topological partitions (4 sub-diamonds; 6 octahedra + 8
+// tetrahedra; 5 pieces of a tetrahedron).
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+#include "core/expect.hpp"
+
+namespace bsmp::geom {
+
+using std::int64_t;
+
+/// A lattice point of the space-time dag: spatial node coordinates plus
+/// the time step.
+template <int D>
+struct Point {
+  std::array<int64_t, D> x{};
+  int64_t t = 0;
+
+  friend bool operator==(const Point&, const Point&) = default;
+};
+
+/// Number of monotone coordinates.
+template <int D>
+inline constexpr int kMono = 2 * D;
+
+/// Monotone coordinates of a point: (t + x_0, t - x_0, t + x_1, ...).
+template <int D>
+std::array<int64_t, kMono<D>> mono_coords(const Point<D>& p) {
+  std::array<int64_t, kMono<D>> c;
+  for (int i = 0; i < D; ++i) {
+    c[2 * i] = p.t + p.x[i];
+    c[2 * i + 1] = p.t - p.x[i];
+  }
+  return c;
+}
+
+template <int D>
+struct PointHash {
+  std::size_t operator()(const Point<D>& p) const {
+    std::uint64_t h = static_cast<std::uint64_t>(p.t) * 0x9e3779b97f4a7c15ULL;
+    for (int i = 0; i < D; ++i) {
+      h ^= static_cast<std::uint64_t>(p.x[i]) + 0x9e3779b97f4a7c15ULL +
+           (h << 6) + (h >> 2);
+    }
+    return static_cast<std::size_t>(h);
+  }
+};
+
+/// Dependence stencil: spatial extents, time horizon and memory depth.
+///
+/// Vertices are the points with 0 <= x_i < extent[i] and 0 <= t < T.
+/// Vertex (x, 0) is an input vertex (no predecessors). For t >= 1 the
+/// predecessors are the existing spatial neighbors (x +- e_i, t-1) and,
+/// when t >= m, the node's own cell vertex (x, t-m); for t < m that
+/// operand is an initial memory cell, i.e. an input, not an arc.
+template <int D>
+struct Stencil {
+  std::array<int64_t, D> extent{};
+  int64_t horizon = 1;  ///< T: vertices have 0 <= t < horizon
+  int64_t m = 1;        ///< memory cells per node (self-dependence depth)
+
+  void validate() const {
+    for (int i = 0; i < D; ++i) BSMP_REQUIRE(extent[i] >= 1);
+    BSMP_REQUIRE(horizon >= 1);
+    BSMP_REQUIRE(m >= 1);
+  }
+
+  bool in_space(const std::array<int64_t, D>& x) const {
+    for (int i = 0; i < D; ++i)
+      if (x[i] < 0 || x[i] >= extent[i]) return false;
+    return true;
+  }
+
+  /// Is p a vertex of the dag?
+  bool is_vertex(const Point<D>& p) const {
+    return p.t >= 0 && p.t < horizon && in_space(p.x);
+  }
+
+  /// Farthest a predecessor can be below p in any monotone coordinate.
+  int64_t reach() const { return m > 2 ? m : 2; }
+
+  int64_t num_nodes() const {
+    int64_t n = 1;
+    for (int i = 0; i < D; ++i) n *= extent[i];
+    return n;
+  }
+
+  /// Appends the predecessors of vertex p to out; returns the count.
+  /// Requires is_vertex(p).
+  int preds(const Point<D>& p, std::array<Point<D>, kMono<D> + 1>& out) const {
+    BSMP_ASSERT(is_vertex(p));
+    int k = 0;
+    if (p.t == 0) return 0;  // input vertex
+    for (int i = 0; i < D; ++i) {
+      for (int s = -1; s <= 1; s += 2) {
+        Point<D> q = p;
+        q.x[i] += s;
+        q.t = p.t - 1;
+        if (in_space(q.x)) out[k++] = q;
+      }
+    }
+    if (p.t >= m) {
+      Point<D> q = p;
+      q.t = p.t - m;
+      out[k++] = q;
+    }
+    return k;
+  }
+
+  /// Appends the *positions* that depend on p — mirrors preds() but does
+  /// not clip time: a successor position with t >= horizon is reported
+  /// (it is how top-face outputs are recognized). Spatial validity is
+  /// enforced (a position outside the mesh is not a successor).
+  int succ_positions(const Point<D>& p,
+                     std::array<Point<D>, kMono<D> + 1>& out) const {
+    int k = 0;
+    for (int i = 0; i < D; ++i) {
+      for (int s = -1; s <= 1; s += 2) {
+        Point<D> q = p;
+        q.x[i] += s;
+        q.t = p.t + 1;
+        if (in_space(q.x)) out[k++] = q;
+      }
+    }
+    Point<D> q = p;
+    q.t = p.t + m;
+    out[k++] = q;
+    return k;
+  }
+};
+
+}  // namespace bsmp::geom

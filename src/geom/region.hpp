@@ -1,0 +1,318 @@
+// Region<D>: a convex lattice domain given as an axis-aligned box in
+// monotone coordinates, intersected with the vertex set of a Stencil.
+//
+// This single type realizes all the domain families of the paper:
+//   d=1: D(r) diamonds and their truncated versions (Fig. 1) are boxes
+//        in (t+x, t-x);
+//   d=2: octahedra P and tetrahedra W (Fig. 3) are boxes in
+//        (t+x, t-x, t+y, t-y) — a box whose four intervals have equal
+//        sums is an octahedron; half-overlapping sums give tetrahedra;
+//   d=3: the analogous six-coordinate boxes (Section-6 conjecture).
+//
+// Because every dag arc is non-increasing in every monotone coordinate,
+// the midpoint split() of a Region, ordered by how many upper halves a
+// child occupies, is a topological partition in the sense of
+// Definition 4 — reproducing the paper's 4-way diamond split, the
+// 14-piece octahedron split and the 5-piece tetrahedron split exactly.
+#pragma once
+
+#include <algorithm>
+#include <optional>
+#include <vector>
+
+#include "core/expect.hpp"
+#include "core/logmath.hpp"
+#include "geom/lattice.hpp"
+
+namespace bsmp::geom {
+
+template <int D>
+class Region {
+ public:
+  static constexpr int K = kMono<D>;
+
+  /// Box [lo_k, hi_k) in monotone coordinates over `stencil`'s vertex
+  /// set. The stencil must outlive the region.
+  Region(const Stencil<D>* stencil, std::array<int64_t, K> lo,
+         std::array<int64_t, K> hi)
+      : stencil_(stencil), lo_(lo), hi_(hi) {
+    BSMP_REQUIRE(stencil != nullptr);
+    for (int k = 0; k < K; ++k) BSMP_REQUIRE(lo_[k] <= hi_[k]);
+  }
+
+  const Stencil<D>& stencil() const { return *stencil_; }
+  const std::array<int64_t, K>& lo() const { return lo_; }
+  const std::array<int64_t, K>& hi() const { return hi_; }
+
+  /// Largest box side (in monotone units).
+  int64_t width() const {
+    int64_t w = 0;
+    for (int k = 0; k < K; ++k) w = std::max(w, hi_[k] - lo_[k]);
+    return w;
+  }
+
+  bool in_box(const Point<D>& p) const {
+    auto c = mono_coords<D>(p);
+    for (int k = 0; k < K; ++k)
+      if (c[k] < lo_[k] || c[k] >= hi_[k]) return false;
+    return true;
+  }
+
+  bool contains(const Point<D>& p) const {
+    return stencil_->is_vertex(p) && in_box(p);
+  }
+
+  /// Inclusive time range [t_min, t_max] implied by the box and the
+  /// stencil horizon; empty ranges have t_min > t_max.
+  std::pair<int64_t, int64_t> time_range() const {
+    int64_t tmin = 0;
+    int64_t tmax = stencil_->horizon - 1;
+    for (int i = 0; i < D; ++i) {
+      int64_t sum_lo = lo_[2 * i] + lo_[2 * i + 1];
+      int64_t sum_hi = (hi_[2 * i] - 1) + (hi_[2 * i + 1] - 1);
+      tmin = std::max(tmin, core::div_ceil(sum_lo, 2));
+      tmax = std::min(tmax, core::div_floor(sum_hi, 2));
+    }
+    return {tmin, tmax};
+  }
+
+  /// Inclusive spatial range [x_min, x_max] in dimension i at time t.
+  std::pair<int64_t, int64_t> x_range(int i, int64_t t) const {
+    int64_t xmin = std::max<int64_t>(0, lo_[2 * i] - t);
+    int64_t xmax = std::min(stencil_->extent[i] - 1, hi_[2 * i] - 1 - t);
+    xmin = std::max(xmin, t - hi_[2 * i + 1] + 1);
+    xmax = std::min(xmax, t - lo_[2 * i + 1]);
+    return {xmin, xmax};
+  }
+
+  /// Number of lattice points in the region (exact).
+  int64_t count() const {
+    auto [tmin, tmax] = time_range();
+    int64_t total = 0;
+    for (int64_t t = tmin; t <= tmax; ++t) {
+      int64_t rows = 1;
+      for (int i = 0; i < D; ++i) {
+        auto [a, b] = x_range(i, t);
+        if (a > b) {
+          rows = 0;
+          break;
+        }
+        rows *= (b - a + 1);
+      }
+      total += rows;
+    }
+    return total;
+  }
+
+  /// First point in topological (t, then x lexicographic) order, or
+  /// nullopt if the region is empty.
+  std::optional<Point<D>> first_point() const {
+    auto [tmin, tmax] = time_range();
+    for (int64_t t = tmin; t <= tmax; ++t) {
+      Point<D> p;
+      p.t = t;
+      bool ok = true;
+      for (int i = 0; i < D; ++i) {
+        auto [a, b] = x_range(i, t);
+        if (a > b) {
+          ok = false;
+          break;
+        }
+        p.x[i] = a;
+      }
+      if (ok) return p;
+    }
+    return std::nullopt;
+  }
+
+  bool empty() const { return !first_point().has_value(); }
+
+  /// Visit every point in topological order: t ascending, then x
+  /// lexicographic. Within one time level no point depends on another,
+  /// and all dependence arcs point to strictly smaller t, so this order
+  /// is a valid execution order.
+  template <class F>
+  void for_each(F&& visit) const {
+    auto [tmin, tmax] = time_range();
+    for (int64_t t = tmin; t <= tmax; ++t) for_each_at_time(t, visit);
+  }
+
+  /// All points as a vector (small regions / tests only).
+  std::vector<Point<D>> points() const {
+    std::vector<Point<D>> v;
+    for_each([&](const Point<D>& p) { v.push_back(p); });
+    return v;
+  }
+
+  /// Midpoint split into at most 2^K children, in topological order
+  /// (children sorted by the number of upper halves they occupy; equal
+  /// counts are mutually independent). Empty children are dropped.
+  /// Coordinates with a side of length < 2 are not split.
+  std::vector<Region> split() const {
+    std::array<int64_t, K> mid;
+    std::array<bool, K> splits;
+    int nsplit = 0;
+    for (int k = 0; k < K; ++k) {
+      splits[k] = (hi_[k] - lo_[k]) >= 2;
+      mid[k] = lo_[k] + (hi_[k] - lo_[k]) / 2;
+      if (splits[k]) ++nsplit;
+    }
+    BSMP_REQUIRE_MSG(nsplit > 0, "cannot split a region of width 1");
+
+    struct Child {
+      Region r;
+      int uppers;
+    };
+    std::vector<Child> kids;
+    for (unsigned mask = 0; mask < (1u << K); ++mask) {
+      std::array<int64_t, K> clo = lo_, chi = hi_;
+      bool valid = true;
+      int uppers = 0;
+      for (int k = 0; k < K; ++k) {
+        bool up = (mask >> k) & 1u;
+        if (!splits[k]) {
+          if (up) {
+            valid = false;  // no upper half for unsplit coordinates
+            break;
+          }
+          continue;
+        }
+        if (up) {
+          clo[k] = mid[k];
+          ++uppers;
+        } else {
+          chi[k] = mid[k];
+        }
+      }
+      if (!valid) continue;
+      Region child(stencil_, clo, chi);
+      if (child.empty()) continue;
+      kids.push_back({std::move(child), uppers});
+    }
+    std::stable_sort(kids.begin(), kids.end(),
+                     [](const Child& a, const Child& b) {
+                       return a.uppers < b.uppers;
+                     });
+    std::vector<Region> out;
+    out.reserve(kids.size());
+    for (auto& k : kids) out.push_back(std::move(k.r));
+    return out;
+  }
+
+  /// The preboundary Γin(U): vertices outside U that are predecessors
+  /// of some vertex of U (Section 3). Exact, computed by scanning the
+  /// lower shell of depth reach() — O(surface * reach) work.
+  std::vector<Point<D>> preboundary() const {
+    const int64_t R = stencil_->reach();
+    std::vector<Point<D>> out;
+    std::array<Point<D>, K + 1> succ;
+    for (int k = 0; k < K; ++k) {
+      // Slab k: coordinate k in [lo_k - R, lo_k); coordinates j < k
+      // inside the box (so each shell point appears in exactly one
+      // slab); coordinates j > k anywhere a predecessor can be.
+      std::array<int64_t, K> slo = lo_, shi = hi_;
+      slo[k] = lo_[k] - R;
+      shi[k] = lo_[k];
+      for (int j = k + 1; j < K; ++j) slo[j] = lo_[j] - R;
+      Region slab(stencil_, slo, shi);
+      slab.for_each([&](const Point<D>& q) {
+        int ns = stencil_->succ_positions(q, succ);
+        for (int s = 0; s < ns; ++s) {
+          if (contains(succ[s])) {
+            out.push_back(q);
+            return;
+          }
+        }
+      });
+    }
+    return out;
+  }
+
+  /// The out-set: vertices of U with a successor *position* outside U
+  /// (including positions past the time horizon, so the final rows of a
+  /// computation are always part of the out-set of its last domains).
+  std::vector<Point<D>> outset() const {
+    const int64_t R = stencil_->reach();
+    std::vector<Point<D>> out;
+    std::array<Point<D>, K + 1> succ;
+    auto consider = [&](const Point<D>& q) {
+      int ns = stencil_->succ_positions(q, succ);
+      for (int s = 0; s < ns; ++s) {
+        if (!contains(succ[s])) {
+          out.push_back(q);
+          return;
+        }
+      }
+    };
+    // Upper shell slabs (successors that leave the box).
+    for (int k = 0; k < K; ++k) {
+      std::array<int64_t, K> slo = lo_, shi = hi_;
+      slo[k] = std::max(lo_[k], hi_[k] - R);
+      for (int j = 0; j < k; ++j) shi[j] = std::max(lo_[j], hi_[j] - R);
+      Region slab(stencil_, slo, shi);
+      slab.for_each(consider);
+    }
+    // Horizon rows (successors that leave the computation in time):
+    // rows with t >= horizon - m have their self-lane successor past
+    // the horizon. Skip points already collected by an upper slab.
+    int64_t t_top = stencil_->horizon - stencil_->m;
+    auto in_upper_slab = [&](const Point<D>& q) {
+      auto c = mono_coords<D>(q);
+      for (int k = 0; k < K; ++k)
+        if (c[k] >= hi_[k] - R) return true;
+      return false;
+    };
+    auto [tmin, tmax] = time_range();
+    for (int64_t t = std::max(tmin, t_top); t <= tmax; ++t) {
+      for_each_at_time(t, [&](const Point<D>& q) {
+        if (!in_upper_slab(q)) consider(q);
+      });
+    }
+    return out;
+  }
+
+  /// Visit every point of the region at one time level.
+  template <class F>
+  void for_each_at_time(int64_t t, F&& visit) const {
+    if (t < 0 || t >= stencil_->horizon) return;
+    Point<D> p;
+    p.t = t;
+    std::array<std::pair<int64_t, int64_t>, D> r;
+    for (int i = 0; i < D; ++i) {
+      r[i] = x_range(i, t);
+      if (r[i].first > r[i].second) return;
+    }
+    if constexpr (D == 1) {
+      for (int64_t x0 = r[0].first; x0 <= r[0].second; ++x0) {
+        p.x[0] = x0;
+        visit(p);
+      }
+    } else if constexpr (D == 2) {
+      for (int64_t x0 = r[0].first; x0 <= r[0].second; ++x0) {
+        p.x[0] = x0;
+        for (int64_t x1 = r[1].first; x1 <= r[1].second; ++x1) {
+          p.x[1] = x1;
+          visit(p);
+        }
+      }
+    } else {
+      static_assert(D == 3);
+      for (int64_t x0 = r[0].first; x0 <= r[0].second; ++x0) {
+        p.x[0] = x0;
+        for (int64_t x1 = r[1].first; x1 <= r[1].second; ++x1) {
+          p.x[1] = x1;
+          for (int64_t x2 = r[2].first; x2 <= r[2].second; ++x2) {
+            p.x[2] = x2;
+            visit(p);
+          }
+        }
+      }
+    }
+  }
+
+ private:
+  const Stencil<D>* stencil_;
+  std::array<int64_t, K> lo_, hi_;
+};
+
+}  // namespace bsmp::geom

@@ -1,0 +1,67 @@
+#include "geom/render.hpp"
+
+#include "core/expect.hpp"
+
+namespace bsmp::geom {
+
+namespace {
+
+char glyph(std::size_t i) {
+  if (i < 9) return static_cast<char>('1' + i);
+  if (i < 9 + 26) return static_cast<char>('a' + (i - 9));
+  return '?';
+}
+
+}  // namespace
+
+std::string render_partition_1d(const Stencil<1>& st,
+                                const std::vector<Region<1>>& pieces) {
+  const int64_t n = st.extent[0];
+  const int64_t T = st.horizon;
+  std::vector<std::string> rows(static_cast<std::size_t>(T),
+                                std::string(static_cast<std::size_t>(n),
+                                            '.'));
+  for (std::size_t i = 0; i < pieces.size(); ++i) {
+    pieces[i].for_each([&](const Point<1>& p) {
+      char& c = rows[p.t][p.x[0]];
+      c = (c == '.') ? glyph(i) : '#';
+    });
+  }
+  std::string out;
+  for (int64_t t = T - 1; t >= 0; --t) {
+    out += rows[static_cast<std::size_t>(t)];
+    out += '\n';
+  }
+  out += std::string(static_cast<std::size_t>(n), '-');
+  out += "  (x ->, t ^)\n";
+  return out;
+}
+
+std::string render_region_1d(const Region<1>& region) {
+  return render_partition_1d(region.stencil(), {region});
+}
+
+std::string render_partition_2d_slice(const Stencil<2>& st,
+                                      const std::vector<Region<2>>& pieces,
+                                      int64_t t) {
+  BSMP_REQUIRE(t >= 0 && t < st.horizon);
+  const int64_t nx = st.extent[0];
+  const int64_t ny = st.extent[1];
+  std::vector<std::string> rows(static_cast<std::size_t>(ny),
+                                std::string(static_cast<std::size_t>(nx),
+                                            '.'));
+  for (std::size_t i = 0; i < pieces.size(); ++i) {
+    pieces[i].for_each_at_time(t, [&](const Point<2>& p) {
+      char& c = rows[p.x[1]][p.x[0]];
+      c = (c == '.') ? glyph(i) : '#';
+    });
+  }
+  std::string out = "t = " + std::to_string(t) + ":\n";
+  for (int64_t y = ny - 1; y >= 0; --y) {
+    out += rows[static_cast<std::size_t>(y)];
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace bsmp::geom

@@ -1,0 +1,29 @@
+// ASCII rendering of d=1 space-time domains: x across, t upward — the
+// same orientation as the paper's Figures 1 and 2. Each partition
+// piece gets a distinct glyph; points outside every piece show as '.'.
+// Used by the figures-gallery example and handy when debugging
+// decompositions.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "geom/region.hpp"
+
+namespace bsmp::geom {
+
+/// Render the pieces over the full vertex set of their (common)
+/// stencil. Pieces are drawn with glyphs '1'..'9', 'a'..'z' in order;
+/// overlapping pieces (a bug) show as '#'.
+std::string render_partition_1d(const Stencil<1>& st,
+                                const std::vector<Region<1>>& pieces);
+
+/// Render a single domain ('*') inside its stencil box.
+std::string render_region_1d(const Region<1>& region);
+
+/// Render one time-slice (fixed t) of a d=2 partition: x across, y up.
+std::string render_partition_2d_slice(const Stencil<2>& st,
+                                      const std::vector<Region<2>>& pieces,
+                                      int64_t t);
+
+}  // namespace bsmp::geom

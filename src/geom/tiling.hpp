@@ -1,0 +1,97 @@
+// TileGrid<D>: cover of the whole space-time volume V (all vertices of
+// a Stencil) by congruent Region boxes of a given monotone width,
+// visited in wavefront order (ascending sum of grid indices).
+//
+// For d=1 with tile width n this yields the handful of full/truncated
+// D(n) diamonds of Figure 1; for d=2 with tile width sqrt(n) it yields
+// the full/truncated octahedra and tetrahedra of Figure 4. Because dag
+// arcs are non-increasing in every monotone coordinate, tiles on one
+// wavefront are mutually independent and depend only on earlier
+// wavefronts — the global execution order used by all simulators.
+#pragma once
+
+#include <vector>
+
+#include "core/expect.hpp"
+#include "core/logmath.hpp"
+#include "geom/region.hpp"
+
+namespace bsmp::geom {
+
+template <int D>
+class TileGrid {
+ public:
+  static constexpr int K = kMono<D>;
+
+  TileGrid(const Stencil<D>* stencil, int64_t tile_width)
+      : stencil_(stencil), w_(tile_width) {
+    BSMP_REQUIRE(stencil != nullptr);
+    BSMP_REQUIRE(tile_width >= 1);
+    for (int i = 0; i < D; ++i) {
+      // mono coordinate 2i   = t + x_i in [0, horizon-1 + extent_i-1]
+      // mono coordinate 2i+1 = t - x_i in [-(extent_i-1), horizon-1]
+      base_[2 * i] = 0;
+      base_[2 * i + 1] = -(stencil_->extent[i] - 1);
+      int64_t span_plus = (stencil_->horizon - 1) + (stencil_->extent[i] - 1);
+      int64_t span_minus = (stencil_->horizon - 1) + (stencil_->extent[i] - 1);
+      cells_[2 * i] = core::div_ceil(span_plus + 1, w_);
+      cells_[2 * i + 1] = core::div_ceil(span_minus + 1, w_);
+    }
+  }
+
+  int64_t tile_width() const { return w_; }
+
+  /// The tile at grid index g (may be empty after clipping).
+  Region<D> tile(const std::array<int64_t, K>& g) const {
+    std::array<int64_t, K> lo, hi;
+    for (int k = 0; k < K; ++k) {
+      BSMP_REQUIRE(g[k] >= 0 && g[k] < cells_[k]);
+      lo[k] = base_[k] + g[k] * w_;
+      hi[k] = lo[k] + w_;
+    }
+    return Region<D>(stencil_, lo, hi);
+  }
+
+  /// Non-empty tiles grouped by wavefront (sum of grid indices).
+  /// wavefronts()[k] may be executed only after wavefronts 0..k-1, and
+  /// its tiles are mutually independent.
+  std::vector<std::vector<Region<D>>> wavefronts() const {
+    int64_t max_sum = 0;
+    for (int k = 0; k < K; ++k) max_sum += cells_[k] - 1;
+    std::vector<std::vector<Region<D>>> waves(
+        static_cast<std::size_t>(max_sum + 1));
+    std::array<int64_t, K> g{};
+    for (;;) {
+      int64_t sum = 0;
+      for (int k = 0; k < K; ++k) sum += g[k];
+      Region<D> t = tile(g);
+      if (!t.empty()) waves[static_cast<std::size_t>(sum)].push_back(t);
+      // odometer increment
+      int k = 0;
+      while (k < K) {
+        if (++g[k] < cells_[k]) break;
+        g[k] = 0;
+        ++k;
+      }
+      if (k == K) break;
+    }
+    // Drop trailing empty wavefronts (clipping can empty them).
+    while (!waves.empty() && waves.back().empty()) waves.pop_back();
+    return waves;
+  }
+
+  /// Total number of non-empty tiles.
+  int64_t num_tiles() const {
+    int64_t n = 0;
+    for (const auto& w : wavefronts()) n += static_cast<int64_t>(w.size());
+    return n;
+  }
+
+ private:
+  const Stencil<D>* stencil_;
+  int64_t w_;
+  std::array<int64_t, K> base_{};
+  std::array<int64_t, K> cells_{};
+};
+
+}  // namespace bsmp::geom

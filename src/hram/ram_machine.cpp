@@ -1,0 +1,140 @@
+#include "hram/ram_machine.hpp"
+
+#include "core/expect.hpp"
+
+namespace bsmp::hram {
+
+const char* to_string(RamOp op) {
+  switch (op) {
+    case RamOp::kLoadImm: return "LOADI";
+    case RamOp::kLoad: return "LOAD";
+    case RamOp::kLoadInd: return "LOADN";
+    case RamOp::kStore: return "STORE";
+    case RamOp::kStoreInd: return "STOREN";
+    case RamOp::kAdd: return "ADD";
+    case RamOp::kSub: return "SUB";
+    case RamOp::kMul: return "MUL";
+    case RamOp::kAddImm: return "ADDI";
+    case RamOp::kSubImm: return "SUBI";
+    case RamOp::kMulImm: return "MULI";
+    case RamOp::kJmp: return "JMP";
+    case RamOp::kJz: return "JZ";
+    case RamOp::kJnz: return "JNZ";
+    case RamOp::kJlz: return "JLZ";
+    case RamOp::kHalt: return "HALT";
+  }
+  return "?";
+}
+
+Assembler& Assembler::label(const std::string& name) {
+  BSMP_REQUIRE_MSG(!labels_.contains(name), "duplicate label " << name);
+  labels_[name] = static_cast<std::int64_t>(prog_.size());
+  return *this;
+}
+
+Assembler& Assembler::emit(RamOp op, std::int64_t arg) {
+  prog_.push_back({op, arg});
+  return *this;
+}
+
+Assembler& Assembler::jump(RamOp op, const std::string& target) {
+  BSMP_REQUIRE(op == RamOp::kJmp || op == RamOp::kJz ||
+               op == RamOp::kJnz || op == RamOp::kJlz);
+  pending_.push_back({prog_.size(), target});
+  prog_.push_back({op, -1});
+  return *this;
+}
+
+RamProgram Assembler::assemble() const {
+  RamProgram out = prog_;
+  for (const auto& p : pending_) {
+    auto it = labels_.find(p.target);
+    BSMP_REQUIRE_MSG(it != labels_.end(), "undefined label " << p.target);
+    out[p.instr].arg = it->second;
+  }
+  return out;
+}
+
+RamResult run_ram_program(const RamProgram& prog, HRam& ram,
+                          std::int64_t max_instructions) {
+  RamResult res;
+  hram::Word acc = 0;
+  std::int64_t pc = 0;
+  const auto n = static_cast<std::int64_t>(prog.size());
+
+  auto addr_of = [&](std::int64_t a) -> std::size_t {
+    BSMP_REQUIRE_MSG(a >= 0, "negative address");
+    return static_cast<std::size_t>(a);
+  };
+
+  while (res.instructions < max_instructions) {
+    BSMP_REQUIRE_MSG(pc >= 0 && pc < n, "pc out of program");
+    const RamInstr& in = prog[static_cast<std::size_t>(pc)];
+    ++res.instructions;
+    // One unit for the instruction itself (the Section-2 time unit);
+    // memory operands below add their f(address) through the HRam.
+    ram.ledger().charge(core::CostKind::kCompute, 1.0);
+    ++pc;
+    switch (in.op) {
+      case RamOp::kLoadImm:
+        acc = static_cast<hram::Word>(in.arg);
+        break;
+      case RamOp::kLoad:
+        acc = ram.read(addr_of(in.arg));
+        break;
+      case RamOp::kLoadInd: {
+        hram::Word a = ram.read(addr_of(in.arg));
+        acc = ram.read(addr_of(static_cast<std::int64_t>(a)));
+        break;
+      }
+      case RamOp::kStore:
+        ram.write(addr_of(in.arg), acc);
+        break;
+      case RamOp::kStoreInd: {
+        hram::Word a = ram.read(addr_of(in.arg));
+        ram.write(addr_of(static_cast<std::int64_t>(a)), acc);
+        break;
+      }
+      case RamOp::kAdd:
+        acc += ram.read(addr_of(in.arg));
+        break;
+      case RamOp::kSub:
+        acc -= ram.read(addr_of(in.arg));
+        break;
+      case RamOp::kMul:
+        acc *= ram.read(addr_of(in.arg));
+        break;
+      case RamOp::kAddImm:
+        acc += static_cast<hram::Word>(in.arg);
+        break;
+      case RamOp::kSubImm:
+        acc -= static_cast<hram::Word>(in.arg);
+        break;
+      case RamOp::kMulImm:
+        acc *= static_cast<hram::Word>(in.arg);
+        break;
+      case RamOp::kJmp:
+        pc = in.arg;
+        break;
+      case RamOp::kJz:
+        if (acc == 0) pc = in.arg;
+        break;
+      case RamOp::kJnz:
+        if (acc != 0) pc = in.arg;
+        break;
+      case RamOp::kJlz:
+        if (acc >> 63) pc = in.arg;
+        break;
+      case RamOp::kHalt:
+        res.halted = true;
+        res.acc = acc;
+        res.time = ram.ledger().total();
+        return res;
+    }
+  }
+  res.acc = acc;
+  res.time = ram.ledger().total();
+  return res;  // halted == false: step limit
+}
+
+}  // namespace bsmp::hram

@@ -1,0 +1,102 @@
+// The H-RAM as a machine, not just a memory.
+//
+// Definition 1 builds on the RAM of Cook & Reckhow [CR73]: a program
+// of arithmetic/branch instructions over an addressable memory. This
+// module provides that machine with the hierarchical cost model: each
+// executed instruction costs one unit (the Section-2 time unit) plus
+// f(a) for every memory operand at address a — so a program's virtual
+// running time depends on *where* its data lives, which is exactly the
+// paper's notion of data locality ("an algorithm possesses data
+// locality if its running time depends upon the addresses at which
+// both input and intermediate values are stored").
+//
+// The ISA is accumulator-based with direct and indirect addressing:
+//
+//   LOADI k      acc <- k
+//   LOAD a       acc <- M[a]
+//   LOADN a      acc <- M[M[a]]          (indirect)
+//   STORE a      M[a] <- acc
+//   STOREN a     M[M[a]] <- acc          (indirect)
+//   ADD/SUB/MUL a        acc <- acc op M[a]
+//   ADDI/SUBI/MULI k     acc <- acc op k
+//   JMP l        pc <- l
+//   JZ/JNZ/JLZ l conditional jump on acc (== 0, != 0, sign bit)
+//   HALT
+//
+// Programs are built with the small Assembler (named labels, forward
+// references). workload/ram_programs.hpp provides ready-made programs.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/cost.hpp"
+#include "hram/hram.hpp"
+
+namespace bsmp::hram {
+
+enum class RamOp : unsigned {
+  kLoadImm,
+  kLoad,
+  kLoadInd,
+  kStore,
+  kStoreInd,
+  kAdd,
+  kSub,
+  kMul,
+  kAddImm,
+  kSubImm,
+  kMulImm,
+  kJmp,
+  kJz,
+  kJnz,
+  kJlz,
+  kHalt
+};
+
+const char* to_string(RamOp op);
+
+struct RamInstr {
+  RamOp op = RamOp::kHalt;
+  std::int64_t arg = 0;  ///< immediate, address, or jump target
+};
+
+using RamProgram = std::vector<RamInstr>;
+
+/// Tiny two-pass assembler: emit instructions and labels; jump targets
+/// may reference labels not yet defined.
+class Assembler {
+ public:
+  Assembler& label(const std::string& name);
+  Assembler& emit(RamOp op, std::int64_t arg = 0);
+  Assembler& jump(RamOp op, const std::string& target);
+
+  /// Resolve all label references; throws on unknown labels.
+  RamProgram assemble() const;
+
+ private:
+  struct Pending {
+    std::size_t instr;
+    std::string target;
+  };
+  RamProgram prog_;
+  std::map<std::string, std::int64_t> labels_;
+  std::vector<Pending> pending_;
+};
+
+struct RamResult {
+  core::Cost time = 0;          ///< charged virtual time
+  std::int64_t instructions = 0;
+  bool halted = false;          ///< false: hit the step limit
+  hram::Word acc = 0;           ///< final accumulator
+};
+
+/// Run `prog` on `ram` starting with accumulator 0. The program is
+/// stored in the (free) control store, not in the H-RAM — only data
+/// accesses are charged, per the paper's model.
+RamResult run_ram_program(const RamProgram& prog, HRam& ram,
+                          std::int64_t max_instructions = 1 << 26);
+
+}  // namespace bsmp::hram

@@ -1,0 +1,43 @@
+#include "machine/clocks.hpp"
+
+#include <algorithm>
+
+#include "core/expect.hpp"
+
+namespace bsmp::machine {
+
+ProcClocks::ProcClocks(std::int64_t p) {
+  BSMP_REQUIRE(p >= 1);
+  clock_.assign(static_cast<std::size_t>(p), 0.0);
+}
+
+void ProcClocks::advance(std::int64_t i, core::Cost c) {
+  BSMP_REQUIRE(i >= 0 && i < num_procs());
+  BSMP_REQUIRE_MSG(c >= 0.0, "clock cannot go backwards");
+  clock_[static_cast<std::size_t>(i)] += c;
+  busy_ += c;
+}
+
+core::Cost ProcClocks::barrier() {
+  core::Cost mx = makespan();
+  core::Cost prev_min = *std::min_element(clock_.begin(), clock_.end());
+  for (auto& c : clock_) c = mx;
+  return mx - prev_min;
+}
+
+core::Cost ProcClocks::makespan() const {
+  return *std::max_element(clock_.begin(), clock_.end());
+}
+
+double ProcClocks::utilization() const {
+  core::Cost ms = makespan();
+  if (ms <= 0.0) return 1.0;
+  return busy_ / (static_cast<double>(num_procs()) * ms);
+}
+
+core::Cost ProcClocks::clock(std::int64_t i) const {
+  BSMP_REQUIRE(i >= 0 && i < num_procs());
+  return clock_[static_cast<std::size_t>(i)];
+}
+
+}  // namespace bsmp::machine

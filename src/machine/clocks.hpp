@@ -1,0 +1,49 @@
+// Per-processor virtual clocks with barrier semantics.
+//
+// The multiprocessor simulators of Sections 4.2 and 5 are organized in
+// synchronous stages: within a stage each processor works on its own
+// share; at the stage boundary all processors wait for the slowest.
+// ProcClocks tracks per-processor elapsed virtual time, enforces the
+// barrier (max), and exposes both the makespan and the total busy time
+// (their ratio is the load balance of the schedule).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/cost.hpp"
+
+namespace bsmp::machine {
+
+class ProcClocks {
+ public:
+  explicit ProcClocks(std::int64_t p);
+
+  std::int64_t num_procs() const {
+    return static_cast<std::int64_t>(clock_.size());
+  }
+
+  /// Advance processor `i`'s clock by `c >= 0` units of virtual time.
+  void advance(std::int64_t i, core::Cost c);
+
+  /// Synchronize: every clock jumps to the maximum. Returns the stage
+  /// makespan contribution (max - previous barrier level).
+  core::Cost barrier();
+
+  /// Current makespan (max clock).
+  core::Cost makespan() const;
+
+  /// Total busy time accumulated via advance() across all processors.
+  core::Cost busy_total() const { return busy_; }
+
+  /// Busy time / (p * makespan): 1.0 means perfectly balanced.
+  double utilization() const;
+
+  core::Cost clock(std::int64_t i) const;
+
+ private:
+  std::vector<core::Cost> clock_;
+  core::Cost busy_ = 0;
+};
+
+}  // namespace bsmp::machine

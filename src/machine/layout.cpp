@@ -1,0 +1,91 @@
+#include "machine/layout.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <numeric>
+
+#include "core/expect.hpp"
+
+namespace bsmp::machine {
+
+std::int64_t StripLayout::global_window_diameter(std::int64_t span) const {
+  BSMP_REQUIRE(span >= 1 && span <= q_);
+  std::int64_t worst = 0;
+  for (std::int64_t start = 0; start + span <= q_; ++start) {
+    std::int64_t lo = slot(start), hi = slot(start);
+    for (std::int64_t g = start; g < start + span; ++g) {
+      lo = std::min(lo, slot(g));
+      hi = std::max(hi, slot(g));
+    }
+    worst = std::max(worst, hi - lo);
+  }
+  return worst;
+}
+
+StripLayout::StripLayout(std::int64_t q, std::int64_t p, std::int64_t w,
+                         std::vector<std::int64_t> slot_of)
+    : q_(q), p_(p), w_(w), slot_(std::move(slot_of)) {}
+
+StripLayout StripLayout::identity(std::int64_t q, std::int64_t p,
+                                  std::int64_t w) {
+  BSMP_REQUIRE(q >= 1 && p >= 1 && w >= 1);
+  BSMP_REQUIRE(q % p == 0);
+  std::vector<std::int64_t> s(static_cast<std::size_t>(q));
+  std::iota(s.begin(), s.end(), 0);
+  return StripLayout(q, p, w, std::move(s));
+}
+
+StripLayout StripLayout::rearranged(std::int64_t q, std::int64_t p,
+                                    std::int64_t w) {
+  BSMP_REQUIRE(w >= 1);
+  return StripLayout(q, p, w, rearrangement(q, p));
+}
+
+std::int64_t StripLayout::slot(std::int64_t strip) const {
+  BSMP_REQUIRE(strip >= 0 && strip < q_);
+  return slot_[static_cast<std::size_t>(strip)];
+}
+
+std::int64_t StripLayout::base_addr(std::int64_t strip) const {
+  return slot(strip) * w_;
+}
+
+std::int64_t StripLayout::owner(std::int64_t strip) const {
+  return slot(strip) / (q_ / p_);
+}
+
+std::int64_t StripLayout::distance(std::int64_t a, std::int64_t b) const {
+  return std::abs(slot(a) - slot(b));
+}
+
+std::int64_t StripLayout::max_adjacent_distance() const {
+  std::int64_t mx = 0;
+  for (std::int64_t g = 0; g + 1 < q_; ++g)
+    mx = std::max(mx, distance(g, g + 1));
+  return mx;
+}
+
+std::int64_t StripLayout::per_proc_window_diameter(std::int64_t span) const {
+  BSMP_REQUIRE(span >= 1 && span <= q_);
+  std::int64_t worst = 0;
+  std::vector<std::int64_t> lo(static_cast<std::size_t>(p_)),
+      hi(static_cast<std::size_t>(p_));
+  for (std::int64_t start = 0; start + span <= q_; ++start) {
+    std::fill(lo.begin(), lo.end(), std::int64_t{-1});
+    for (std::int64_t g = start; g < start + span; ++g) {
+      std::int64_t pr = owner(g);
+      std::int64_t s = slot(g);
+      if (lo[pr] < 0) {
+        lo[pr] = hi[pr] = s;
+      } else {
+        lo[pr] = std::min(lo[pr], s);
+        hi[pr] = std::max(hi[pr], s);
+      }
+    }
+    for (std::int64_t pr = 0; pr < p_; ++pr)
+      if (lo[pr] >= 0) worst = std::max(worst, hi[pr] - lo[pr]);
+  }
+  return worst;
+}
+
+}  // namespace bsmp::machine

@@ -1,0 +1,73 @@
+// Strip layouts: where the guest's data physically rests in the host.
+//
+// The guest's n columns are grouped into q strips of `strip_words`
+// words. A StripLayout maps each strip to its slot (and thus base
+// address and owning processor) under either the identity layout or
+// the Section-4.2 rearrangement π2∘π1. Its distance queries quantify
+// the claim the multiprocessor simulator's Regime-1 charges rest on:
+// transfers between initially-consecutive strips travel at most q/p
+// slots in the rearranged layout — a factor-p reduction for wide
+// domains relative to identity.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "machine/rearrange.hpp"
+
+namespace bsmp::machine {
+
+class StripLayout {
+ public:
+  static StripLayout identity(std::int64_t q, std::int64_t p,
+                              std::int64_t strip_words);
+
+  /// The π2∘π1 rearranged layout of Section 4.2.
+  static StripLayout rearranged(std::int64_t q, std::int64_t p,
+                                std::int64_t strip_words);
+
+  std::int64_t num_strips() const { return q_; }
+  std::int64_t num_procs() const { return p_; }
+  std::int64_t strip_words() const { return w_; }
+
+  /// Slot of a strip (0..q-1), left to right in physical space.
+  std::int64_t slot(std::int64_t strip) const;
+
+  /// First address of the strip's data in the flat memory of the
+  /// machine (slot * strip_words).
+  std::int64_t base_addr(std::int64_t strip) const;
+
+  /// Which processor's private memory holds the strip (slot / (q/p)).
+  std::int64_t owner(std::int64_t strip) const;
+
+  /// Physical distance between two strips' resting places, in slots.
+  std::int64_t distance(std::int64_t a, std::int64_t b) const;
+
+  /// Max distance between initially-consecutive strips — q-1 for the
+  /// identity layout of a reversed access, q/p for the rearrangement.
+  std::int64_t max_adjacent_distance() const;
+
+  /// The Regime-1 transfer distance, properly measured: for a window of
+  /// `span` consecutive strips (a domain of that width), each processor
+  /// relocates the share of the window resting in *its own* memory.
+  /// This returns the worst per-processor diameter of that share, over
+  /// all windows and processors. Identity layout: the whole window sits
+  /// with one processor — diameter ~span. Rearranged: every processor
+  /// holds an interleaved ~span/p-wide cluster of the window — the
+  /// factor-p reduction Section 4.2 claims.
+  std::int64_t per_proc_window_diameter(std::int64_t span) const;
+
+  /// Global diameter of a window's resting places (worst over
+  /// windows): the distance a relocation pays when the data is *not*
+  /// already spread to its consumers — the identity layout's cost.
+  std::int64_t global_window_diameter(std::int64_t span) const;
+
+ private:
+  StripLayout(std::int64_t q, std::int64_t p, std::int64_t w,
+              std::vector<std::int64_t> slot_of);
+
+  std::int64_t q_, p_, w_;
+  std::vector<std::int64_t> slot_;
+};
+
+}  // namespace bsmp::machine

@@ -1,0 +1,45 @@
+#include "machine/rearrange.hpp"
+
+#include "core/expect.hpp"
+
+namespace bsmp::machine {
+
+namespace {
+void check(std::int64_t q, std::int64_t p) {
+  BSMP_REQUIRE(p >= 1 && q >= p);
+  BSMP_REQUIRE_MSG(q % p == 0, "q must be a multiple of p");
+}
+}  // namespace
+
+std::vector<std::int64_t> pi1(std::int64_t q, std::int64_t p) {
+  check(q, p);
+  std::vector<std::int64_t> pos(static_cast<std::size_t>(q));
+  for (std::int64_t g = 0; g < q; ++g) {
+    std::int64_t seg = g / p;
+    std::int64_t off = g % p;
+    pos[g] = (seg % 2 == 0) ? g : seg * p + (p - 1 - off);
+  }
+  return pos;
+}
+
+std::vector<std::int64_t> pi2(std::int64_t q, std::int64_t p) {
+  check(q, p);
+  const std::int64_t qp = q / p;
+  std::vector<std::int64_t> pos(static_cast<std::size_t>(q));
+  for (std::int64_t i = 0; i < q; ++i) {
+    std::int64_t a = i / p;  // segment of pi1(I)
+    std::int64_t b = i % p;  // offset inside it
+    pos[i] = b * qp + a;
+  }
+  return pos;
+}
+
+std::vector<std::int64_t> rearrangement(std::int64_t q, std::int64_t p) {
+  auto p1 = pi1(q, p);
+  auto p2 = pi2(q, p);
+  std::vector<std::int64_t> pos(static_cast<std::size_t>(q));
+  for (std::int64_t g = 0; g < q; ++g) pos[g] = p2[p1[g]];
+  return pos;
+}
+
+}  // namespace bsmp::machine

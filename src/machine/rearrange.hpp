@@ -1,0 +1,32 @@
+// The memory rearrangement pi = pi2 * pi1 of Section 4.2.
+//
+// The guest's n columns are grouped into q = n/s vertical strips. The
+// strip data is permuted once, before the simulation starts, so that:
+//   (a) initially consecutive strips end up either consecutive or at
+//       distance q/p in the rearranged order, and
+//   (b) every length-p window of original strips has, for every
+//       processor position j, one of its strips within distance q/p of
+//       abscissa j*(q/p).
+// Property (a) bounds preboundary-transfer distances (divided by p
+// w.r.t. the identity layout); property (b) lets the cooperating mode
+// pair adjacent strips with adjacent processors. Both are verified by
+// property tests.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace bsmp::machine {
+
+/// pi1: reverse the order of strips inside every odd-indexed segment of
+/// length p. q must be a multiple of p.
+std::vector<std::int64_t> pi1(std::int64_t q, std::int64_t p);
+
+/// pi2: the (q/p)-way shuffle — element at position i = a*p + b moves
+/// to position b*(q/p) + a.
+std::vector<std::int64_t> pi2(std::int64_t q, std::int64_t p);
+
+/// The composition: rearranged_position[g] of original strip g.
+std::vector<std::int64_t> rearrangement(std::int64_t q, std::int64_t p);
+
+}  // namespace bsmp::machine

@@ -1,0 +1,55 @@
+#include "machine/spec.hpp"
+
+#include <cmath>
+
+#include "core/expect.hpp"
+#include "core/logmath.hpp"
+
+namespace bsmp::machine {
+
+void MachineSpec::validate() const {
+  BSMP_REQUIRE_MSG(d >= 1 && d <= 3, "dimension must be 1..3, got " << d);
+  BSMP_REQUIRE_MSG(n >= 1 && p >= 1 && m >= 1,
+                   "n, p, m must be positive (n=" << n << " p=" << p
+                                                  << " m=" << m << ")");
+  BSMP_REQUIRE_MSG(p <= n, "p <= n required (p=" << p << " n=" << n << ")");
+  BSMP_REQUIRE_MSG(n % p == 0, "p must divide n (p=" << p << " n=" << n << ")");
+  if (d == 2) {
+    BSMP_REQUIRE_MSG(core::is_square(static_cast<std::uint64_t>(n)),
+                     "d=2 requires n to be a perfect square, got " << n);
+    BSMP_REQUIRE_MSG(core::is_square(static_cast<std::uint64_t>(p)),
+                     "d=2 requires p to be a perfect square, got " << p);
+  }
+}
+
+core::Cost MachineSpec::link_length() const {
+  return std::pow(static_cast<double>(n) / static_cast<double>(p),
+                  1.0 / static_cast<double>(d));
+}
+
+std::int64_t MachineSpec::proc_side() const {
+  if (d == 1) return p;
+  auto s = static_cast<std::int64_t>(
+      core::isqrt(static_cast<std::uint64_t>(p)));
+  return s;
+}
+
+std::int64_t MachineSpec::node_side() const {
+  if (d == 1) return n;
+  auto s = static_cast<std::int64_t>(
+      core::isqrt(static_cast<std::uint64_t>(n)));
+  return s;
+}
+
+hram::AccessFn MachineSpec::access_fn() const {
+  return hram::AccessFn::hierarchical(d, static_cast<double>(m));
+}
+
+core::Cost MachineSpec::transfer_cost(core::Cost dist,
+                                      std::int64_t words) const {
+  if (words <= 0) return 0.0;
+  core::Cost per_word = dist < 1.0 ? 1.0 : dist;
+  return per_word * static_cast<core::Cost>(words);
+}
+
+}  // namespace bsmp::machine

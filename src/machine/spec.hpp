@@ -1,0 +1,65 @@
+// Machine specification Md(n, p, m) — Definition 2 of the paper.
+//
+// A d-dimensional near-neighbor interconnection of p nodes; each node
+// is an (x/m)^(1/d)-H-RAM with nm/p memory cells; near neighbors are at
+// geometric distance (n/p)^(1/d). `n` is the machine's d-dimensional
+// volume (so Md(n, n, m) has one processor per unit of volume) and
+// `n*m` its total memory.
+#pragma once
+
+#include <cstdint>
+
+#include "core/cost.hpp"
+#include "hram/access_fn.hpp"
+
+namespace bsmp::machine {
+
+struct MachineSpec {
+  int d = 1;            ///< dimension, 1..3
+  std::int64_t n = 1;   ///< d-dimensional volume (guest node count at p=n)
+  std::int64_t p = 1;   ///< number of processors, 1 <= p <= n
+  std::int64_t m = 1;   ///< memory cells per unit of volume
+
+  /// Validates the parameter ranges and divisibility assumptions the
+  /// simulators rely on (p divides n; for d=2, n and p perfect squares).
+  void validate() const;
+
+  /// Memory cells in one node's private H-RAM: n*m/p.
+  std::int64_t node_memory() const { return n * m / p; }
+
+  /// Total memory n*m.
+  std::int64_t total_memory() const { return n * m; }
+
+  /// Geometric distance between near-neighbor processors: (n/p)^(1/d).
+  core::Cost link_length() const;
+
+  /// Guest nodes simulated per host processor (when simulating
+  /// Md(n,n,m) on this machine): n/p.
+  std::int64_t span() const { return n / p; }
+
+  /// Side of the processor grid for d=2 (sqrt(p)); p for d=1.
+  std::int64_t proc_side() const;
+
+  /// Side of the guest node grid for d=2 (sqrt(n)); n for d=1.
+  std::int64_t node_side() const;
+
+  /// The access function of each node's private H-RAM.
+  hram::AccessFn access_fn() const;
+
+  /// Cost of sending `words` words over geometric distance `dist`
+  /// under bounded-speed propagation (set-up time negligible,
+  /// transmission time proportional to distance; Section 6).
+  core::Cost transfer_cost(core::Cost dist, std::int64_t words) const;
+};
+
+/// The instantaneous-model twin: same shape, but unit access cost and
+/// unit link cost — the model in which Brent's Principle is tight.
+struct InstantaneousSpec {
+  MachineSpec base;
+  hram::AccessFn access_fn() const { return hram::AccessFn::unit(); }
+  core::Cost transfer_cost(std::int64_t words) const {
+    return static_cast<core::Cost>(words);
+  }
+};
+
+}  // namespace bsmp::machine

@@ -1,0 +1,61 @@
+#include "machine/topology.hpp"
+
+#include <cmath>
+
+#include "core/expect.hpp"
+
+namespace bsmp::machine {
+
+LinearArray::LinearArray(std::int64_t n) : n_(n) { BSMP_REQUIRE(n >= 1); }
+
+int LinearArray::neighbors(NodeId v, std::vector<NodeId>& out) const {
+  BSMP_REQUIRE(v >= 0 && v < n_);
+  int added = 0;
+  if (v > 0) {
+    out.push_back(v - 1);
+    ++added;
+  }
+  if (v + 1 < n_) {
+    out.push_back(v + 1);
+    ++added;
+  }
+  return added;
+}
+
+Mesh2D::Mesh2D(std::int64_t side) : side_(side) { BSMP_REQUIRE(side >= 1); }
+
+int Mesh2D::neighbors(NodeId v, std::vector<NodeId>& out) const {
+  BSMP_REQUIRE(v >= 0 && v < num_nodes());
+  auto [i, j] = coords(v);
+  int added = 0;
+  if (i > 0) { out.push_back(id(i - 1, j)); ++added; }
+  if (i + 1 < side_) { out.push_back(id(i + 1, j)); ++added; }
+  if (j > 0) { out.push_back(id(i, j - 1)); ++added; }
+  if (j + 1 < side_) { out.push_back(id(i, j + 1)); ++added; }
+  return added;
+}
+
+double Mesh2D::distance(NodeId a, NodeId b) const {
+  auto ca = coords(a);
+  auto cb = coords(b);
+  double di = static_cast<double>(std::abs(ca[0] - cb[0]));
+  double dj = static_cast<double>(std::abs(ca[1] - cb[1]));
+  return std::max(di, dj);
+}
+
+Mesh3D::Mesh3D(std::int64_t side) : side_(side) { BSMP_REQUIRE(side >= 1); }
+
+int Mesh3D::neighbors(NodeId v, std::vector<NodeId>& out) const {
+  BSMP_REQUIRE(v >= 0 && v < num_nodes());
+  auto [i, j, k] = coords(v);
+  int added = 0;
+  if (i > 0) { out.push_back(id(i - 1, j, k)); ++added; }
+  if (i + 1 < side_) { out.push_back(id(i + 1, j, k)); ++added; }
+  if (j > 0) { out.push_back(id(i, j - 1, k)); ++added; }
+  if (j + 1 < side_) { out.push_back(id(i, j + 1, k)); ++added; }
+  if (k > 0) { out.push_back(id(i, j, k - 1)); ++added; }
+  if (k + 1 < side_) { out.push_back(id(i, j, k + 1)); ++added; }
+  return added;
+}
+
+}  // namespace bsmp::machine

@@ -1,0 +1,80 @@
+// Network graphs H = (N, E) of the machines (Section 2): the linear
+// array, the two-dimensional square mesh, and the three-dimensional
+// mesh (for the Section-6 d=3 conjecture). Nodes are integers in
+// [0, num_nodes); coordinates are row-major.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace bsmp::machine {
+
+using NodeId = std::int64_t;
+
+/// Linear array: nodes 0..n-1, bidirectional links (i, i+1).
+class LinearArray {
+ public:
+  explicit LinearArray(std::int64_t n);
+
+  int dim() const { return 1; }
+  std::int64_t num_nodes() const { return n_; }
+
+  /// Appends the neighbors of `v` to `out` (2 in the interior, 1 at the
+  /// ends). Returns the number appended.
+  int neighbors(NodeId v, std::vector<NodeId>& out) const;
+
+  /// Geometric position of node v (unit spacing at p = n).
+  double position(NodeId v) const { return static_cast<double>(v); }
+
+ private:
+  std::int64_t n_;
+};
+
+/// Two-dimensional square mesh: nodes (i, j), 0 <= i, j < side,
+/// id = i * side + j; links to the four axis neighbors.
+class Mesh2D {
+ public:
+  explicit Mesh2D(std::int64_t side);
+
+  int dim() const { return 2; }
+  std::int64_t side() const { return side_; }
+  std::int64_t num_nodes() const { return side_ * side_; }
+
+  NodeId id(std::int64_t i, std::int64_t j) const { return i * side_ + j; }
+  std::array<std::int64_t, 2> coords(NodeId v) const {
+    return {v / side_, v % side_};
+  }
+
+  int neighbors(NodeId v, std::vector<NodeId>& out) const;
+
+  /// L-infinity geometric distance between nodes (unit spacing).
+  double distance(NodeId a, NodeId b) const;
+
+ private:
+  std::int64_t side_;
+};
+
+/// Three-dimensional mesh (Section-6 extension).
+class Mesh3D {
+ public:
+  explicit Mesh3D(std::int64_t side);
+
+  int dim() const { return 3; }
+  std::int64_t side() const { return side_; }
+  std::int64_t num_nodes() const { return side_ * side_ * side_; }
+
+  NodeId id(std::int64_t i, std::int64_t j, std::int64_t k) const {
+    return (i * side_ + j) * side_ + k;
+  }
+  std::array<std::int64_t, 3> coords(NodeId v) const {
+    return {v / (side_ * side_), (v / side_) % side_, v % side_};
+  }
+
+  int neighbors(NodeId v, std::vector<NodeId>& out) const;
+
+ private:
+  std::int64_t side_;
+};
+
+}  // namespace bsmp::machine

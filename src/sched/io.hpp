@@ -1,0 +1,142 @@
+// Schedule serialization: a line-oriented text format so plans can be
+// dumped, diffed, stored and replayed across runs.
+//
+//   # bsmp-schedule v1 d=1 p=4
+//   relocate words=128 dist=16
+//   copy_in proc=2 words=10 scale=392
+//   leaf proc=2 scale=56 lo=0,-3 hi=4,1
+//   barrier
+//
+// Round-trips exactly (the cost model is pure data).
+#pragma once
+
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "core/expect.hpp"
+#include "sched/parallel.hpp"
+#include "sched/schedule.hpp"
+
+namespace bsmp::sched {
+
+namespace detail {
+
+template <int D>
+void write_op(std::ostream& os, const Op<D>& op) {
+  os << to_string(op.kind);
+  switch (op.kind) {
+    case OpKind::kCopyIn:
+    case OpKind::kCopyOut:
+      os << " proc=" << op.proc << " words=" << op.words
+         << " scale=" << op.addr_scale;
+      break;
+    case OpKind::kComm:
+      os << " proc=" << op.proc << " words=" << op.words
+         << " dist=" << op.distance;
+      break;
+    case OpKind::kRelocate:
+      os << " words=" << op.words << " dist=" << op.distance;
+      break;
+    case OpKind::kLeaf: {
+      os << " proc=" << op.proc << " scale=" << op.addr_scale << " lo=";
+      for (int k = 0; k < geom::kMono<D>; ++k)
+        os << (k ? "," : "") << op.leaf_lo[k];
+      os << " hi=";
+      for (int k = 0; k < geom::kMono<D>; ++k)
+        os << (k ? "," : "") << op.leaf_hi[k];
+      break;
+    }
+    case OpKind::kBarrier:
+    case OpKind::kKindCount:
+      break;
+  }
+  os << '\n';
+}
+
+inline std::string field(const std::string& line, const std::string& key) {
+  auto pos = line.find(" " + key + "=");
+  BSMP_REQUIRE_MSG(pos != std::string::npos,
+                   "missing field '" << key << "' in: " << line);
+  pos += key.size() + 2;
+  auto end = line.find(' ', pos);
+  return line.substr(pos, end == std::string::npos ? end : end - pos);
+}
+
+template <int D>
+void parse_coords(const std::string& csv, std::array<int64_t, geom::kMono<D>>& out) {
+  std::stringstream ss(csv);
+  std::string tok;
+  for (int k = 0; k < geom::kMono<D>; ++k) {
+    BSMP_REQUIRE_MSG(std::getline(ss, tok, ','), "bad coordinates " << csv);
+    out[k] = std::stoll(tok);
+  }
+}
+
+template <int D>
+Op<D> read_op(const std::string& line) {
+  Op<D> op;
+  std::string kind = line.substr(0, line.find(' '));
+  if (kind == "copy_in" || kind == "copy_out") {
+    op.kind = kind == "copy_in" ? OpKind::kCopyIn : OpKind::kCopyOut;
+    op.proc = std::stoll(field(line, "proc"));
+    op.words = std::stoll(field(line, "words"));
+    op.addr_scale = std::stod(field(line, "scale"));
+  } else if (kind == "comm") {
+    op.kind = OpKind::kComm;
+    op.proc = std::stoll(field(line, "proc"));
+    op.words = std::stoll(field(line, "words"));
+    op.distance = std::stod(field(line, "dist"));
+  } else if (kind == "relocate") {
+    op.kind = OpKind::kRelocate;
+    op.words = std::stoll(field(line, "words"));
+    op.distance = std::stod(field(line, "dist"));
+  } else if (kind == "leaf") {
+    op.kind = OpKind::kLeaf;
+    op.proc = std::stoll(field(line, "proc"));
+    op.addr_scale = std::stod(field(line, "scale"));
+    parse_coords<D>(field(line, "lo"), op.leaf_lo);
+    parse_coords<D>(field(line, "hi"), op.leaf_hi);
+  } else if (kind == "barrier") {
+    op.kind = OpKind::kBarrier;
+  } else {
+    BSMP_REQUIRE_MSG(false, "unknown op '" << kind << "'");
+  }
+  return op;
+}
+
+}  // namespace detail
+
+template <int D>
+void dump_schedule(std::ostream& os, const Schedule<D>& sched) {
+  os << "# bsmp-schedule v1 d=" << D << " p=1\n";
+  for (const auto& op : sched.ops()) detail::write_op<D>(os, op);
+}
+
+template <int D>
+void dump_schedule(std::ostream& os, const ParallelSchedule<D>& sched) {
+  os << "# bsmp-schedule v1 d=" << D << " p=" << sched.num_procs() << "\n";
+  for (const auto& op : sched.ops()) detail::write_op<D>(os, op);
+}
+
+/// Load a schedule dumped by dump_schedule. The header's d must match
+/// D; the processor count is returned through the ParallelSchedule.
+template <int D>
+ParallelSchedule<D> load_schedule(std::istream& is) {
+  std::string header;
+  BSMP_REQUIRE_MSG(std::getline(is, header) &&
+                       header.rfind("# bsmp-schedule v1", 0) == 0,
+                   "not a bsmp schedule dump");
+  int d = std::stoi(detail::field(header, "d"));
+  BSMP_REQUIRE_MSG(d == D, "schedule is d=" << d << ", expected " << D);
+  std::int64_t p = std::stoll(detail::field(header, "p"));
+  ParallelSchedule<D> sched(p);
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    sched.push(detail::read_op<D>(line));
+  }
+  return sched;
+}
+
+}  // namespace bsmp::sched

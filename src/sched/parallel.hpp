@@ -1,0 +1,159 @@
+// Parallel schedule IR: the Theorem-4 two-regime simulation as data.
+//
+// A ParallelSchedule is an op stream in stage order: per-processor ops
+// (copy, comm, leaf) carry their processor id; kRelocate ops are
+// executed by all processors cooperatively (Regime 1); kBarrier ops
+// mark stage boundaries. The stream's *program order* is a valid
+// sequentialization (the runner replays it for value validation);
+// makespan_under() evaluates it with per-processor clocks, reproducing
+// the multiprocessor simulator's virtual time exactly when given the
+// same machine (pinned by a test).
+#pragma once
+
+#include <vector>
+
+#include "core/expect.hpp"
+#include "machine/clocks.hpp"
+#include "sched/schedule.hpp"
+
+namespace bsmp::sched {
+
+template <int D>
+class ParallelSchedule {
+ public:
+  explicit ParallelSchedule(std::int64_t p = 1) : p_(p) {
+    BSMP_REQUIRE(p >= 1);
+  }
+
+  std::int64_t num_procs() const { return p_; }
+
+  void push(Op<D> op) {
+    BSMP_REQUIRE(op.proc >= 0 && op.proc < p_);
+    ops_.push_back(op);
+  }
+
+  const std::vector<Op<D>>& ops() const { return ops_; }
+  std::size_t size() const { return ops_.size(); }
+
+  std::int64_t count(OpKind k) const {
+    std::int64_t c = 0;
+    for (const auto& op : ops_)
+      if (op.kind == k) ++c;
+    return c;
+  }
+
+  /// Evaluate the schedule's makespan under an access function and
+  /// link-distance model, with synchronous stage semantics.
+  core::Cost makespan_under(const geom::Stencil<D>& st,
+                            const hram::AccessFn& f) const {
+    machine::ProcClocks clocks(p_);
+    for (const auto& op : ops_) {
+      switch (op.kind) {
+        case OpKind::kCopyIn:
+        case OpKind::kCopyOut:
+          clocks.advance(op.proc, 2.0 * f.block(static_cast<std::uint64_t>(
+                                                    op.addr_scale),
+                                                op.words));
+          break;
+        case OpKind::kLeaf:
+          clocks.advance(op.proc, leaf_cost_under<D>(st, op, f));
+          break;
+        case OpKind::kComm:
+          clocks.advance(op.proc,
+                         static_cast<core::Cost>(op.words) * op.distance);
+          break;
+        case OpKind::kRelocate: {
+          // Cooperative: the total work spreads over all processors,
+          // followed by an implicit barrier (Regime-1 stage).
+          core::Cost share = static_cast<core::Cost>(op.words) *
+                             op.distance /
+                             static_cast<core::Cost>(p_);
+          for (std::int64_t pr = 0; pr < p_; ++pr) clocks.advance(pr, share);
+          clocks.barrier();
+          break;
+        }
+        case OpKind::kBarrier:
+          clocks.barrier();
+          break;
+        case OpKind::kKindCount:
+          break;
+      }
+    }
+    return clocks.makespan();
+  }
+
+  /// Per-stage profile: for each barrier-delimited stage, the stage's
+  /// makespan contribution and the processors' mean utilization within
+  /// it — the load-balance picture of the two-regime schedule.
+  struct Stage {
+    core::Cost makespan = 0;     ///< slowest processor's work this stage
+    double utilization = 0;      ///< busy / (p * makespan); 1 = balanced
+    std::int64_t ops = 0;
+  };
+  std::vector<Stage> stage_profile(const geom::Stencil<D>& st,
+                                   const hram::AccessFn& f) const {
+    std::vector<Stage> stages;
+    std::vector<core::Cost> busy(static_cast<std::size_t>(p_), 0.0);
+    std::int64_t ops = 0;
+    auto flush = [&] {
+      Stage s;
+      s.ops = ops;
+      for (core::Cost b : busy) s.makespan = std::max(s.makespan, b);
+      if (s.makespan > 0) {
+        core::Cost total = 0;
+        for (core::Cost b : busy) total += b;
+        s.utilization = total / (static_cast<double>(p_) * s.makespan);
+        stages.push_back(s);
+      }
+      std::fill(busy.begin(), busy.end(), 0.0);
+      ops = 0;
+    };
+    for (const auto& op : ops_) {
+      ++ops;
+      switch (op.kind) {
+        case OpKind::kCopyIn:
+        case OpKind::kCopyOut:
+          busy[op.proc] += 2.0 * f.block(
+                                     static_cast<std::uint64_t>(op.addr_scale),
+                                     op.words);
+          break;
+        case OpKind::kLeaf:
+          busy[op.proc] += leaf_cost_under<D>(st, op, f);
+          break;
+        case OpKind::kComm:
+          busy[op.proc] += static_cast<core::Cost>(op.words) * op.distance;
+          break;
+        case OpKind::kRelocate: {
+          core::Cost share = static_cast<core::Cost>(op.words) *
+                             op.distance / static_cast<core::Cost>(p_);
+          for (auto& b : busy) b += share;
+          flush();
+          break;
+        }
+        case OpKind::kBarrier:
+          flush();
+          break;
+        case OpKind::kKindCount:
+          break;
+      }
+    }
+    flush();
+    return stages;
+  }
+
+  std::string summary() const {
+    std::string s = "p=" + std::to_string(p_);
+    s += " ops=" + std::to_string(ops_.size());
+    s += " leaves=" + std::to_string(count(OpKind::kLeaf));
+    s += " comm=" + std::to_string(count(OpKind::kComm));
+    s += " relocate=" + std::to_string(count(OpKind::kRelocate));
+    s += " barriers=" + std::to_string(count(OpKind::kBarrier));
+    return s;
+  }
+
+ private:
+  std::int64_t p_;
+  std::vector<Op<D>> ops_;
+};
+
+}  // namespace bsmp::sched

@@ -1,0 +1,168 @@
+// Schedule IR: the divide-and-conquer simulation as explicit data.
+//
+// The Executor in sep/ plans and runs in one pass. For a production
+// system we also want the plan as a first-class object — to inspect it,
+// validate it statically, re-cost it under a different memory regime
+// (unit-cost RAM, hierarchical, pipelined) without re-planning, and
+// replay it. A Schedule is a flat list of typed operations:
+//
+//   kCopyIn  — stage `words` preboundary words for a domain, charged
+//              2 f(addr_scale) per word (Prop. 2 step 1);
+//   kLeaf    — naively execute the vertices of a leaf region, charged
+//              (operands+1) f(leaf_scale) + 1 per vertex;
+//   kCopyOut — save `words` out-set words (Prop. 2 step 3);
+//
+// all annotated with the address scale at which the paper charges the
+// access function. cost_under() evaluates the whole schedule against
+// any AccessFn, so "what would this exact schedule cost on machine X"
+// is a pure function of the IR.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/cost.hpp"
+#include "geom/region.hpp"
+#include "hram/access_fn.hpp"
+
+namespace bsmp::sched {
+
+enum class OpKind : unsigned {
+  kCopyIn = 0,  ///< stage preboundary words (Prop. 2 step 1)
+  kLeaf,        ///< naively execute a leaf region
+  kCopyOut,     ///< save out-set words (Prop. 2 step 3)
+  kComm,        ///< interprocessor transfer: words x distance
+  kRelocate,    ///< Regime-1 relocation: words x distance, p-parallel
+  kBarrier,     ///< stage synchronization (parallel schedules)
+  kKindCount
+};
+
+const char* to_string(OpKind k);
+
+template <int D>
+struct Op {
+  OpKind kind = OpKind::kLeaf;
+  /// Executing processor (parallel schedules; 0 for uniprocessor).
+  std::int64_t proc = 0;
+  /// Words moved (copy / comm / relocate ops).
+  std::int64_t words = 0;
+  /// Address scale at which the access function is charged.
+  double addr_scale = 1.0;
+  /// Geometric distance (kComm / kRelocate).
+  double distance = 0.0;
+  /// For kLeaf: the region to execute naively (box of the leaf).
+  std::array<std::int64_t, geom::kMono<D>> leaf_lo{};
+  std::array<std::int64_t, geom::kMono<D>> leaf_hi{};
+};
+
+/// Virtual time of a single leaf op under an access function — the
+/// executor's naive-leaf charge: (operands+1) f(scale) + 1 per vertex.
+template <int D>
+core::Cost leaf_cost_under(const geom::Stencil<D>& st, const Op<D>& op,
+                           const hram::AccessFn& f) {
+  geom::Region<D> leaf(&st, op.leaf_lo, op.leaf_hi);
+  core::Cost fl = f(static_cast<std::uint64_t>(op.addr_scale));
+  core::Cost total = 0;
+  leaf.for_each([&](const geom::Point<D>& p) {
+    int operands = 1;
+    if (p.t > 0) {
+      std::array<geom::Point<D>, geom::kMono<D> + 1> buf;
+      int preds = st.preds(p, buf);
+      int neighbors = preds - (p.t >= st.m ? 1 : 0);
+      operands = neighbors + 1;
+    }
+    total += static_cast<core::Cost>(operands + 1) * fl + 1.0;
+  });
+  return total;
+}
+
+template <int D>
+class Schedule {
+ public:
+  void push(Op<D> op) { ops_.push_back(op); }
+
+  const std::vector<Op<D>>& ops() const { return ops_; }
+  std::size_t size() const { return ops_.size(); }
+
+  std::int64_t count(OpKind k) const {
+    std::int64_t c = 0;
+    for (const auto& op : ops_)
+      if (op.kind == k) ++c;
+    return c;
+  }
+
+  std::int64_t words_moved() const {
+    std::int64_t w = 0;
+    for (const auto& op : ops_)
+      if (op.kind != OpKind::kLeaf) w += op.words;
+    return w;
+  }
+
+  /// Total vertices executed by leaf ops, given the stencil the leaf
+  /// boxes refer to.
+  std::int64_t vertices(const geom::Stencil<D>& st) const {
+    std::int64_t v = 0;
+    for (const auto& op : ops_)
+      if (op.kind == OpKind::kLeaf)
+        v += geom::Region<D>(&st, op.leaf_lo, op.leaf_hi).count();
+    return v;
+  }
+
+  /// Virtual time of the whole schedule under an access function.
+  /// `pipelined` applies the Section-6 block-transfer cost to the copy
+  /// ops (one latency per block instead of per word).
+  core::Cost cost_under(const geom::Stencil<D>& st, const hram::AccessFn& f,
+                        bool pipelined = false) const {
+    core::Cost total = 0;
+    for (const auto& op : ops_) {
+      auto addr = static_cast<std::uint64_t>(op.addr_scale);
+      switch (op.kind) {
+        case OpKind::kCopyIn:
+        case OpKind::kCopyOut:
+          total += pipelined
+                       ? 2.0 * f.block_pipelined(addr, op.words)
+                       : 2.0 * f.block(addr, op.words);
+          break;
+        case OpKind::kLeaf:
+          total += leaf_cost_under<D>(st, op, f);
+          break;
+        case OpKind::kComm:
+        case OpKind::kRelocate:
+          total += static_cast<core::Cost>(op.words) * op.distance;
+          break;
+        case OpKind::kBarrier:
+        case OpKind::kKindCount:
+          break;
+      }
+    }
+    return total;
+  }
+
+  std::string summary() const {
+    std::string s = "ops=" + std::to_string(ops_.size());
+    s += " copy_in=" + std::to_string(count(OpKind::kCopyIn));
+    s += " leaves=" + std::to_string(count(OpKind::kLeaf));
+    s += " copy_out=" + std::to_string(count(OpKind::kCopyOut));
+    s += " words=" + std::to_string(words_moved());
+    return s;
+  }
+
+ private:
+  std::vector<Op<D>> ops_;
+};
+
+inline const char* to_string(OpKind k) {
+  switch (k) {
+    case OpKind::kCopyIn: return "copy_in";
+    case OpKind::kLeaf: return "leaf";
+    case OpKind::kCopyOut: return "copy_out";
+    case OpKind::kComm: return "comm";
+    case OpKind::kRelocate: return "relocate";
+    case OpKind::kBarrier: return "barrier";
+    case OpKind::kKindCount: break;
+  }
+  return "?";
+}
+
+}  // namespace bsmp::sched

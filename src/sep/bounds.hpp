@@ -1,0 +1,57 @@
+// Proposition 3 made executable: separator descriptors and the
+// closed-form space/time constants of the divide-and-conquer execution.
+//
+// Definition 6: a convex set U has a (g(x), δ)-topological separator if
+// |Γin(U)| <= g(|U|), U splits into at most q parts of size <= δ|U|,
+// and the parts recurse. For g(x) = c x^γ and an (a x^α)-H-RAM with
+// α <= (1-γ)/γ, Proposition 3 gives
+//     σ(k) <= σ0 k^γ,   τ(k) <= τ0 k loḡ k,
+// with σ0 = q c δ^γ / (1 - δ^γ) and τ0 = 4 q a σ0^α δ' / log(1/δ)
+// (δ' a constant depending on δ, γ, α; we use δ' = 1/(1 - δ^(1-γ(1+α)))
+// when the exponent is positive, else the loḡ-saturated fallback).
+//
+// The descriptors below are the paper's concrete separators:
+//   d=1 diamond:      q=4,  c=2*sqrt(2), γ=1/2, δ=1/4  (Theorem 2)
+//   d=2 octahedron:   q=14, c=2*3^(1/3), γ=2/3, δ=1/2  (Theorem 5)
+//   d=2 tetrahedron:  q=5,  c=12^(1/3),  γ=2/3, δ=1/2  (Theorem 5)
+//   d=3 (conjecture): q<=2^6, γ=3/4, δ=1/2              (Section 6)
+#pragma once
+
+#include <string>
+
+namespace bsmp::sep {
+
+/// A (g(x), δ)-topological separator descriptor, g(x) = c x^γ.
+struct SeparatorSpec {
+  std::string name;
+  int q = 0;        ///< max number of parts per split
+  double c = 0;     ///< preboundary constant: |Γin(U)| <= c |U|^γ
+  double gamma = 0; ///< preboundary exponent
+  double delta = 0; ///< part-size ratio: |Ui| <= δ |U|
+
+  /// g(x) = c x^γ.
+  double g(double x) const;
+
+  /// σ0 of Proposition 3 (space constant).
+  double sigma0() const;
+
+  /// τ0 of Proposition 3 for an (a x^α)-H-RAM (time constant).
+  double tau0(double a, double alpha) const;
+
+  /// The admissibility condition of Proposition 3: α <= (1-γ)/γ.
+  bool admits(double alpha) const;
+
+  /// Space bound σ0 k^γ.
+  double space_bound(double k) const;
+
+  /// Time bound τ0 k loḡ k.
+  double time_bound(double k, double a, double alpha) const;
+};
+
+/// The paper's separators.
+SeparatorSpec diamond_separator();       // d=1 (Theorem 2 proof)
+SeparatorSpec octahedron_separator();    // d=2 (Theorem 5 proof)
+SeparatorSpec tetrahedron_separator();   // d=2 (Theorem 5 proof)
+SeparatorSpec d3_separator_conjecture(); // Section 6
+
+}  // namespace bsmp::sep

@@ -1,0 +1,234 @@
+// The topological-separator executor: the concrete realization of
+// Proposition 2 and Proposition 3.
+//
+// execute(U, staging) runs every vertex of the convex domain U under
+// the contract:
+//   * on entry, `staging` holds the values of Γin(U) (asserted — this
+//     assertion *is* the topological-partition property of Definition 4
+//     checked at run time on every recursion level);
+//   * on return, `staging` additionally holds the values of the
+//     out-set of U, and U's interior values have been removed.
+//
+// Cost model (charged into a CostLedger):
+//   * recursion level on domain U: copying the preboundary of each
+//     child in and its out-set back out costs 2 f(S(U)) per word
+//     (Prop. 2 steps 1 and 3), where S(U) is the space bound of the
+//     recurrence S(U) <= max_i S(Ui) + P(U);
+//   * leaf (width <= leaf_width): each vertex is executed naively —
+//     one unit of compute plus one access per operand and one for the
+//     result, each charged f(S(leaf)).
+// Setting leaf_width = m realizes Theorem 3's "executable diamonds"
+// D(m) executed by naive simulation at cost Θ(m^3); leaf_width = 1 is
+// the pure divide-and-conquer of Theorems 2 and 5.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "core/cost.hpp"
+#include "core/expect.hpp"
+#include "geom/region.hpp"
+#include "hram/access_fn.hpp"
+#include "sep/guest.hpp"
+
+namespace bsmp::sep {
+
+struct ExecutorConfig {
+  /// Domains of monotone width <= leaf_width are executed naively.
+  int64_t leaf_width = 1;
+  /// Access function of the executing node's H-RAM.
+  hram::AccessFn f = hram::AccessFn::unit();
+  /// Constant of the space bound S(width) = space_const * min(reach,
+  /// width) * width^D + 8; tests verify the executor's live footprint
+  /// stays within it. Measured peak footprints converge to ~4x
+  /// reach*width^D; the paper's own recurrence constant σ0 =
+  /// q c δ^γ / (1 - δ^γ) evaluates to ~11 for the d=1 diamond.
+  double space_const = 6.0;
+  /// Constant of the *leaf* working-set bound. A leaf ("executable
+  /// diamond", Theorem 3) holds only its own points and preboundary —
+  /// no recursion-path staging — so its accesses are charged at a
+  /// tighter address scale than the recursion levels'.
+  double leaf_space_const = 2.0;
+};
+
+template <int D>
+class Executor {
+ public:
+  Executor(const Guest<D>* guest, ExecutorConfig cfg)
+      : guest_(guest), cfg_(cfg) {
+    BSMP_REQUIRE(guest != nullptr);
+    guest_->validate();
+    BSMP_REQUIRE(cfg_.leaf_width >= 1);
+  }
+
+  /// Rebind the ledger charges are recorded into (per-processor ledgers
+  /// in the multiprocessor simulators).
+  void set_ledger(core::CostLedger* ledger) { ledger_ = ledger; }
+
+  /// Space bound S for a domain of the given monotone width, in words:
+  /// S(w) = space_const * min(reach, w) * w^D + 64. The min matters when
+  /// the domain is shorter than the memory depth m: then every vertex's
+  /// self-lane predecessor lies below the domain, the preboundary is
+  /// Θ(w^(D+1)) and so is the working set — not Θ(m * w^D).
+  double space_bound(int64_t width) const {
+    double w = static_cast<double>(width);
+    double depth = static_cast<double>(
+        std::min<int64_t>(guest_->stencil.reach(), width));
+    double s = cfg_.space_const * depth;
+    for (int i = 0; i < D; ++i) s *= w;
+    return s + 8.0;
+  }
+
+  /// Working-set bound of a naively-executed leaf of the given width:
+  /// its points plus preboundary, with no recursion-path staging.
+  double leaf_space_bound(int64_t width) const {
+    double w = static_cast<double>(width);
+    double depth = static_cast<double>(
+        std::min<int64_t>(guest_->stencil.reach(), width));
+    double s = cfg_.leaf_space_const * depth;
+    for (int i = 0; i < D; ++i) s *= w;
+    return s + 8.0;
+  }
+
+  /// Execute domain U (see the contract above). Returns the points of
+  /// the out-set of U, whose values are now in `staging`.
+  std::vector<geom::Point<D>> execute(const geom::Region<D>& U,
+                                      ValueMap<D>& staging) {
+    BSMP_REQUIRE(ledger_ != nullptr);
+    std::vector<geom::Point<D>> out;
+    if (U.width() <= cfg_.leaf_width) {
+      execute_leaf(U, staging, out);
+      note_staging(staging);
+      return out;
+    }
+
+    const core::Cost fS =
+        cfg_.f(static_cast<std::uint64_t>(space_bound(U.width())));
+    std::vector<geom::Point<D>> produced;  // out-sets of all children
+    for (const geom::Region<D>& child : U.split()) {
+      // Proposition 2, step 1: bring the child's preboundary into the
+      // child's working space. Presence in staging is exactly the
+      // topological-partition property.
+      std::vector<geom::Point<D>> gin = child.preboundary();
+      for (const auto& q : gin) {
+        BSMP_ASSERT_MSG(staging.contains(q),
+                        "preboundary value missing: topological partition "
+                        "violated at width "
+                            << U.width());
+      }
+      ledger_->charge(core::CostKind::kBlockMove,
+                      2.0 * fS * static_cast<core::Cost>(gin.size()),
+                      gin.size());
+
+      // Step 2: execute the child.
+      std::vector<geom::Point<D>> child_out = execute(child, staging);
+
+      // Step 3: save the child's out-set for later children / parent.
+      ledger_->charge(core::CostKind::kBlockMove,
+                      2.0 * fS * static_cast<core::Cost>(child_out.size()),
+                      child_out.size());
+      produced.insert(produced.end(), child_out.begin(), child_out.end());
+    }
+
+    // Retain only U's out-set; everything else produced inside U is
+    // dead (its successors are all inside U and already executed).
+    out = U.outset();
+    ValueMap<D> keep;  // membership filter
+    keep.reserve(out.size() * 2);
+    for (const auto& q : out) keep.emplace(q, 0);
+    for (const auto& q : produced) {
+      if (!keep.contains(q)) staging.erase(q);
+    }
+#ifndef NDEBUG
+    for (const auto& q : out)
+      BSMP_ASSERT_MSG(staging.contains(q), "out-set value missing");
+#endif
+    note_staging(staging);
+    return out;
+  }
+
+  /// Total dag vertices executed so far.
+  std::int64_t vertices_executed() const { return vertices_; }
+
+  /// High-water mark of the staging map (live values), in words — the
+  /// concrete footprint compared against space_bound in tests.
+  std::size_t peak_staging() const { return peak_staging_; }
+
+ private:
+  void note_staging(const ValueMap<D>& staging) {
+    if (staging.size() > peak_staging_) peak_staging_ = staging.size();
+  }
+
+  void execute_leaf(const geom::Region<D>& U, ValueMap<D>& staging,
+                    std::vector<geom::Point<D>>& out) {
+    const geom::Stencil<D>& st = guest_->stencil;
+    const core::Cost f_leaf =
+        cfg_.f(static_cast<std::uint64_t>(leaf_space_bound(U.width())));
+    ValueMap<D> local;
+
+    auto lookup = [&](const geom::Point<D>& q) -> Word {
+      auto it = local.find(q);
+      if (it != local.end()) return it->second;
+      auto is = staging.find(q);
+      BSMP_ASSERT_MSG(is != staging.end(),
+                      "operand missing at leaf: topological partition or "
+                      "out-set computation is wrong");
+      return is->second;
+    };
+
+    U.for_each([&](const geom::Point<D>& p) {
+      Word value;
+      int operands = 0;
+      if (p.t == 0) {
+        value = guest_->input(p.x, 0);  // input vertex (Definition 3)
+        operands = 1;
+      } else {
+        Word self_prev;
+        if (p.t >= st.m) {
+          geom::Point<D> q = p;
+          q.t = p.t - st.m;
+          self_prev = lookup(q);
+        } else {
+          self_prev = guest_->input(p.x, p.t % st.m);
+        }
+        NeighborWords<D> nbrs{};
+        for (int i = 0; i < D; ++i) {
+          for (int s = 0; s < 2; ++s) {
+            geom::Point<D> q = p;
+            q.x[i] += (s == 0 ? -1 : 1);
+            q.t = p.t - 1;
+            if (st.in_space(q.x)) {
+              nbrs[2 * i + s] = lookup(q);
+              ++operands;
+            }
+          }
+        }
+        ++operands;  // self operand
+        value = guest_->rule(p, self_prev, nbrs);
+      }
+      local.emplace(p, value);
+      ++vertices_;
+      ledger_->charge(core::CostKind::kCompute, 1.0);
+      ledger_->charge(core::CostKind::kLocalAccess,
+                      static_cast<core::Cost>(operands + 1) * f_leaf,
+                      static_cast<std::uint64_t>(operands + 1));
+    });
+
+    out = U.outset();
+    for (const auto& q : out) {
+      auto it = local.find(q);
+      BSMP_ASSERT_MSG(it != local.end(), "out-set point not executed");
+      staging.emplace(q, it->second);
+    }
+  }
+
+  const Guest<D>* guest_;
+  ExecutorConfig cfg_;
+  core::CostLedger* ledger_ = nullptr;
+  std::int64_t vertices_ = 0;
+  std::size_t peak_staging_ = 0;
+};
+
+}  // namespace bsmp::sep

@@ -1,0 +1,65 @@
+// Guest computation semantics shared by every simulator.
+//
+// A guest Md(n, n, m) runs a synchronous network computation: at step t
+// node x combines one cell of its private memory (last written at step
+// t - m under the scanning access pattern) with the words received from
+// its neighbors at step t-1, producing the dag value of vertex (x, t).
+// For m = 1 this is exactly the execution of GT(H) from Definition 3.
+//
+// Values are 64-bit words; rules should mix their operands well so that
+// any scheduling bug in a simulator corrupts the final rows with
+// overwhelming probability (the equivalence tests rely on this).
+#pragma once
+
+#include <array>
+#include <functional>
+#include <unordered_map>
+
+#include "geom/lattice.hpp"
+#include "hram/hram.hpp"
+
+namespace bsmp::sep {
+
+using hram::Word;
+
+/// Values of dag vertices, keyed by lattice point — the staging medium
+/// every simulator and executor exchanges results through.
+template <int D>
+using ValueMap =
+    std::unordered_map<geom::Point<D>, Word, geom::PointHash<D>>;
+
+/// Neighbor operand order: for each spatial dimension i, first the
+/// -e_i neighbor then the +e_i neighbor; slots for neighbors outside
+/// the mesh hold 0 (fixed zero boundary).
+template <int D>
+using NeighborWords = std::array<Word, geom::kMono<D>>;
+
+/// The step rule: value(x, t) for t >= 1. `self_prev` is the node's own
+/// cell operand — value(x, t-m) when t >= m, or the initial content of
+/// cell (t mod m) when t < m.
+template <int D>
+using Rule = std::function<Word(const geom::Point<D>& p, Word self_prev,
+                                const NeighborWords<D>& nbrs)>;
+
+/// Initial memory contents: cell `cell` (0 <= cell < m) of node x.
+/// value(x, 0) is input(x, 0) by Definition 3.
+template <int D>
+using InputFn =
+    std::function<Word(const std::array<int64_t, D>& x, int64_t cell)>;
+
+/// A guest computation: stencil (mesh extents, horizon T, memory m),
+/// step rule and inputs.
+template <int D>
+struct Guest {
+  geom::Stencil<D> stencil;
+  Rule<D> rule;
+  InputFn<D> input;
+
+  void validate() const {
+    stencil.validate();
+    BSMP_REQUIRE(rule != nullptr);
+    BSMP_REQUIRE(input != nullptr);
+  }
+};
+
+}  // namespace bsmp::sep

@@ -1,0 +1,86 @@
+// Cross-scheme comparison harness: run every applicable simulation
+// scheme on one guest/host pair, verify that all of them reproduce the
+// guest's outputs bit-for-bit, and tabulate slowdowns against the
+// closed-form bounds. The backbone of `bsmp_sim --compare` and of the
+// agreement tests.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analytic/tradeoff.hpp"
+#include "core/expect.hpp"
+#include "sim/dc_uniproc.hpp"
+#include "sim/multiproc.hpp"
+#include "sim/naive.hpp"
+#include "sim/reference.hpp"
+
+namespace bsmp::sim {
+
+template <int D>
+struct SchemeRun {
+  std::string name;
+  core::Cost time = 0;
+  double slowdown = 0;
+  double utilization = 1.0;
+  bool matches_guest = false;
+};
+
+template <int D>
+struct Comparison {
+  std::vector<SchemeRun<D>> runs;
+  double bound = 0;        ///< Theorem-1 slowdown bound
+  double naive_bound = 0;  ///< Proposition-1 slowdown bound
+  bool all_match = true;
+};
+
+/// Run reference + naive + brent + pipelined + (dc if p==1, multiproc
+/// if p>1) and compare. `s` forwards to the multiprocessor scheme
+/// (0 = default).
+template <int D>
+Comparison<D> compare_schemes(const sep::Guest<D>& guest,
+                              const machine::MachineSpec& host,
+                              std::int64_t s = 0) {
+  Comparison<D> cmp;
+  auto ref = reference_run<D>(guest);
+  double n = static_cast<double>(host.n);
+  double m = static_cast<double>(guest.stencil.m);
+  double p = static_cast<double>(host.p);
+  cmp.bound = analytic::slowdown_bound(host.d <= 2 ? host.d : 2, n, m, p);
+  cmp.naive_bound = analytic::naive_bound(host.d, n, m, p);
+
+  auto push = [&](std::string name, const SimResult<D>& res) {
+    SchemeRun<D> run;
+    run.name = std::move(name);
+    run.time = res.time;
+    run.slowdown = res.slowdown();
+    run.utilization = res.utilization;
+    run.matches_guest = same_values<D>(res.final_values, ref.final_values);
+    cmp.all_match = cmp.all_match && run.matches_guest;
+    cmp.runs.push_back(std::move(run));
+  };
+
+  push("guest (reference)", ref);
+  push("naive (Prop. 1)", simulate_naive<D>(guest, host));
+  {
+    NaiveConfig brent;
+    brent.instantaneous = true;
+    push("instantaneous (Brent)", simulate_naive<D>(guest, host, brent));
+  }
+  {
+    NaiveConfig piped;
+    piped.pipelined = true;
+    push("pipelined memory (Sec. 6)",
+         simulate_naive<D>(guest, host, piped));
+  }
+  if (host.p == 1) {
+    push("D&C separator (Thms 2/3/5)", simulate_dc_uniproc<D>(guest, host));
+  } else {
+    MultiprocConfig cfg;
+    cfg.s = s;
+    push("two-regime (Thms 4 / 1)", simulate_multiproc<D>(guest, host, cfg));
+  }
+  return cmp;
+}
+
+}  // namespace bsmp::sim

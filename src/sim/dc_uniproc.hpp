@@ -1,0 +1,116 @@
+// Divide-and-conquer uniprocessor simulation — Theorems 2, 3 and 5.
+//
+// The space-time volume V of the guest computation is covered by
+// full/truncated domains of monotone width `tile_width` (Figure 1 for
+// d=1, Figure 4 for d=2), visited in wavefront order; each tile is
+// executed by the topological-separator executor, recursing down to
+// "executable diamonds" of width `leaf_width` (= m for Theorem 3,
+// 1 for Theorems 2 and 5) that are run naively.
+#pragma once
+
+#include <algorithm>
+#include <vector>
+
+#include "core/expect.hpp"
+#include "geom/tiling.hpp"
+#include "machine/spec.hpp"
+#include "sep/executor.hpp"
+#include "sim/observe.hpp"
+#include "sim/result.hpp"
+
+namespace bsmp::sim {
+
+struct DcConfig {
+  std::int64_t tile_width = 0;  ///< 0: use the guest's node side
+  std::int64_t leaf_width = 0;  ///< 0: use m (Theorem 3's executable diamonds)
+  double space_const = 6.0;
+};
+
+namespace detail {
+
+/// Remove staged values that can no longer be read: everything below
+/// `min_unexecuted_t - reach`, except the final rows kept for output.
+template <int D>
+void prune_staging(const geom::Stencil<D>& st, sep::ValueMap<D>& staging,
+                   std::int64_t min_unexecuted_t) {
+  const std::int64_t dead_below = min_unexecuted_t - st.reach();
+  const std::int64_t keep_from = st.horizon - st.m;
+  for (auto it = staging.begin(); it != staging.end();) {
+    if (it->first.t < dead_below && it->first.t < keep_from)
+      it = staging.erase(it);
+    else
+      ++it;
+  }
+}
+
+}  // namespace detail
+
+template <int D>
+SimResult<D> simulate_dc_uniproc(const sep::Guest<D>& guest,
+                                 const machine::MachineSpec& host,
+                                 DcConfig cfg = {}) {
+  guest.validate();
+  host.validate();
+  const geom::Stencil<D>& st = guest.stencil;
+  BSMP_REQUIRE_MSG(host.p == 1, "dc_uniproc requires a single processor");
+  BSMP_REQUIRE_MSG(host.d == D, "host dimension mismatch");
+  BSMP_REQUIRE_MSG(host.n == st.num_nodes(),
+                   "host volume must equal guest node count");
+  BSMP_REQUIRE_MSG(host.m >= st.m,
+                   "the technology density m must cover the guest's "
+                   "per-node memory m' (Section 6: m' < m gives more "
+                   "locality)");
+
+  std::int64_t node_side = host.node_side();
+  std::int64_t tile_w = cfg.tile_width > 0 ? cfg.tile_width : node_side;
+  std::int64_t leaf_w = cfg.leaf_width > 0 ? cfg.leaf_width : st.m;
+  leaf_w = std::min(leaf_w, tile_w);
+
+  sep::ExecutorConfig ecfg;
+  ecfg.leaf_width = leaf_w;
+  ecfg.f = host.access_fn();
+  ecfg.space_const = cfg.space_const;
+  sep::Executor<D> exec(&guest, ecfg);
+
+  SimResult<D> res;
+  exec.set_ledger(&res.ledger);
+  const core::Cost f_top =
+      ecfg.f(static_cast<std::uint64_t>(host.total_memory()));
+
+  geom::TileGrid<D> grid(&st, tile_w);
+  auto waves = grid.wavefronts();
+
+  // Suffix minimum of tile t_min per wavefront, for staging pruning.
+  std::vector<std::int64_t> suffix_tmin(waves.size() + 1, st.horizon);
+  for (std::size_t k = waves.size(); k-- > 0;) {
+    std::int64_t mn = suffix_tmin[k + 1];
+    for (const auto& tile : waves[k])
+      mn = std::min(mn, tile.time_range().first);
+    suffix_tmin[k] = mn;
+  }
+
+  sep::ValueMap<D> staging;
+  for (std::size_t k = 0; k < waves.size(); ++k) {
+    for (const auto& tile : waves[k]) {
+      // Tile preboundary comes from machine-scale memory (Prop. 2 at
+      // the top level of the recursion).
+      std::vector<geom::Point<D>> gin = tile.preboundary();
+      res.ledger.charge(core::CostKind::kBlockMove,
+                        2.0 * f_top * static_cast<core::Cost>(gin.size()),
+                        gin.size());
+      auto out = exec.execute(tile, staging);
+      res.ledger.charge(core::CostKind::kBlockMove,
+                        2.0 * f_top * static_cast<core::Cost>(out.size()),
+                        out.size());
+    }
+    detail::prune_staging<D>(st, staging, suffix_tmin[k + 1]);
+  }
+
+  res.vertices = exec.vertices_executed();
+  res.time = res.ledger.total();
+  res.guest_time = static_cast<core::Cost>(st.horizon);
+  res.final_values = extract_final<D>(st, staging);
+  return res;
+}
+
+}  // namespace bsmp::sim

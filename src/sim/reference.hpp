@@ -1,0 +1,98 @@
+// The guest itself: a direct, time-stepped execution of the network
+// computation. Runs in Tn = T units of guest virtual time (one unit
+// per synchronous step — near-neighbor links have unit length in
+// Md(n,n,m) and private accesses cost at most 1). Every simulator's
+// output is compared against this run.
+#pragma once
+
+#include <vector>
+
+#include "core/expect.hpp"
+#include "sep/guest.hpp"
+#include "sim/observe.hpp"
+#include "sim/result.hpp"
+
+namespace bsmp::sim {
+
+namespace detail {
+
+/// Flatten node coordinates to a linear index (row-major).
+template <int D>
+int64_t node_index(const geom::Stencil<D>& st,
+                   const std::array<int64_t, D>& x) {
+  int64_t idx = 0;
+  for (int i = 0; i < D; ++i) idx = idx * st.extent[i] + x[i];
+  return idx;
+}
+
+template <int D>
+std::array<int64_t, D> node_coords(const geom::Stencil<D>& st, int64_t idx) {
+  std::array<int64_t, D> x{};
+  for (int i = D - 1; i >= 0; --i) {
+    x[i] = idx % st.extent[i];
+    idx /= st.extent[i];
+  }
+  return x;
+}
+
+}  // namespace detail
+
+/// Run the guest directly. The returned result has time == guest_time
+/// == T and the final values of every memory cell.
+template <int D>
+SimResult<D> reference_run(const sep::Guest<D>& guest) {
+  guest.validate();
+  const geom::Stencil<D>& st = guest.stencil;
+  const int64_t n = st.num_nodes();
+  const int64_t T = st.horizon;
+  const int64_t m = st.m;
+
+  // Ring buffer of the last m value levels: ring[t % m] holds the
+  // values of time level t (the cell written at step t).
+  std::vector<std::vector<sep::Word>> ring(
+      static_cast<std::size_t>(m),
+      std::vector<sep::Word>(static_cast<std::size_t>(n), 0));
+  std::vector<sep::Word> scratch(static_cast<std::size_t>(n), 0);
+
+  SimResult<D> res;
+  for (int64_t t = 0; t < T; ++t) {
+    for (int64_t idx = 0; idx < n; ++idx) {
+      auto x = detail::node_coords<D>(st, idx);
+      geom::Point<D> p;
+      p.x = x;
+      p.t = t;
+      sep::Word value;
+      if (t == 0) {
+        value = guest.input(x, 0);
+      } else {
+        sep::Word self_prev = (t >= m) ? ring[t % m][idx]
+                                       : guest.input(x, t % m);
+        sep::NeighborWords<D> nbrs{};
+        const auto& prev = ring[(t - 1) % m];
+        for (int i = 0; i < D; ++i) {
+          for (int s = 0; s < 2; ++s) {
+            auto q = x;
+            q[i] += (s == 0 ? -1 : 1);
+            if (st.in_space(q))
+              nbrs[2 * i + s] = prev[detail::node_index<D>(st, q)];
+          }
+        }
+        value = guest.rule(p, self_prev, nbrs);
+      }
+      scratch[idx] = value;
+      ++res.vertices;
+    }
+    ring[t % m].swap(scratch);
+    res.ledger.charge(core::CostKind::kCompute, 1.0);  // one step, unit time
+  }
+
+  res.time = static_cast<core::Cost>(T);
+  res.guest_time = static_cast<core::Cost>(T);
+  for (const auto& q : final_points<D>(st)) {
+    res.final_values.emplace(
+        q, ring[q.t % m][detail::node_index<D>(st, q.x)]);
+  }
+  return res;
+}
+
+}  // namespace bsmp::sim

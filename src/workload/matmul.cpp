@@ -1,0 +1,153 @@
+#include "workload/matmul.hpp"
+
+#include <algorithm>
+
+#include "core/expect.hpp"
+#include "core/logmath.hpp"
+#include "hram/access_fn.hpp"
+
+namespace bsmp::workload {
+
+using hram::Word;
+
+std::vector<Word> matmul_plain(std::int64_t side, const std::vector<Word>& a,
+                               const std::vector<Word>& b) {
+  BSMP_REQUIRE(side >= 1);
+  BSMP_REQUIRE(a.size() == static_cast<std::size_t>(side * side));
+  BSMP_REQUIRE(b.size() == static_cast<std::size_t>(side * side));
+  std::vector<Word> c(a.size(), 0);
+  for (std::int64_t i = 0; i < side; ++i)
+    for (std::int64_t k = 0; k < side; ++k) {
+      Word aik = a[i * side + k];
+      for (std::int64_t j = 0; j < side; ++j)
+        c[i * side + j] += aik * b[k * side + j];
+    }
+  return c;
+}
+
+MatmulResult matmul_hram_naive(std::int64_t side, const std::vector<Word>& a,
+                               const std::vector<Word>& b) {
+  BSMP_REQUIRE(side >= 1);
+  const std::size_t n = static_cast<std::size_t>(side * side);
+  BSMP_REQUIRE(a.size() == n && b.size() == n);
+  // Layout: A at [0, n), B at [n, 2n), C at [2n, 3n); machine laid out
+  // in two dimensions, m = 1 cell per unit square: f(x) = sqrt(x).
+  hram::HRam ram(3 * n, hram::AccessFn::hierarchical(2, 1.0));
+  for (std::size_t i = 0; i < n; ++i) ram.write(i, a[i]);
+  for (std::size_t i = 0; i < n; ++i) ram.write(n + i, b[i]);
+  core::Cost load = ram.ledger().total();  // input loading, not counted
+  for (std::int64_t i = 0; i < side; ++i)
+    for (std::int64_t j = 0; j < side; ++j) {
+      Word acc = 0;
+      for (std::int64_t k = 0; k < side; ++k) {
+        Word aik = ram.read(static_cast<std::size_t>(i * side + k));
+        Word bkj = ram.read(n + static_cast<std::size_t>(k * side + j));
+        acc += aik * bkj;
+        ram.ledger().charge(core::CostKind::kCompute, 1.0);
+      }
+      ram.write(2 * n + static_cast<std::size_t>(i * side + j), acc);
+    }
+  MatmulResult res;
+  res.time = ram.ledger().total() - load;  // readout below not counted
+  res.c.resize(n);
+  for (std::size_t i = 0; i < n; ++i) res.c[i] = ram.read(2 * n + i);
+  return res;
+}
+
+namespace {
+
+/// Recursive blocked multiply (AACS87 style). Values are computed in
+/// plain buffers; costs are charged through `ram` as if each level
+/// copied its operand blocks into a scratch arena of 4*s^2 words near
+/// the origin before recursing — so every access at block size s costs
+/// O(s) instead of O(sqrt(n)).
+void blocked_rec(std::int64_t s, std::int64_t stride, const Word* a,
+                 const Word* b, Word* c, hram::HRam& ram) {
+  if (s <= 4) {
+    // Direct multiply inside a working set of ~3*s^2 words.
+    core::Cost f = ram.access_fn()(static_cast<std::uint64_t>(3 * s * s));
+    for (std::int64_t i = 0; i < s; ++i)
+      for (std::int64_t k = 0; k < s; ++k) {
+        Word aik = a[i * stride + k];
+        for (std::int64_t j = 0; j < s; ++j)
+          c[i * stride + j] += aik * b[k * stride + j];
+      }
+    ram.ledger().charge(core::CostKind::kLocalAccess,
+                        3.0 * f * static_cast<core::Cost>(s * s * s),
+                        static_cast<std::uint64_t>(s * s * s));
+    ram.ledger().charge(core::CostKind::kCompute,
+                        static_cast<core::Cost>(s * s * s));
+    return;
+  }
+  const std::int64_t h = s / 2;
+  // Eight half-size multiplies; each child's three operand blocks are
+  // staged into the child arena, read and written at the parent's
+  // address scale 4*s^2 (Prop.-2-style block relocation).
+  ram.touch_block(static_cast<std::size_t>(4 * s * s),
+                  static_cast<std::size_t>(8 * 3 * h * h));
+  for (int ci = 0; ci < 2; ++ci)
+    for (int cj = 0; cj < 2; ++cj)
+      for (int ck = 0; ck < 2; ++ck) {
+        const Word* ab = a + (ci * h) * stride + (ck * h);
+        const Word* bb = b + (ck * h) * stride + (cj * h);
+        Word* cb = c + (ci * h) * stride + (cj * h);
+        blocked_rec(h, stride, ab, bb, cb, ram);
+      }
+}
+
+}  // namespace
+
+MatmulResult matmul_hram_blocked(std::int64_t side, const std::vector<Word>& a,
+                                 const std::vector<Word>& b) {
+  BSMP_REQUIRE(side >= 1);
+  BSMP_REQUIRE(core::is_pow2(static_cast<std::uint64_t>(side)));
+  const std::size_t n = static_cast<std::size_t>(side * side);
+  BSMP_REQUIRE(a.size() == n && b.size() == n);
+  hram::HRam ram(4 * n + 64, hram::AccessFn::hierarchical(2, 1.0));
+  MatmulResult res;
+  res.c.assign(n, 0);
+  blocked_rec(side, side, a.data(), b.data(), res.c.data(), ram);
+  res.time = ram.ledger().total();
+  return res;
+}
+
+MatmulResult matmul_mesh_systolic(std::int64_t side,
+                                  const std::vector<Word>& a,
+                                  const std::vector<Word>& b) {
+  BSMP_REQUIRE(side >= 1);
+  const std::size_t n = static_cast<std::size_t>(side * side);
+  BSMP_REQUIRE(a.size() == n && b.size() == n);
+  // Cannon's algorithm: pre-skew rows of A / columns of B, then `side`
+  // multiply-and-rotate steps. Every move is one near-neighbor hop of
+  // the unit-spacing mesh; one synchronous mesh step costs one unit.
+  std::vector<Word> as = a, bs = b;
+  for (std::int64_t i = 0; i < side; ++i)
+    std::rotate(as.begin() + i * side, as.begin() + i * side + i,
+                as.begin() + (i + 1) * side);
+  for (std::int64_t j = 0; j < side; ++j) {
+    // Rotate column j of B up by j.
+    std::vector<Word> col(static_cast<std::size_t>(side));
+    for (std::int64_t i = 0; i < side; ++i) col[i] = bs[i * side + j];
+    std::rotate(col.begin(), col.begin() + j, col.end());
+    for (std::int64_t i = 0; i < side; ++i) bs[i * side + j] = col[i];
+  }
+  MatmulResult res;
+  res.c.assign(n, 0);
+  core::Cost time = 2.0 * static_cast<core::Cost>(side - 1);  // alignment
+  for (std::int64_t step = 0; step < side; ++step) {
+    for (std::size_t i = 0; i < n; ++i) res.c[i] += as[i] * bs[i];
+    // Rotate A left by one, B up by one — one mesh step each, plus the
+    // multiply-accumulate executed concurrently.
+    for (std::int64_t i = 0; i < side; ++i)
+      std::rotate(as.begin() + i * side, as.begin() + i * side + 1,
+                  as.begin() + (i + 1) * side);
+    std::vector<Word> top(bs.begin(), bs.begin() + side);
+    std::copy(bs.begin() + side, bs.end(), bs.begin());
+    std::copy(top.begin(), top.end(), bs.end() - side);
+    time += 2.0;
+  }
+  res.time = time;
+  return res;
+}
+
+}  // namespace bsmp::workload

@@ -1,0 +1,56 @@
+// The paper's introductory example: multiplying two sqrt(n) x sqrt(n)
+// matrices (n elements each) three ways under the limiting technology:
+//
+//  * on the sqrt(n) x sqrt(n) mesh M2(n,n,1): the classical systolic
+//    (Cannon) algorithm, Θ(sqrt(n)) steps, near-neighbor moves only;
+//  * on a uniprocessor H-RAM with f(x) = sqrt(x) (d=2, m=1) with the
+//    straightforward row-major algorithm: Θ(n^(3/2)) operations, each
+//    paying the average memory distance Θ(sqrt(n)) — Θ(n^2) total;
+//  * on the same H-RAM with the locality-optimal recursive blocking of
+//    [AACS87]: the access overhead shrinks to Θ(log n), Θ(n^(3/2) log n)
+//    total.
+//
+// All three compute real products (verified against each other); the
+// mesh speedup over the blocked uniprocessor is Θ(n log n) — superlinear
+// in the n processors, the paper's motivating observation.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/cost.hpp"
+#include "hram/hram.hpp"
+
+namespace bsmp::workload {
+
+struct MatmulResult {
+  std::vector<hram::Word> c;  ///< row-major product (wrap-around uint64)
+  core::Cost time = 0;        ///< charged virtual time
+};
+
+/// Row-major naive triple loop on an H-RAM with f(x) = sqrt(x).
+/// `side` is sqrt(n); a and b are side*side row-major.
+MatmulResult matmul_hram_naive(std::int64_t side,
+                               const std::vector<hram::Word>& a,
+                               const std::vector<hram::Word>& b);
+
+/// Recursive blocked multiply on the same H-RAM: blocks are copied into
+/// a scratch arena near the low addresses before being multiplied, so
+/// each level's accesses cost O(block side) — the AACS87 scheme.
+MatmulResult matmul_hram_blocked(std::int64_t side,
+                                 const std::vector<hram::Word>& a,
+                                 const std::vector<hram::Word>& b);
+
+/// Cannon's algorithm on the side x side unit-spacing mesh: alignment
+/// skews plus side multiply-shift steps, all near-neighbor. Charged one
+/// unit per synchronous mesh step.
+MatmulResult matmul_mesh_systolic(std::int64_t side,
+                                  const std::vector<hram::Word>& a,
+                                  const std::vector<hram::Word>& b);
+
+/// Reference product for verification (no cost model).
+std::vector<hram::Word> matmul_plain(std::int64_t side,
+                                     const std::vector<hram::Word>& a,
+                                     const std::vector<hram::Word>& b);
+
+}  // namespace bsmp::workload

@@ -1,0 +1,117 @@
+#include "workload/ram_programs.hpp"
+
+#include "core/expect.hpp"
+
+namespace bsmp::workload {
+
+using hram::Assembler;
+using hram::RamOp;
+using hram::RamProgram;
+
+// Register conventions (low addresses, near the CPU — unit cost):
+//   0..2  loop counters        3..4  pointers
+//   5     running sum          6     temporary
+//   7..10 derived pointers / row bases
+
+RamProgram ram_sum(std::int64_t base, std::int64_t count) {
+  BSMP_REQUIRE(base >= 16 && count >= 0);
+  Assembler as;
+  as.emit(RamOp::kLoadImm, base).emit(RamOp::kStore, 3);    // ptr = base
+  as.emit(RamOp::kLoadImm, count).emit(RamOp::kStore, 0);   // i = count
+  as.emit(RamOp::kLoadImm, 0).emit(RamOp::kStore, 5);       // sum = 0
+  as.label("loop");
+  as.emit(RamOp::kLoad, 0).jump(RamOp::kJz, "done");
+  as.emit(RamOp::kLoadInd, 3);                              // acc = M[ptr]
+  as.emit(RamOp::kAdd, 5).emit(RamOp::kStore, 5);           // sum += acc
+  as.emit(RamOp::kLoad, 3).emit(RamOp::kAddImm, 1).emit(RamOp::kStore, 3);
+  as.emit(RamOp::kLoad, 0).emit(RamOp::kSubImm, 1).emit(RamOp::kStore, 0);
+  as.jump(RamOp::kJmp, "loop");
+  as.label("done");
+  as.emit(RamOp::kLoad, 5).emit(RamOp::kHalt);
+  return as.assemble();
+}
+
+RamProgram ram_reverse(std::int64_t base, std::int64_t count) {
+  BSMP_REQUIRE(base >= 16 && count >= 1);
+  Assembler as;
+  as.emit(RamOp::kLoadImm, base).emit(RamOp::kStore, 3);  // left
+  as.emit(RamOp::kLoadImm, base + count - 1).emit(RamOp::kStore, 4);
+  as.label("loop");
+  as.emit(RamOp::kLoad, 4).emit(RamOp::kSub, 3);  // acc = right - left
+  as.jump(RamOp::kJz, "done").jump(RamOp::kJlz, "done");
+  as.emit(RamOp::kLoadInd, 3).emit(RamOp::kStore, 6);      // tmp = M[left]
+  as.emit(RamOp::kLoadInd, 4).emit(RamOp::kStoreInd, 3);   // M[l] = M[r]
+  as.emit(RamOp::kLoad, 6).emit(RamOp::kStoreInd, 4);      // M[r] = tmp
+  as.emit(RamOp::kLoad, 3).emit(RamOp::kAddImm, 1).emit(RamOp::kStore, 3);
+  as.emit(RamOp::kLoad, 4).emit(RamOp::kSubImm, 1).emit(RamOp::kStore, 4);
+  as.jump(RamOp::kJmp, "loop");
+  as.label("done");
+  as.emit(RamOp::kHalt);
+  return as.assemble();
+}
+
+RamProgram ram_dot(std::int64_t a, std::int64_t b, std::int64_t count) {
+  BSMP_REQUIRE(a >= 16 && b >= 16 && count >= 0);
+  Assembler as;
+  as.emit(RamOp::kLoadImm, a).emit(RamOp::kStore, 3);
+  as.emit(RamOp::kLoadImm, b).emit(RamOp::kStore, 4);
+  as.emit(RamOp::kLoadImm, count).emit(RamOp::kStore, 0);
+  as.emit(RamOp::kLoadImm, 0).emit(RamOp::kStore, 5);
+  as.label("loop");
+  as.emit(RamOp::kLoad, 0).jump(RamOp::kJz, "done");
+  as.emit(RamOp::kLoadInd, 3).emit(RamOp::kStore, 6);  // tmp = M[pa]
+  as.emit(RamOp::kLoadInd, 4).emit(RamOp::kMul, 6);    // acc = M[pb]*tmp
+  as.emit(RamOp::kAdd, 5).emit(RamOp::kStore, 5);
+  as.emit(RamOp::kLoad, 3).emit(RamOp::kAddImm, 1).emit(RamOp::kStore, 3);
+  as.emit(RamOp::kLoad, 4).emit(RamOp::kAddImm, 1).emit(RamOp::kStore, 4);
+  as.emit(RamOp::kLoad, 0).emit(RamOp::kSubImm, 1).emit(RamOp::kStore, 0);
+  as.jump(RamOp::kJmp, "loop");
+  as.label("done");
+  as.emit(RamOp::kLoad, 5).emit(RamOp::kHalt);
+  return as.assemble();
+}
+
+RamProgram ram_matmul(std::int64_t a, std::int64_t b, std::int64_t c,
+                      std::int64_t side) {
+  BSMP_REQUIRE(a >= 16 && b >= 16 && c >= 16 && side >= 1);
+  Assembler as;
+  as.emit(RamOp::kLoadImm, side).emit(RamOp::kStore, 0);  // i_rem
+  as.emit(RamOp::kLoadImm, a).emit(RamOp::kStore, 8);     // arow
+  as.emit(RamOp::kLoadImm, c).emit(RamOp::kStore, 9);     // crow
+  as.label("iloop");
+  as.emit(RamOp::kLoad, 0).jump(RamOp::kJz, "done");
+  as.emit(RamOp::kLoadImm, side).emit(RamOp::kStore, 1);  // j_rem
+  as.emit(RamOp::kLoadImm, b).emit(RamOp::kStore, 10);    // bcol
+  as.emit(RamOp::kLoad, 9).emit(RamOp::kStore, 7);        // pcell = crow
+  as.label("jloop");
+  as.emit(RamOp::kLoad, 1).jump(RamOp::kJz, "iend");
+  as.emit(RamOp::kLoadImm, 0).emit(RamOp::kStore, 5);     // sum = 0
+  as.emit(RamOp::kLoadImm, side).emit(RamOp::kStore, 2);  // k_rem
+  as.emit(RamOp::kLoad, 8).emit(RamOp::kStore, 3);        // pa = arow
+  as.emit(RamOp::kLoad, 10).emit(RamOp::kStore, 4);       // pb = bcol
+  as.label("kloop");
+  as.emit(RamOp::kLoad, 2).jump(RamOp::kJz, "kend");
+  as.emit(RamOp::kLoadInd, 3).emit(RamOp::kStore, 6);     // tmp = A[i][k]
+  as.emit(RamOp::kLoadInd, 4).emit(RamOp::kMul, 6);       // acc=B[k][j]*tmp
+  as.emit(RamOp::kAdd, 5).emit(RamOp::kStore, 5);
+  as.emit(RamOp::kLoad, 3).emit(RamOp::kAddImm, 1).emit(RamOp::kStore, 3);
+  as.emit(RamOp::kLoad, 4).emit(RamOp::kAddImm, side).emit(RamOp::kStore, 4);
+  as.emit(RamOp::kLoad, 2).emit(RamOp::kSubImm, 1).emit(RamOp::kStore, 2);
+  as.jump(RamOp::kJmp, "kloop");
+  as.label("kend");
+  as.emit(RamOp::kLoad, 5).emit(RamOp::kStoreInd, 7);     // C cell = sum
+  as.emit(RamOp::kLoad, 7).emit(RamOp::kAddImm, 1).emit(RamOp::kStore, 7);
+  as.emit(RamOp::kLoad, 10).emit(RamOp::kAddImm, 1).emit(RamOp::kStore, 10);
+  as.emit(RamOp::kLoad, 1).emit(RamOp::kSubImm, 1).emit(RamOp::kStore, 1);
+  as.jump(RamOp::kJmp, "jloop");
+  as.label("iend");
+  as.emit(RamOp::kLoad, 8).emit(RamOp::kAddImm, side).emit(RamOp::kStore, 8);
+  as.emit(RamOp::kLoad, 9).emit(RamOp::kAddImm, side).emit(RamOp::kStore, 9);
+  as.emit(RamOp::kLoad, 0).emit(RamOp::kSubImm, 1).emit(RamOp::kStore, 0);
+  as.jump(RamOp::kJmp, "iloop");
+  as.label("done");
+  as.emit(RamOp::kHalt);
+  return as.assemble();
+}
+
+}  // namespace bsmp::workload

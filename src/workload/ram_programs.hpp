@@ -1,0 +1,32 @@
+// Ready-made H-RAM machine programs. Each builder returns a RamProgram
+// plus the memory layout convention it expects; run them with
+// hram::run_ram_program. Their virtual running times exhibit the data
+// locality the paper's introduction discusses: the same algorithm
+// placed at different addresses runs at measurably different speeds.
+#pragma once
+
+#include "hram/ram_machine.hpp"
+
+namespace bsmp::workload {
+
+/// Sum of the `count` words starting at `base`; result in the
+/// accumulator. Scratch registers live at addresses 0..3 (near the
+/// CPU), so the dominant charge is the streaming read of the array.
+hram::RamProgram ram_sum(std::int64_t base, std::int64_t count);
+
+/// Reverse the `count`-word array at `base` in place.
+hram::RamProgram ram_reverse(std::int64_t base, std::int64_t count);
+
+/// Dot product of the `count`-word arrays at `a` and `b`; result in
+/// the accumulator (wrap-around arithmetic).
+hram::RamProgram ram_dot(std::int64_t a, std::int64_t b,
+                         std::int64_t count);
+
+/// Row-major `side x side` matrix multiply: C = A * B, with A at `a`,
+/// B at `b`, C at `c`. The straightforward triple loop — the
+/// introduction's "straightforward implementation" whose access
+/// overhead is Θ(sqrt(n)) per operation on the d=2 H-RAM.
+hram::RamProgram ram_matmul(std::int64_t a, std::int64_t b, std::int64_t c,
+                            std::int64_t side);
+
+}  // namespace bsmp::workload

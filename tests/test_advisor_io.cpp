@@ -1,0 +1,123 @@
+// Scheme advisor, calibration, and schedule serialization.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "analytic/advisor.hpp"
+#include "sched/io.hpp"
+#include "sched/planner.hpp"
+#include "sched/runner.hpp"
+#include "sim/multiproc.hpp"
+#include "sim/observe.hpp"
+#include "sim/reference.hpp"
+#include "workload/rules.hpp"
+
+using namespace bsmp;
+using analytic::Calibration;
+using analytic::recommend;
+using analytic::Scheme;
+
+TEST(Advisor, Range4IsNaive) {
+  auto rec = recommend(1, 1024, 2048, 4);
+  EXPECT_EQ(rec.scheme, Scheme::kNaive);
+  EXPECT_DOUBLE_EQ(rec.predicted_slowdown,
+                   analytic::naive_bound(1, 1024, 2048, 4));
+}
+
+TEST(Advisor, SmallMPrefersTheTheorem1Scheme) {
+  auto rec = recommend(1, 65536, 4, 16);
+  EXPECT_EQ(rec.scheme, Scheme::kMultiproc);
+  EXPECT_GT(rec.s_star, 1.0);
+  EXPECT_LT(rec.predicted_slowdown,
+            analytic::naive_bound(1, 65536, 4, 16));
+  auto uni = recommend(1, 65536, 4, 1);
+  EXPECT_EQ(uni.scheme, Scheme::kDcUniproc);
+}
+
+TEST(Advisor, SchemeNamesAndD2) {
+  EXPECT_STREQ(analytic::to_string(Scheme::kNaive), "naive");
+  auto rec = recommend(2, 65536, 2, 16);
+  EXPECT_NE(rec.scheme, Scheme::kNaive);
+  EXPECT_GT(rec.predicted_slowdown, 0.0);
+}
+
+TEST(Calibration, FitsAndPredictsMeasuredSlowdowns) {
+  // Train on measured multiproc slowdowns at three sizes, predict a
+  // fourth within a modest relative error.
+  Calibration cal;
+  auto measure = [&](int64_t n, int64_t m, int64_t p) {
+    auto g = workload::make_mix_guest<1>({n}, n, m, 3);
+    sim::MultiprocConfig cfg;
+    cfg.s = std::max<int64_t>(
+        1, (int64_t)analytic::s_star((double)n, (double)m, (double)p));
+    while (cfg.s * p > n) cfg.s /= 2;
+    machine::MachineSpec host{1, n, p, m};
+    return sim::simulate_multiproc<1>(g, host, cfg).slowdown();
+  };
+  for (int64_t n : {64, 128, 256})
+    cal.add_measurement((double)n, 4, 4, measure(n, 4, 4));
+  cal.fit();
+  EXPECT_TRUE(cal.fitted());
+  EXPECT_LT(cal.training_error(), 0.5);
+
+  double actual = measure(512, 4, 4);
+  double predicted = cal.predict(512, 4, 4);
+  EXPECT_GT(predicted / actual, 0.4);
+  EXPECT_LT(predicted / actual, 2.5);
+}
+
+TEST(Calibration, RequiresEnoughData) {
+  Calibration cal;
+  cal.add_measurement(64, 1, 2, 1000);
+  EXPECT_THROW(cal.fit(), bsmp::precondition_error);
+  EXPECT_THROW(cal.predict(64, 1, 2), bsmp::precondition_error);
+}
+
+TEST(ScheduleIO, UniprocessorRoundTrip) {
+  geom::Stencil<1> st{{12}, 12, 2};
+  sched::PlannerConfig<1> cfg;
+  cfg.tile_width = 12;
+  cfg.leaf_width = 2;
+  cfg.machine_scale = 24;
+  sched::Planner<1> planner(&st, cfg);
+  auto sched = planner.plan();
+
+  std::stringstream ss;
+  sched::dump_schedule<1>(ss, sched);
+  auto back = sched::load_schedule<1>(ss);
+  ASSERT_EQ(back.size(), sched.size());
+  auto f = hram::AccessFn::hierarchical(1, 2.0);
+  EXPECT_DOUBLE_EQ(back.makespan_under(st, f),
+                   sched.cost_under(st, f));
+}
+
+TEST(ScheduleIO, ParallelRoundTripReplaysCorrectly) {
+  auto g = workload::make_mix_guest<1>({16}, 16, 1, 5);
+  machine::MachineSpec host{1, 16, 4, 1};
+  sim::MultiprocConfig cfg;
+  cfg.s = 2;
+  sim::MultiprocSimulator<1> simulator(&g, host, cfg);
+  sched::ParallelSchedule<1> sched(4);
+  simulator.set_emit(&sched);
+  auto res = simulator.run();
+
+  std::stringstream ss;
+  sched::dump_schedule<1>(ss, sched);
+  auto back = sched::load_schedule<1>(ss);
+  EXPECT_EQ(back.num_procs(), 4);
+  EXPECT_NEAR(back.makespan_under(g.stencil, host.access_fn()), res.time,
+              1e-9 * res.time);
+  auto run = sched::run_schedule<1>(g, back);
+  auto ref = sim::reference_run<1>(g);
+  EXPECT_TRUE(sim::same_values<1>(
+      sim::extract_final<1>(g.stencil, run.values), ref.final_values));
+}
+
+TEST(ScheduleIO, RejectsGarbage) {
+  std::stringstream ss("not a schedule\n");
+  EXPECT_THROW(sched::load_schedule<1>(ss), bsmp::precondition_error);
+  std::stringstream wrong_d("# bsmp-schedule v1 d=2 p=1\n");
+  EXPECT_THROW(sched::load_schedule<1>(wrong_d), bsmp::precondition_error);
+  std::stringstream bad_op("# bsmp-schedule v1 d=1 p=1\nfrobnicate x=1\n");
+  EXPECT_THROW(sched::load_schedule<1>(bad_op), bsmp::precondition_error);
+}

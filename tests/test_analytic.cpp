@@ -1,0 +1,136 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analytic/tradeoff.hpp"
+#include "core/expect.hpp"
+#include "core/logmath.hpp"
+
+using namespace bsmp::analytic;
+namespace core = bsmp::core;
+
+TEST(Ranges, BoundariesMatchTheorem1) {
+  // n = 2^16, p = 2^4, d = 1: boundaries at (n/p)^(1/2) = 2^6,
+  // (np)^(1/2) = 2^10, n = 2^16.
+  double n = 65536, p = 16;
+  EXPECT_EQ(classify_range(1, n, 1, p), Range::k1);
+  EXPECT_EQ(classify_range(1, n, 63, p), Range::k1);
+  EXPECT_EQ(classify_range(1, n, 65, p), Range::k2);
+  EXPECT_EQ(classify_range(1, n, 1023, p), Range::k2);
+  EXPECT_EQ(classify_range(1, n, 1025, p), Range::k3);
+  EXPECT_EQ(classify_range(1, n, 65535, p), Range::k3);
+  EXPECT_EQ(classify_range(1, n, 65537, p), Range::k4);
+}
+
+TEST(Ranges, D2Boundaries) {
+  // d = 2: boundaries at (n/p)^(1/4), (np)^(1/4), sqrt(n).
+  double n = 65536, p = 16;
+  EXPECT_EQ(classify_range(2, n, 7, p), Range::k1);    // (n/p)^(1/4) = 8
+  EXPECT_EQ(classify_range(2, n, 9, p), Range::k2);
+  EXPECT_EQ(classify_range(2, n, 33, p), Range::k3);   // (np)^(1/4) = 32
+  EXPECT_EQ(classify_range(2, n, 257, p), Range::k4);  // sqrt(n) = 256
+}
+
+TEST(LocalityA, Range4IsStepByStep) {
+  // For m >= n^(1/d) the locality slowdown is (n/p)^(1/d) — naive.
+  EXPECT_DOUBLE_EQ(locality_A(1, 1024, 2048, 16), 64.0);
+  EXPECT_DOUBLE_EQ(locality_A(2, 4096, 128, 16), 16.0);
+}
+
+TEST(LocalityA, AtLeastOneAndMonotoneInM) {
+  for (double m = 1; m <= 1 << 12; m *= 2) {
+    double a = locality_A(1, 4096, m, 4);
+    EXPECT_GE(a, 1.0) << m;
+  }
+  // A is (weakly) increasing in m until it saturates at n/p: more
+  // memory per unit volume means more data to move.
+  double prev = 0;
+  for (double m = 1; m <= 4096; m *= 2) {
+    double a = locality_A(1, 4096, m, 4);
+    EXPECT_GE(a, prev * 0.49) << m;  // allow small dips at boundaries
+    prev = a;
+  }
+}
+
+TEST(LocalityA, SlowdownBoundComposesFactors) {
+  double n = 4096, m = 8, p = 4;
+  EXPECT_DOUBLE_EQ(slowdown_bound(1, n, m, p),
+                   (n / p) * locality_A(1, n, m, p));
+}
+
+TEST(AOfS, ClosedFormSStarNearNumericMinimum) {
+  // s* from the paper's four-range table must come within a constant
+  // factor of the numeric minimum of A(s).
+  for (double n : {4096.0, 65536.0}) {
+    for (double p : {4.0, 16.0}) {
+      for (double m : {1.0, 4.0, 32.0, 256.0, 2048.0}) {
+        if (m > n) continue;
+        double best = 1e300;
+        for (double s = 1; s * p <= n; s *= 2)
+          best = std::min(best, A_of_s(n, m, p, s));
+        double star = s_star(n, m, p);
+        if (star * p > n) star = n / p;
+        double at_star = A_of_s(n, m, p, star);
+        EXPECT_LE(at_star, 3.0 * best)
+            << "n=" << n << " p=" << p << " m=" << m;
+      }
+    }
+  }
+}
+
+TEST(AOfS, MatchesRangeFormulas) {
+  // Evaluating A(s) at s* reproduces the Theorem-4 closed forms up to
+  // the loḡ saturation (within a factor of ~4).
+  double n = 65536, p = 16;
+  for (double m : {1.0, 8.0, 128.0, 4096.0, 32768.0}) {
+    double star = s_star(n, m, p);
+    if (star * p > n) star = n / p;
+    double a_s = A_of_s(n, m, p, star);
+    double a_thm = locality_A(1, n, m, p);
+    EXPECT_LT(a_s / a_thm, 4.0) << m;
+    EXPECT_GT(a_s / a_thm, 0.2) << m;
+  }
+}
+
+TEST(Bounds, Theorem2And5AreNLogN) {
+  EXPECT_DOUBLE_EQ(thm2_bound(1024), 1024 * core::logbar(1024));
+  EXPECT_DOUBLE_EQ(thm5_bound(1024), 1024 * core::logbar(1024));
+}
+
+TEST(Bounds, Theorem3CapsAtNaive) {
+  // min(n, m loḡ(n/m)): for large m the bound saturates at n^2.
+  EXPECT_DOUBLE_EQ(thm3_bound(256, 100000), 256.0 * 256.0);
+  EXPECT_LT(thm3_bound(256, 2), 256.0 * 256.0);
+}
+
+TEST(Bounds, NaiveAndBrent) {
+  EXPECT_DOUBLE_EQ(naive_bound(1, 1024, 7, 1), 1024.0 * 1024.0);
+  EXPECT_DOUBLE_EQ(naive_bound(2, 4096, 1, 1), std::pow(4096.0, 1.5));
+  EXPECT_DOUBLE_EQ(naive_bound(1, 1024, 1, 4), 256.0 * 256.0);
+  EXPECT_DOUBLE_EQ(brent_bound(1024, 16), 64.0);
+}
+
+TEST(Bounds, MatmulExampleSuperlinearSpeedup) {
+  // The introduction's observation: mesh speedup over the best
+  // uniprocessor is Θ(n log n) — superlinear in the n processors.
+  double n = 4096;
+  double mesh = matmul_mesh_time(n);
+  double blocked = matmul_hram_blocked_time(n);
+  double naive = matmul_hram_naive_time(n);
+  EXPECT_GT(blocked / mesh, n);            // superlinear
+  EXPECT_LT(blocked / mesh, n * 3 * core::logbar(n));
+  EXPECT_GT(naive / mesh, std::pow(n, 1.5) / 4);  // Θ(n^(3/2))
+}
+
+TEST(Params, Rejected) {
+  EXPECT_THROW(locality_A(0, 16, 1, 1), bsmp::precondition_error);
+  EXPECT_THROW(locality_A(1, 16, 1, 32), bsmp::precondition_error);
+  EXPECT_THROW(A_of_s(16, 1, 1, 0), bsmp::precondition_error);
+}
+
+TEST(RangeNames, AreDescriptive) {
+  EXPECT_NE(std::string(to_string(Range::k1)).find("range1"),
+            std::string::npos);
+  EXPECT_NE(std::string(to_string(Range::k4)).find("range4"),
+            std::string::npos);
+}

@@ -1,0 +1,43 @@
+// The cross-scheme comparison harness.
+#include <gtest/gtest.h>
+
+#include "sim/compare.hpp"
+#include "workload/rules.hpp"
+
+using namespace bsmp;
+
+TEST(Compare, AllSchemesAgreeUniprocessor) {
+  auto g = workload::make_mix_guest<1>({32}, 32, 2, 7);
+  machine::MachineSpec host{1, 32, 1, 2};
+  auto cmp = sim::compare_schemes<1>(g, host);
+  EXPECT_TRUE(cmp.all_match);
+  ASSERT_EQ(cmp.runs.size(), 5u);
+  for (const auto& run : cmp.runs) EXPECT_TRUE(run.matches_guest) << run.name;
+  EXPECT_EQ(cmp.runs.back().name, "D&C separator (Thms 2/3/5)");
+  EXPECT_GT(cmp.bound, 0.0);
+}
+
+TEST(Compare, AllSchemesAgreeMultiprocessor) {
+  auto g = workload::make_mix_guest<1>({32}, 32, 1, 8);
+  machine::MachineSpec host{1, 32, 4, 1};
+  auto cmp = sim::compare_schemes<1>(g, host, 4);
+  EXPECT_TRUE(cmp.all_match);
+  EXPECT_EQ(cmp.runs.back().name, "two-regime (Thms 4 / 1)");
+  // Brent is the fastest simulation; the guest itself is slowdown 1.
+  EXPECT_DOUBLE_EQ(cmp.runs.front().slowdown, 1.0);
+  double brent = 0;
+  for (const auto& run : cmp.runs)
+    if (run.name.find("Brent") != std::string::npos) brent = run.slowdown;
+  for (const auto& run : cmp.runs) {
+    if (run.name.find("guest") == std::string::npos) {
+      EXPECT_GE(run.slowdown, brent * 0.999) << run.name;
+    }
+  }
+}
+
+TEST(Compare, WorksIn2D) {
+  auto g = workload::make_mix_guest<2>({4, 4}, 6, 1, 9);
+  machine::MachineSpec host{2, 16, 4, 1};
+  auto cmp = sim::compare_schemes<2>(g, host, 2);
+  EXPECT_TRUE(cmp.all_match);
+}

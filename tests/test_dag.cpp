@@ -1,0 +1,159 @@
+#include <gtest/gtest.h>
+
+#include "dag/explicit_dag.hpp"
+#include "geom/figures.hpp"
+
+using namespace bsmp;
+using dag::ExplicitDag;
+using dag::PointSet;
+using geom::Point;
+using geom::Stencil;
+
+namespace {
+Point<1> pt(int64_t x, int64_t t) { return Point<1>{{x}, t}; }
+}  // namespace
+
+TEST(GTDag, Definition3PredecessorsM1) {
+  // For m = 1, preds of (v, t) are (v-1, t-1), (v+1, t-1), (v, t-1):
+  // exactly the arc set of Definition 3.
+  ExplicitDag<1> g(Stencil<1>{{5}, 4, 1});
+  auto preds = g.preds(pt(2, 3));
+  PointSet<1> s(preds.begin(), preds.end());
+  EXPECT_EQ(s.size(), 3u);
+  EXPECT_TRUE(s.contains(pt(1, 2)));
+  EXPECT_TRUE(s.contains(pt(3, 2)));
+  EXPECT_TRUE(s.contains(pt(2, 2)));
+}
+
+TEST(GTDag, InputVerticesHaveNoPredecessors) {
+  ExplicitDag<1> g(Stencil<1>{{5}, 4, 1});
+  EXPECT_TRUE(g.preds(pt(2, 0)).empty());
+}
+
+TEST(GTDag, BoundaryNodesHaveFewerPredecessors) {
+  ExplicitDag<1> g(Stencil<1>{{5}, 4, 1});
+  EXPECT_EQ(g.preds(pt(0, 2)).size(), 2u);  // no (-1, 1)
+  EXPECT_EQ(g.preds(pt(4, 2)).size(), 2u);
+}
+
+TEST(GTDag, MemoryDepthSelfArc) {
+  // For m = 3, the self arc reaches back to t-3 and is absent when
+  // t < 3 (that operand is an initial memory cell, i.e. an input).
+  ExplicitDag<1> g(Stencil<1>{{5}, 8, 3});
+  auto preds = g.preds(pt(2, 5));
+  PointSet<1> s(preds.begin(), preds.end());
+  EXPECT_TRUE(s.contains(pt(2, 2)));
+  EXPECT_FALSE(s.contains(pt(2, 4)));
+  auto early = g.preds(pt(2, 2));
+  PointSet<1> es(early.begin(), early.end());
+  EXPECT_EQ(es.size(), 2u);  // neighbors only
+}
+
+TEST(GTDag, SuccsInvertPreds) {
+  ExplicitDag<1> g(Stencil<1>{{6}, 6, 2});
+  g.for_each_vertex([&](const Point<1>& p) {
+    for (const auto& q : g.preds(p)) {
+      auto succs = g.succs(q);
+      EXPECT_NE(std::find(succs.begin(), succs.end(), p), succs.end());
+    }
+  });
+}
+
+TEST(GTDag, VertexCount) {
+  ExplicitDag<2> g(Stencil<2>{{3, 4}, 5, 1});
+  EXPECT_EQ(g.all_vertices().size(), 3u * 4u * 5u);
+}
+
+TEST(TopologicalPartition, AcceptsTimeSlices) {
+  // Slicing V by time is always a topological partition.
+  Stencil<1> st{{4}, 4, 1};
+  ExplicitDag<1> g(st);
+  PointSet<1> v;
+  std::vector<PointSet<1>> slices(4);
+  g.for_each_vertex([&](const Point<1>& p) {
+    v.insert(p);
+    slices[p.t].insert(p);
+  });
+  EXPECT_TRUE(g.is_topological_partition(v, slices));
+}
+
+TEST(TopologicalPartition, RejectsReversedOrder) {
+  Stencil<1> st{{4}, 4, 1};
+  ExplicitDag<1> g(st);
+  PointSet<1> v;
+  std::vector<PointSet<1>> slices(4);
+  g.for_each_vertex([&](const Point<1>& p) {
+    v.insert(p);
+    slices[3 - p.t].insert(p);
+  });
+  EXPECT_FALSE(g.is_topological_partition(v, slices));
+}
+
+TEST(TopologicalPartition, RejectsCubePartitionOfCubicLattice) {
+  // Section 3's warning: "if the dag under consideration is a cubic
+  // lattice, a partition of such dag into cubes is not a topological
+  // partition." Splitting V by space (columns) is the d=1 analogue:
+  // column blocks mutually depend on each other at every level.
+  Stencil<1> st{{4}, 4, 1};
+  ExplicitDag<1> g(st);
+  PointSet<1> v;
+  std::vector<PointSet<1>> cols(2);
+  g.for_each_vertex([&](const Point<1>& p) {
+    v.insert(p);
+    cols[p.x[0] / 2].insert(p);
+  });
+  EXPECT_FALSE(g.is_topological_partition(v, cols));
+}
+
+TEST(TopologicalPartition, RejectsNonCover) {
+  Stencil<1> st{{3}, 2, 1};
+  ExplicitDag<1> g(st);
+  PointSet<1> v;
+  g.for_each_vertex([&](const Point<1>& p) { v.insert(p); });
+  std::vector<PointSet<1>> one = {{pt(0, 0)}};
+  EXPECT_FALSE(g.is_topological_partition(v, one));
+}
+
+TEST(Convexity, DiamondIsConvexSquareMinusCornerIsNot) {
+  Stencil<1> st{{8}, 8, 1};
+  ExplicitDag<1> g(st);
+  auto d = geom::make_diamond(&st, 2, -4, 8);
+  PointSet<1> ds;
+  for (const auto& p : d.points()) ds.insert(p);
+  EXPECT_TRUE(g.is_convex(ds));
+
+  // Remove an interior vertex: paths through it leave and re-enter.
+  PointSet<1> holed = ds;
+  // Find an interior point (one whose preds and succs are all in ds).
+  for (const auto& p : ds) {
+    bool interior = !g.preds(p).empty();
+    for (const auto& q : g.preds(p)) interior &= ds.contains(q);
+    for (const auto& q : g.succs(p)) interior &= ds.contains(q);
+    if (interior) {
+      holed.erase(p);
+      break;
+    }
+  }
+  ASSERT_LT(holed.size(), ds.size());
+  EXPECT_FALSE(g.is_convex(holed));
+}
+
+TEST(Convexity, EmptyAndSingletonAreConvex) {
+  Stencil<1> st{{4}, 4, 1};
+  ExplicitDag<1> g(st);
+  EXPECT_TRUE(g.is_convex({}));
+  EXPECT_TRUE(g.is_convex({pt(1, 1)}));
+}
+
+TEST(Preboundary, MatchesDefinition) {
+  // Γin(U) = union of Pred(v) minus U.
+  Stencil<1> st{{6}, 6, 1};
+  ExplicitDag<1> g(st);
+  PointSet<1> u = {pt(2, 2), pt(3, 2), pt(2, 3)};
+  auto gin = g.preboundary(u);
+  for (const auto& q : gin) EXPECT_FALSE(u.contains(q));
+  // (2,3)'s preds {1,2,3}x{2}: (1,2) must be in the preboundary.
+  EXPECT_TRUE(gin.contains(pt(1, 2)));
+  EXPECT_TRUE(gin.contains(pt(4, 1)));  // pred of (3,2)
+  EXPECT_FALSE(gin.contains(pt(2, 2)));
+}

@@ -1,0 +1,259 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <tuple>
+
+#include "dag/explicit_dag.hpp"
+#include "geom/figures.hpp"
+#include "geom/region.hpp"
+#include "geom/tiling.hpp"
+
+using namespace bsmp;
+using geom::Point;
+using geom::Region;
+using geom::Stencil;
+
+namespace {
+
+Stencil<1> stencil1(int64_t n, int64_t T, int64_t m = 1) {
+  Stencil<1> st;
+  st.extent = {n};
+  st.horizon = T;
+  st.m = m;
+  return st;
+}
+
+Stencil<2> stencil2(int64_t side, int64_t T, int64_t m = 1) {
+  Stencil<2> st;
+  st.extent = {side, side};
+  st.horizon = T;
+  st.m = m;
+  return st;
+}
+
+/// Brute-force point list of a region by scanning the full vertex set.
+template <int D>
+std::vector<Point<D>> brute_points(const Region<D>& r) {
+  dag::ExplicitDag<D> g(r.stencil());
+  std::vector<Point<D>> out;
+  g.for_each_vertex([&](const Point<D>& p) {
+    if (r.contains(p)) out.push_back(p);
+  });
+  return out;
+}
+
+template <int D>
+std::set<std::tuple<int64_t, int64_t, int64_t>> as_set(
+    const std::vector<Point<D>>& v) {
+  std::set<std::tuple<int64_t, int64_t, int64_t>> s;
+  for (const auto& p : v) {
+    if constexpr (D == 1)
+      s.insert({p.x[0], 0, p.t});
+    else
+      s.insert({p.x[0], p.x[1], p.t});
+  }
+  return s;
+}
+
+}  // namespace
+
+TEST(Region1, CountMatchesBruteForce) {
+  Stencil<1> st = stencil1(8, 8);
+  // The full diamond D(8) anchored at the origin region of V.
+  Region<1> d(&st, {2, -3}, {10, 5});
+  auto pts = brute_points(d);
+  EXPECT_EQ(d.count(), static_cast<int64_t>(pts.size()));
+  EXPECT_GT(d.count(), 0);
+  // Enumeration agrees with membership scan.
+  EXPECT_EQ(as_set<1>(d.points()), as_set<1>(pts));
+}
+
+TEST(Region1, DiamondCardinalityIsRoughlyHalfSquare) {
+  // An unclipped diamond D(r) has ~r^2/2 lattice points.
+  Stencil<1> st = stencil1(64, 64);
+  Region<1> d = geom::make_diamond(&st, 20, -20, 16);
+  EXPECT_NEAR(static_cast<double>(d.count()), 16.0 * 16.0 / 2.0, 16.0 + 2);
+}
+
+TEST(Region1, ForEachVisitsInTopologicalOrder) {
+  Stencil<1> st = stencil1(8, 8);
+  Region<1> d(&st, {0, -7}, {15, 8});
+  int64_t last_t = -1;
+  d.for_each([&](const Point<1>& p) {
+    EXPECT_GE(p.t, last_t);
+    last_t = p.t;
+  });
+  EXPECT_GE(last_t, 0);
+}
+
+TEST(Region1, EmptyAndFirstPoint) {
+  Stencil<1> st = stencil1(8, 8);
+  Region<1> empty(&st, {100, 100}, {104, 104});  // beyond the horizon
+  EXPECT_TRUE(empty.empty());
+  Region<1> one(&st, {3, -3}, {4, -2});  // u=3, w=-3 -> t=0, x=3
+  ASSERT_FALSE(one.empty());
+  auto p = one.first_point();
+  EXPECT_EQ(p->t, 0);
+  EXPECT_EQ(p->x[0], 3);
+  EXPECT_EQ(one.count(), 1);
+}
+
+TEST(Region1, PreboundaryMatchesBruteForce) {
+  for (int64_t m : {1, 2, 3}) {
+    Stencil<1> st = stencil1(10, 12, m);
+    dag::ExplicitDag<1> g(st);
+    Region<1> d(&st, {4, -4}, {12, 4});
+    dag::PointSet<1> u;
+    for (const auto& p : d.points()) u.insert(p);
+    auto brute = g.preboundary(u);
+    auto fast = d.preboundary();
+    dag::PointSet<1> fast_set(fast.begin(), fast.end());
+    EXPECT_EQ(fast_set.size(), fast.size()) << "duplicates in preboundary";
+    EXPECT_EQ(fast_set, brute) << "m=" << m;
+  }
+}
+
+TEST(Region1, OutsetMatchesBruteForce) {
+  for (int64_t m : {1, 2, 3}) {
+    Stencil<1> st = stencil1(10, 12, m);
+    dag::ExplicitDag<1> g(st);
+    Region<1> d(&st, {4, -4}, {12, 4});
+    dag::PointSet<1> u;
+    for (const auto& p : d.points()) u.insert(p);
+    // Brute force: q in U with a successor *position* outside U.
+    dag::PointSet<1> brute;
+    for (const auto& p : d.points()) {
+      std::array<Point<1>, geom::kMono<1> + 1> buf;
+      int k = st.succ_positions(p, buf);
+      for (int i = 0; i < k; ++i)
+        if (!d.contains(buf[i])) {
+          brute.insert(p);
+          break;
+        }
+    }
+    auto fast = d.outset();
+    dag::PointSet<1> fast_set(fast.begin(), fast.end());
+    EXPECT_EQ(fast_set.size(), fast.size()) << "duplicates in outset";
+    EXPECT_EQ(fast_set, brute) << "m=" << m;
+  }
+}
+
+TEST(Region2, CountAndMembershipMatchBruteForce) {
+  Stencil<2> st = stencil2(6, 6);
+  Region<2> r(&st, {1, -2, 0, -3}, {7, 4, 6, 3});
+  auto pts = brute_points(r);
+  EXPECT_EQ(r.count(), static_cast<int64_t>(pts.size()));
+  EXPECT_EQ(as_set<2>(r.points()), as_set<2>(pts));
+}
+
+TEST(Region2, PreboundaryAndOutsetMatchBruteForce) {
+  for (int64_t m : {1, 2}) {
+    Stencil<2> st = stencil2(6, 8, m);
+    dag::ExplicitDag<2> g(st);
+    geom::Region<2> r = geom::make_octahedron(&st, 2, -2, 1, -1, 6);
+    ASSERT_FALSE(r.empty());
+    dag::PointSet<2> u;
+    for (const auto& p : r.points()) u.insert(p);
+
+    auto brute_pre = g.preboundary(u);
+    auto fast_pre = r.preboundary();
+    dag::PointSet<2> fast_pre_set(fast_pre.begin(), fast_pre.end());
+    EXPECT_EQ(fast_pre_set.size(), fast_pre.size());
+    EXPECT_EQ(fast_pre_set, brute_pre) << "m=" << m;
+
+    dag::PointSet<2> brute_out;
+    for (const auto& p : r.points()) {
+      std::array<Point<2>, geom::kMono<2> + 1> buf;
+      int k = st.succ_positions(p, buf);
+      for (int i = 0; i < k; ++i)
+        if (!r.contains(buf[i])) {
+          brute_out.insert(p);
+          break;
+        }
+    }
+    auto fast_out = r.outset();
+    dag::PointSet<2> fast_out_set(fast_out.begin(), fast_out.end());
+    EXPECT_EQ(fast_out_set.size(), fast_out.size());
+    EXPECT_EQ(fast_out_set, brute_out) << "m=" << m;
+  }
+}
+
+TEST(Region1, PreboundaryScalesAsSeparator) {
+  // |Γin(D(r))| = O(sqrt(|D(r)|)): the (2*sqrt(2)x^(1/2), 1/4)
+  // separator of Theorem 2.
+  Stencil<1> st = stencil1(512, 512);
+  for (int64_t r = 8; r <= 128; r *= 2) {
+    Region<1> d = geom::make_diamond(&st, 256, -r / 2, r);
+    ASSERT_FALSE(d.empty());
+    double gin = static_cast<double>(d.preboundary().size());
+    double bound = 2.0 * std::sqrt(2.0 * static_cast<double>(d.count())) + 8;
+    EXPECT_LE(gin, bound) << "r=" << r;
+  }
+}
+
+TEST(Region2, PreboundaryScalesAsSeparator) {
+  // |Γin(P)| = O(|P|^(2/3)): the Section-5 separator.
+  Stencil<2> st = stencil2(64, 64);
+  for (int64_t r = 4; r <= 32; r *= 2) {
+    Region<2> p = geom::make_octahedron(&st, 32, -16, 32, -16, r);
+    ASSERT_FALSE(p.empty());
+    double gin = static_cast<double>(p.preboundary().size());
+    // Paper constant: 2*3^(1/3) ~ 2.9; lattice shells add lower-order
+    // terms, so allow 6x.
+    double bound =
+        6.0 * std::pow(static_cast<double>(p.count()), 2.0 / 3.0) + 16;
+    EXPECT_LE(gin, bound) << "r=" << r;
+  }
+}
+
+TEST(TileGrid1, TilesCoverVExactlyOnce) {
+  for (int64_t w : {3, 5, 8}) {
+    Stencil<1> st = stencil1(8, 8);
+    geom::TileGrid<1> grid(&st, w);
+    dag::ExplicitDag<1> g(st);
+    dag::PointSet<1> seen;
+    for (const auto& wave : grid.wavefronts())
+      for (const auto& tile : wave)
+        for (const auto& p : tile.points())
+          EXPECT_TRUE(seen.insert(p).second) << "tile overlap, w=" << w;
+    EXPECT_EQ(seen.size(), static_cast<std::size_t>(8 * 8)) << "w=" << w;
+  }
+}
+
+TEST(TileGrid2, TilesCoverVExactlyOnce) {
+  Stencil<2> st = stencil2(4, 4);
+  geom::TileGrid<2> grid(&st, 3);
+  dag::PointSet<2> seen;
+  for (const auto& wave : grid.wavefronts())
+    for (const auto& tile : wave)
+      for (const auto& p : tile.points())
+        EXPECT_TRUE(seen.insert(p).second);
+  EXPECT_EQ(seen.size(), static_cast<std::size_t>(4 * 4 * 4));
+}
+
+TEST(TileGrid1, WavefrontsRespectDependencies) {
+  // Every predecessor of a wavefront-k tile point lies in wavefront <= k
+  // (same-wavefront tiles are mutually independent so < k or same tile).
+  Stencil<1> st = stencil1(10, 10);
+  geom::TileGrid<1> grid(&st, 4);
+  auto waves = grid.wavefronts();
+  std::unordered_map<geom::Point<1>, int, geom::PointHash<1>> wave_of;
+  std::unordered_map<geom::Point<1>, int, geom::PointHash<1>> tile_of;
+  int tile_id = 0;
+  for (std::size_t k = 0; k < waves.size(); ++k)
+    for (const auto& tile : waves[k]) {
+      for (const auto& p : tile.points()) {
+        wave_of[p] = static_cast<int>(k);
+        tile_of[p] = tile_id;
+      }
+      ++tile_id;
+    }
+  dag::ExplicitDag<1> g(st);
+  g.for_each_vertex([&](const geom::Point<1>& p) {
+    for (const auto& q : g.preds(p)) {
+      if (tile_of[q] == tile_of[p]) continue;
+      EXPECT_LT(wave_of[q], wave_of[p]);
+    }
+  });
+}

@@ -1,0 +1,97 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/expect.hpp"
+#include "hram/access_fn.hpp"
+#include "hram/hram.hpp"
+
+using bsmp::hram::AccessFn;
+using bsmp::hram::HRam;
+namespace core = bsmp::core;
+
+TEST(AccessFn, UnitIsAlwaysOne) {
+  AccessFn f = AccessFn::unit();
+  EXPECT_DOUBLE_EQ(f(0), 1.0);
+  EXPECT_DOUBLE_EQ(f(1u << 20), 1.0);
+}
+
+TEST(AccessFn, HierarchicalD1) {
+  // d=1, m=4: f(x) = max(1, x/4).
+  AccessFn f = AccessFn::hierarchical(1, 4.0);
+  EXPECT_DOUBLE_EQ(f(0), 1.0);
+  EXPECT_DOUBLE_EQ(f(4), 1.0);
+  EXPECT_DOUBLE_EQ(f(8), 2.0);
+  EXPECT_DOUBLE_EQ(f(400), 100.0);
+}
+
+TEST(AccessFn, HierarchicalD2) {
+  // d=2, m=1: f(x) = max(1, sqrt(x)).
+  AccessFn f = AccessFn::hierarchical(2, 1.0);
+  EXPECT_DOUBLE_EQ(f(100), 10.0);
+  EXPECT_DOUBLE_EQ(f(0), 1.0);
+}
+
+TEST(AccessFn, HierarchicalD3) {
+  AccessFn f = AccessFn::hierarchical(3, 1.0);
+  EXPECT_DOUBLE_EQ(f(1000), 10.0);
+}
+
+TEST(AccessFn, PowerLaw) {
+  AccessFn f = AccessFn::power(2.0, 0.5);
+  EXPECT_DOUBLE_EQ(f(100), 20.0);
+  EXPECT_DOUBLE_EQ(f(0), 1.0);  // clamped from below
+}
+
+TEST(AccessFn, RejectsBadParameters) {
+  EXPECT_THROW(AccessFn::hierarchical(0, 1.0), bsmp::precondition_error);
+  EXPECT_THROW(AccessFn::hierarchical(4, 1.0), bsmp::precondition_error);
+  EXPECT_THROW(AccessFn::hierarchical(1, 0.5), bsmp::precondition_error);
+  EXPECT_THROW(AccessFn::power(-1.0, 0.5), bsmp::precondition_error);
+}
+
+TEST(AccessFn, BlockVsPipelined) {
+  AccessFn f = AccessFn::hierarchical(1, 1.0);  // f(x) = max(1, x)
+  // 10 words ending at address 100: per-word latency vs pipelined.
+  EXPECT_DOUBLE_EQ(f.block(100, 10), 1000.0);
+  EXPECT_DOUBLE_EQ(f.block_pipelined(100, 10), 109.0);
+  EXPECT_DOUBLE_EQ(f.block_pipelined(100, 0), 0.0);
+}
+
+TEST(HRam, ReadWriteChargesAccessCost) {
+  HRam ram(128, AccessFn::hierarchical(1, 1.0));
+  ram.write(10, 7);
+  EXPECT_EQ(ram.read(10), 7u);
+  // write cost f(10)=10, read cost 10.
+  EXPECT_DOUBLE_EQ(ram.ledger().cost(core::CostKind::kLocalAccess), 20.0);
+  EXPECT_EQ(ram.peak_addr(), 10u);
+}
+
+TEST(HRam, OutOfRangeThrows) {
+  HRam ram(16, AccessFn::unit());
+  EXPECT_THROW(ram.read(16), bsmp::precondition_error);
+  EXPECT_THROW(ram.write(99, 1), bsmp::precondition_error);
+}
+
+TEST(HRam, BlockCopyMovesDataAndCharges) {
+  HRam ram(256, AccessFn::unit());
+  for (std::size_t i = 0; i < 8; ++i) ram.write(i, i + 1);
+  double before = ram.ledger().total();
+  ram.block_copy(0, 100, 8);
+  EXPECT_GT(ram.ledger().total(), before);
+  for (std::size_t i = 0; i < 8; ++i) EXPECT_EQ(ram.read(100 + i), i + 1);
+}
+
+TEST(HRam, PipelinedBlockCheaper) {
+  HRam plain(1 << 12, AccessFn::hierarchical(1, 1.0), false);
+  HRam piped(1 << 12, AccessFn::hierarchical(1, 1.0), true);
+  plain.touch_block(1000, 100);
+  piped.touch_block(1000, 100);
+  EXPECT_GT(plain.ledger().total(), piped.ledger().total());
+}
+
+TEST(HRam, TouchReturnsCharge) {
+  HRam ram(64, AccessFn::hierarchical(1, 2.0));
+  EXPECT_DOUBLE_EQ(ram.touch(32), 16.0);
+  EXPECT_DOUBLE_EQ(ram.ledger().total(), 16.0);
+}

@@ -1,0 +1,80 @@
+// Strip layouts: the Section-4.2 rearrangement's distance properties as
+// measured facts — the justification for the multiprocessor
+// simulator's Regime-1 charges.
+#include <gtest/gtest.h>
+
+#include "core/expect.hpp"
+#include "machine/layout.hpp"
+
+using bsmp::machine::StripLayout;
+
+TEST(Layout, IdentityBasics) {
+  auto l = StripLayout::identity(16, 4, 8);
+  EXPECT_EQ(l.slot(5), 5);
+  EXPECT_EQ(l.base_addr(5), 40);
+  EXPECT_EQ(l.owner(5), 1);
+  EXPECT_EQ(l.distance(2, 9), 7);
+  EXPECT_EQ(l.max_adjacent_distance(), 1);
+}
+
+TEST(Layout, RearrangedIsPermutationOfSlots) {
+  auto l = StripLayout::rearranged(32, 4, 2);
+  std::vector<bool> seen(32, false);
+  for (std::int64_t g = 0; g < 32; ++g) {
+    std::int64_t s = l.slot(g);
+    ASSERT_GE(s, 0);
+    ASSERT_LT(s, 32);
+    EXPECT_FALSE(seen[s]);
+    seen[s] = true;
+  }
+}
+
+TEST(Layout, RearrangedAdjacency) {
+  // Consecutive strips: consecutive or q/p apart (Section 4.2).
+  for (auto [q, p] : {std::pair{32L, 4L}, {64L, 8L}}) {
+    auto l = StripLayout::rearranged(q, p, 1);
+    EXPECT_EQ(l.max_adjacent_distance(), q / p) << q << "/" << p;
+  }
+}
+
+TEST(Layout, FactorPReductionOfTransferDistance) {
+  // The headline property behind the Regime-1 charges: under identity,
+  // relocating a width-`span` domain's data to its consumers crosses
+  // the window's full global diameter (~span); under the
+  // rearrangement, every processor's share already rests in a local
+  // cluster of diameter ~span/p.
+  std::int64_t q = 64, p = 8;
+  auto ident = StripLayout::identity(q, p, 1);
+  auto rear = StripLayout::rearranged(q, p, 1);
+  for (std::int64_t span : {8L, 16L, 32L, 64L}) {
+    std::int64_t di = ident.global_window_diameter(span);
+    std::int64_t dr = rear.per_proc_window_diameter(span);
+    EXPECT_EQ(di, span - 1) << span;
+    EXPECT_LE(dr, span / p + 1) << span;
+    EXPECT_GE(static_cast<double>(di) / static_cast<double>(dr),
+              static_cast<double>(p) / 2.0)
+        << span;
+  }
+}
+
+TEST(Layout, EveryProcessorHoldsShareOfEverySegment) {
+  // Section 4.2's second bullet, measured: every aligned segment of p
+  // consecutive strips is spread with exactly one strip per processor.
+  std::int64_t q = 32, p = 4;
+  auto l = StripLayout::rearranged(q, p, 1);
+  for (std::int64_t start = 0; start + p <= q; start += p) {
+    std::vector<int> per_proc(p, 0);
+    for (std::int64_t g = start; g < start + p; ++g)
+      ++per_proc[l.owner(g)];
+    for (std::int64_t pr = 0; pr < p; ++pr)
+      EXPECT_EQ(per_proc[pr], 1) << "segment " << start << " proc " << pr;
+  }
+}
+
+TEST(Layout, RejectsBadShapes) {
+  EXPECT_THROW(StripLayout::identity(10, 4, 1), bsmp::precondition_error);
+  EXPECT_THROW(StripLayout::identity(8, 2, 0), bsmp::precondition_error);
+  auto l = StripLayout::identity(8, 2, 1);
+  EXPECT_THROW(l.slot(8), bsmp::precondition_error);
+  EXPECT_THROW(l.per_proc_window_diameter(0), bsmp::precondition_error);
+}

@@ -1,0 +1,115 @@
+#include <gtest/gtest.h>
+
+#include "core/expect.hpp"
+#include "machine/clocks.hpp"
+#include "machine/spec.hpp"
+#include "machine/topology.hpp"
+
+using namespace bsmp::machine;
+
+TEST(MachineSpec, ValidatesRanges) {
+  MachineSpec s{1, 16, 4, 2};
+  EXPECT_NO_THROW(s.validate());
+  MachineSpec bad_p{1, 16, 32, 1};
+  EXPECT_THROW(bad_p.validate(), bsmp::precondition_error);
+  MachineSpec bad_div{1, 16, 3, 1};
+  EXPECT_THROW(bad_div.validate(), bsmp::precondition_error);
+  MachineSpec bad_d{4, 16, 4, 1};
+  EXPECT_THROW(bad_d.validate(), bsmp::precondition_error);
+}
+
+TEST(MachineSpec, D2RequiresSquares) {
+  MachineSpec ok{2, 16, 4, 1};
+  EXPECT_NO_THROW(ok.validate());
+  MachineSpec bad{2, 18, 9, 1};
+  EXPECT_THROW(bad.validate(), bsmp::precondition_error);
+  MachineSpec badp{2, 16, 8, 1};
+  EXPECT_THROW(badp.validate(), bsmp::precondition_error);
+}
+
+TEST(MachineSpec, DerivedQuantities) {
+  MachineSpec s{1, 64, 4, 8};
+  EXPECT_EQ(s.node_memory(), 128);
+  EXPECT_EQ(s.total_memory(), 512);
+  EXPECT_DOUBLE_EQ(s.link_length(), 16.0);
+  EXPECT_EQ(s.span(), 16);
+  EXPECT_EQ(s.proc_side(), 4);
+  EXPECT_EQ(s.node_side(), 64);
+
+  MachineSpec q{2, 256, 16, 1};
+  EXPECT_DOUBLE_EQ(q.link_length(), 4.0);
+  EXPECT_EQ(q.proc_side(), 4);
+  EXPECT_EQ(q.node_side(), 16);
+}
+
+TEST(MachineSpec, TransferCostBoundedSpeed) {
+  MachineSpec s{1, 64, 4, 1};
+  EXPECT_DOUBLE_EQ(s.transfer_cost(16.0, 3), 48.0);
+  EXPECT_DOUBLE_EQ(s.transfer_cost(0.5, 2), 2.0);  // distance floor of 1
+  EXPECT_DOUBLE_EQ(s.transfer_cost(10.0, 0), 0.0);
+}
+
+TEST(MachineSpec, AccessFnMatchesDefinition) {
+  MachineSpec s{2, 256, 1, 4};
+  auto f = s.access_fn();
+  // f(x) = (x/m)^(1/d) = sqrt(x/4).
+  EXPECT_DOUBLE_EQ(f(400), 10.0);
+}
+
+TEST(Topology, LinearArrayNeighbors) {
+  LinearArray la(5);
+  std::vector<NodeId> nb;
+  EXPECT_EQ(la.neighbors(0, nb), 1);
+  EXPECT_EQ(nb.back(), 1);
+  nb.clear();
+  EXPECT_EQ(la.neighbors(2, nb), 2);
+  nb.clear();
+  EXPECT_EQ(la.neighbors(4, nb), 1);
+  EXPECT_EQ(nb.back(), 3);
+}
+
+TEST(Topology, Mesh2DNeighborsAndDistance) {
+  Mesh2D mesh(4);
+  EXPECT_EQ(mesh.num_nodes(), 16);
+  std::vector<NodeId> nb;
+  EXPECT_EQ(mesh.neighbors(mesh.id(0, 0), nb), 2);
+  nb.clear();
+  EXPECT_EQ(mesh.neighbors(mesh.id(1, 1), nb), 4);
+  nb.clear();
+  EXPECT_EQ(mesh.neighbors(mesh.id(3, 3), nb), 2);
+  EXPECT_DOUBLE_EQ(mesh.distance(mesh.id(0, 0), mesh.id(3, 2)), 3.0);
+}
+
+TEST(Topology, Mesh3DNeighbors) {
+  Mesh3D mesh(3);
+  EXPECT_EQ(mesh.num_nodes(), 27);
+  std::vector<NodeId> nb;
+  EXPECT_EQ(mesh.neighbors(mesh.id(1, 1, 1), nb), 6);
+  nb.clear();
+  EXPECT_EQ(mesh.neighbors(mesh.id(0, 0, 0), nb), 3);
+}
+
+TEST(ProcClocks, AdvanceAndBarrier) {
+  ProcClocks c(3);
+  c.advance(0, 5.0);
+  c.advance(1, 2.0);
+  EXPECT_DOUBLE_EQ(c.makespan(), 5.0);
+  c.barrier();
+  EXPECT_DOUBLE_EQ(c.clock(2), 5.0);
+  EXPECT_DOUBLE_EQ(c.busy_total(), 7.0);
+}
+
+TEST(ProcClocks, Utilization) {
+  ProcClocks c(2);
+  c.advance(0, 10.0);
+  c.advance(1, 10.0);
+  EXPECT_DOUBLE_EQ(c.utilization(), 1.0);
+  c.advance(0, 10.0);
+  EXPECT_NEAR(c.utilization(), 0.75, 1e-12);
+}
+
+TEST(ProcClocks, RejectsBadUse) {
+  ProcClocks c(2);
+  EXPECT_THROW(c.advance(2, 1.0), bsmp::precondition_error);
+  EXPECT_THROW(c.advance(0, -1.0), bsmp::precondition_error);
+}

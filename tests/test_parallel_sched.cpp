@@ -1,0 +1,145 @@
+// The parallel schedule IR: the multiprocessor simulator emits its
+// exact op stream; the evaluated makespan reproduces the simulator's
+// virtual time, and the replayed values reproduce the guest's.
+#include <gtest/gtest.h>
+
+#include "sched/parallel.hpp"
+#include "sched/runner.hpp"
+#include "sim/multiproc.hpp"
+#include "sim/observe.hpp"
+#include "sim/reference.hpp"
+#include "workload/rules.hpp"
+
+using namespace bsmp;
+
+namespace {
+
+struct Emitted {
+  sim::SimResult<1> res;
+  sched::ParallelSchedule<1> sched;
+};
+
+Emitted emit_run(int64_t n, int64_t p, int64_t m, int64_t s) {
+  auto g = workload::make_mix_guest<1>({n}, n, m, n + p + m);
+  machine::MachineSpec host{1, n, p, m};
+  sim::MultiprocConfig cfg;
+  cfg.s = s;
+  sim::MultiprocSimulator<1> simulator(&g, host, cfg);
+  Emitted out{{}, sched::ParallelSchedule<1>(p)};
+  simulator.set_emit(&out.sched);
+  out.res = simulator.run();
+  return out;
+}
+
+}  // namespace
+
+TEST(ParallelSchedule, MakespanMatchesSimulatorExactly) {
+  for (auto [n, p, m, s] :
+       {std::tuple{32L, 2L, 1L, 4L}, {32L, 4L, 2L, 4L}, {64L, 4L, 4L, 8L},
+        {64L, 8L, 1L, 8L}}) {
+    auto got = emit_run(n, p, m, s);
+    machine::MachineSpec host{1, n, p, m};
+    geom::Stencil<1> st{{n}, n, m};
+    double makespan = got.sched.makespan_under(st, host.access_fn());
+    EXPECT_NEAR(makespan, got.res.time, 1e-6 * got.res.time)
+        << "n=" << n << " p=" << p << " m=" << m << " s=" << s;
+  }
+}
+
+TEST(ParallelSchedule, ReplayReproducesTheGuest) {
+  auto got = emit_run(32, 4, 2, 4);
+  auto g = workload::make_mix_guest<1>({32}, 32, 2, 32 + 4 + 2);
+  auto run = sched::run_schedule<1>(g, got.sched);
+  auto ref = sim::reference_run<1>(g);
+  auto fin = sim::extract_final<1>(g.stencil, run.values);
+  EXPECT_TRUE(sim::same_values<1>(fin, ref.final_values));
+  EXPECT_EQ(run.vertices, 32 * 32);
+}
+
+TEST(ParallelSchedule, HasTheTwoRegimeStructure) {
+  auto got = emit_run(64, 4, 2, 4);
+  using sched::OpKind;
+  EXPECT_GT(got.sched.count(OpKind::kRelocate), 0);  // Regime 1
+  EXPECT_GT(got.sched.count(OpKind::kLeaf), 0);      // Regime 2 bodies
+  EXPECT_GT(got.sched.count(OpKind::kComm), 0);      // cooperating mode
+  EXPECT_GT(got.sched.count(OpKind::kBarrier), 0);   // stages
+  auto s = got.sched.summary();
+  EXPECT_NE(s.find("relocate="), std::string::npos);
+}
+
+TEST(ParallelSchedule, OpsUseAllProcessors) {
+  auto got = emit_run(64, 4, 1, 8);
+  std::array<bool, 4> used{};
+  for (const auto& op : got.sched.ops())
+    if (op.kind == sched::OpKind::kLeaf) used[op.proc] = true;
+  for (int pr = 0; pr < 4; ++pr) EXPECT_TRUE(used[pr]) << pr;
+}
+
+TEST(ParallelSchedule, RejectsForeignProcIds) {
+  sched::ParallelSchedule<1> s(2);
+  sched::Op<1> op;
+  op.kind = sched::OpKind::kLeaf;
+  op.proc = 5;
+  EXPECT_THROW(s.push(op), bsmp::precondition_error);
+}
+
+TEST(ParallelSchedule, EmitterValidatesProcCount) {
+  auto g = workload::make_mix_guest<1>({16}, 16, 1, 1);
+  machine::MachineSpec host{1, 16, 4, 1};
+  sim::MultiprocConfig cfg;
+  cfg.s = 2;
+  sim::MultiprocSimulator<1> simulator(&g, host, cfg);
+  sched::ParallelSchedule<1> wrong(2);
+  EXPECT_THROW(simulator.set_emit(&wrong), bsmp::precondition_error);
+}
+
+TEST(ParallelSchedule, D2EmissionWorks) {
+  auto g = workload::make_mix_guest<2>({4, 4}, 6, 1, 9);
+  machine::MachineSpec host{2, 16, 4, 1};
+  sim::MultiprocConfig cfg;
+  cfg.s = 2;
+  sim::MultiprocSimulator<2> simulator(&g, host, cfg);
+  sched::ParallelSchedule<2> sched(4);
+  simulator.set_emit(&sched);
+  auto res = simulator.run();
+  double makespan = sched.makespan_under(g.stencil, host.access_fn());
+  EXPECT_NEAR(makespan, res.time, 1e-6 * res.time);
+  auto run = sched::run_schedule<2>(g, sched);
+  auto ref = sim::reference_run<2>(g);
+  EXPECT_TRUE(sim::same_values<2>(
+      sim::extract_final<2>(g.stencil, run.values), ref.final_values));
+}
+
+TEST(ParallelSchedule, StageProfileSumsToMakespan) {
+  auto got = emit_run(64, 4, 2, 8);
+  machine::MachineSpec host{1, 64, 4, 2};
+  geom::Stencil<1> st{{64}, 64, 2};
+  auto stages = got.sched.stage_profile(st, host.access_fn());
+  ASSERT_FALSE(stages.empty());
+  double total = 0;
+  for (const auto& s : stages) {
+    total += s.makespan;
+    EXPECT_GT(s.utilization, 0.0);
+    EXPECT_LE(s.utilization, 1.0 + 1e-9);
+  }
+  EXPECT_NEAR(total, got.res.time, 1e-6 * got.res.time);
+}
+
+TEST(ParallelSchedule, StageProfileShowsRegimeStructure) {
+  // Regime-1 relocation stages are perfectly balanced (utilization 1);
+  // Regime-2 stages are not (truncated boundary diamonds idle some
+  // processors).
+  auto got = emit_run(64, 4, 1, 8);
+  geom::Stencil<1> st{{64}, 64, 1};
+  machine::MachineSpec host{1, 64, 4, 1};
+  auto stages = got.sched.stage_profile(st, host.access_fn());
+  int balanced = 0, unbalanced = 0;
+  for (const auto& s : stages) {
+    if (s.utilization > 0.999)
+      ++balanced;
+    else
+      ++unbalanced;
+  }
+  EXPECT_GT(balanced, 0);
+  EXPECT_GT(unbalanced, 0);
+}

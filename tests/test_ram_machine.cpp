@@ -1,0 +1,194 @@
+// The H-RAM machine (Cook–Reckhow RAM with hierarchical access cost):
+// assembler, interpreter, and the locality-sensitivity of program
+// running times.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "core/expect.hpp"
+#include "core/rng.hpp"
+#include "hram/ram_machine.hpp"
+#include "workload/matmul.hpp"
+#include "workload/ram_programs.hpp"
+
+using namespace bsmp;
+using hram::AccessFn;
+using hram::Assembler;
+using hram::HRam;
+using hram::RamOp;
+
+TEST(Assembler, ResolvesForwardAndBackwardLabels) {
+  Assembler as;
+  as.emit(RamOp::kLoadImm, 3).emit(RamOp::kStore, 0);
+  as.label("loop");
+  as.emit(RamOp::kLoad, 0).emit(RamOp::kSubImm, 1).emit(RamOp::kStore, 0);
+  as.jump(RamOp::kJnz, "loop");
+  as.jump(RamOp::kJmp, "end");
+  as.emit(RamOp::kLoadImm, 999);  // skipped
+  as.label("end");
+  as.emit(RamOp::kHalt);
+  auto prog = as.assemble();
+  HRam ram(64, AccessFn::unit());
+  auto res = run_ram_program(prog, ram);
+  EXPECT_TRUE(res.halted);
+  EXPECT_EQ(res.acc, 0u);
+}
+
+TEST(Assembler, UndefinedAndDuplicateLabels) {
+  Assembler as;
+  as.jump(RamOp::kJmp, "nowhere").emit(RamOp::kHalt);
+  EXPECT_THROW(as.assemble(), bsmp::precondition_error);
+  Assembler as2;
+  as2.label("x");
+  EXPECT_THROW(as2.label("x"), bsmp::precondition_error);
+}
+
+TEST(RamMachine, ArithmeticAndIndirection) {
+  Assembler as;
+  as.emit(RamOp::kLoadImm, 40).emit(RamOp::kStore, 0);   // M[0] = 40
+  as.emit(RamOp::kLoadImm, 7).emit(RamOp::kStoreInd, 0); // M[40] = 7
+  as.emit(RamOp::kLoadImm, 5).emit(RamOp::kMul, 40);     // acc = 5*7
+  as.emit(RamOp::kAddImm, 2);                            // 37
+  as.emit(RamOp::kSub, 40);                              // 30
+  as.emit(RamOp::kHalt);
+  HRam ram(64, AccessFn::unit());
+  auto res = run_ram_program(as.assemble(), ram);
+  EXPECT_EQ(res.acc, 30u);
+}
+
+TEST(RamMachine, StepLimitStopsRunaways) {
+  Assembler as;
+  as.label("spin").jump(RamOp::kJmp, "spin");
+  HRam ram(8, AccessFn::unit());
+  auto res = run_ram_program(as.assemble(), ram, 1000);
+  EXPECT_FALSE(res.halted);
+  EXPECT_EQ(res.instructions, 1000);
+}
+
+TEST(RamMachine, ChargesPerInstructionAndAccess) {
+  Assembler as;
+  as.emit(RamOp::kLoad, 100).emit(RamOp::kHalt);
+  HRam ram(128, AccessFn::hierarchical(1, 1.0));  // f(x) = x
+  auto res = run_ram_program(as.assemble(), ram);
+  // 2 instruction units + f(100) for the load.
+  EXPECT_DOUBLE_EQ(res.time, 2.0 + 100.0);
+}
+
+TEST(RamPrograms, SumMatchesAndHasLocality) {
+  const std::int64_t base = 64, count = 50;
+  // Unit-cost machine: correctness baseline.
+  HRam flat(1024, AccessFn::unit());
+  hram::Word expect = 0;
+  for (std::int64_t i = 0; i < count; ++i) {
+    flat.write(base + i, static_cast<hram::Word>(3 * i + 1));
+    expect += static_cast<hram::Word>(3 * i + 1);
+  }
+  double load = flat.ledger().total();
+  auto r1 = run_ram_program(workload::ram_sum(base, count), flat);
+  EXPECT_TRUE(r1.halted);
+  EXPECT_EQ(r1.acc, expect);
+
+  // Same program on the hierarchical machine, with the array near vs
+  // far: "running time depends upon the addresses at which values are
+  // stored" — the paper's definition of data locality.
+  auto timed_sum = [&](std::int64_t where) {
+    HRam hier(8192, AccessFn::hierarchical(1, 1.0));
+    for (std::int64_t i = 0; i < count; ++i) hier.write(where + i, 1);
+    double pre = hier.ledger().total();
+    auto r = run_ram_program(workload::ram_sum(where, count), hier);
+    EXPECT_TRUE(r.halted);
+    EXPECT_EQ(r.acc, static_cast<hram::Word>(count));
+    return r.time - pre;
+  };
+  double near = timed_sum(base);
+  double far = timed_sum(base + 4000);
+  EXPECT_GT(near, r1.time - load);  // hierarchical > unit cost
+  EXPECT_GT(far, 10.0 * near)
+      << "running time must depend on data placement";
+}
+
+TEST(RamPrograms, ReverseReverses) {
+  const std::int64_t base = 32, count = 9;
+  HRam ram(256, AccessFn::unit());
+  for (std::int64_t i = 0; i < count; ++i)
+    ram.write(base + i, static_cast<hram::Word>(i));
+  auto res = run_ram_program(workload::ram_reverse(base, count), ram);
+  EXPECT_TRUE(res.halted);
+  for (std::int64_t i = 0; i < count; ++i)
+    EXPECT_EQ(ram.read(base + i), static_cast<hram::Word>(count - 1 - i));
+}
+
+TEST(RamPrograms, DotProduct) {
+  const std::int64_t a = 32, b = 128, count = 20;
+  HRam ram(512, AccessFn::unit());
+  hram::Word expect = 0;
+  for (std::int64_t i = 0; i < count; ++i) {
+    ram.write(a + i, static_cast<hram::Word>(i + 1));
+    ram.write(b + i, static_cast<hram::Word>(2 * i + 3));
+    expect += static_cast<hram::Word>((i + 1) * (2 * i + 3));
+  }
+  auto res = run_ram_program(workload::ram_dot(a, b, count), ram);
+  EXPECT_TRUE(res.halted);
+  EXPECT_EQ(res.acc, expect);
+}
+
+TEST(RamPrograms, MatmulMatchesPlain) {
+  const std::int64_t side = 6;
+  const std::int64_t a = 64, b = a + side * side, c = b + side * side;
+  HRam ram(1024, AccessFn::unit());
+  core::SplitMix64 rng(5);
+  std::vector<hram::Word> A(side * side), B(side * side);
+  for (std::int64_t i = 0; i < side * side; ++i) {
+    A[i] = rng.next();
+    B[i] = rng.next();
+    ram.write(a + i, A[i]);
+    ram.write(b + i, B[i]);
+  }
+  auto res = run_ram_program(workload::ram_matmul(a, b, c, side), ram,
+                             1 << 22);
+  ASSERT_TRUE(res.halted);
+  auto want = workload::matmul_plain(side, A, B);
+  for (std::int64_t i = 0; i < side * side; ++i)
+    EXPECT_EQ(ram.read(c + i), want[i]) << i;
+}
+
+TEST(RamPrograms, MatmulTimeScalesLikeIntroExample) {
+  // On the d=2 H-RAM the triple loop pays Θ(sqrt(n)) per operation:
+  // total Θ(n^2) = Θ(side^4). Doubling side ~16x's the time.
+  double prev = 0, last_ratio = 0;
+  for (std::int64_t side : {4, 8, 16}) {
+    const std::int64_t a = 64, b = a + side * side, c = b + side * side;
+    HRam ram(static_cast<std::size_t>(c + side * side + 64),
+             AccessFn::hierarchical(2, 1.0));
+    for (std::int64_t i = 0; i < 2 * side * side; ++i) ram.write(a + i, 1);
+    double pre = ram.ledger().total();
+    auto res = run_ram_program(workload::ram_matmul(a, b, c, side), ram,
+                               1 << 24);
+    ASSERT_TRUE(res.halted);
+    double t = res.time - pre;
+    if (prev > 0) {
+      // side^3 instructions at unit cost plus side^3 accesses at
+      // Θ(side): the doubling ratio starts near 8 and approaches 16
+      // as the access term dominates.
+      EXPECT_GT(t / prev, 6.0) << side;
+      EXPECT_LT(t / prev, 20.0) << side;
+      EXPECT_GT(t / prev, last_ratio) << side;
+      last_ratio = t / prev;
+    }
+    prev = t;
+  }
+}
+
+TEST(RamMachine, RejectsBadAddressesAndPc) {
+  Assembler as;
+  as.emit(RamOp::kLoadImm, -5).emit(RamOp::kStore, 0);
+  as.emit(RamOp::kLoadInd, 0).emit(RamOp::kHalt);  // M[M[0]] with M[0] huge
+  HRam ram(16, AccessFn::unit());
+  EXPECT_THROW(run_ram_program(as.assemble(), ram),
+               bsmp::precondition_error);
+
+  hram::RamProgram falls_off = {{RamOp::kLoadImm, 1}};
+  HRam ram2(16, AccessFn::unit());
+  EXPECT_THROW(run_ram_program(falls_off, ram2), bsmp::precondition_error);
+}

@@ -1,0 +1,201 @@
+// Property tests on randomized Region boxes: every structural claim
+// the separator machinery relies on, checked against brute force over
+// the explicit dag on random instances.
+#include <gtest/gtest.h>
+
+#include "core/rng.hpp"
+#include "dag/explicit_dag.hpp"
+#include "geom/region.hpp"
+
+using namespace bsmp;
+using geom::Point;
+using geom::Region;
+using geom::Stencil;
+
+namespace {
+
+/// A random box over a small stencil, biased to interesting shapes
+/// (clipped by space/time about half the time).
+template <int D>
+Region<D> random_region(core::SplitMix64& rng, const Stencil<D>* st) {
+  constexpr int K = geom::kMono<D>;
+  std::array<int64_t, K> lo, hi;
+  for (int i = 0; i < D; ++i) {
+    int64_t umax = st->horizon + st->extent[i] - 2;
+    int64_t u0 = static_cast<int64_t>(rng.next_below(umax + 4)) - 2;
+    int64_t ulen = 1 + static_cast<int64_t>(rng.next_below(umax + 2));
+    lo[2 * i] = u0;
+    hi[2 * i] = u0 + ulen;
+    int64_t w0 = static_cast<int64_t>(rng.next_below(
+                     st->horizon + st->extent[i] + 2)) -
+                 st->extent[i] - 1;
+    int64_t wlen = 1 + static_cast<int64_t>(rng.next_below(umax + 2));
+    lo[2 * i + 1] = w0;
+    hi[2 * i + 1] = w0 + wlen;
+  }
+  return Region<D>(st, lo, hi);
+}
+
+template <int D>
+dag::PointSet<D> to_set(const Region<D>& r) {
+  dag::PointSet<D> s;
+  r.for_each([&](const Point<D>& p) { s.insert(p); });
+  return s;
+}
+
+template <int D>
+void check_region_invariants(const Stencil<D>& st, const Region<D>& r) {
+  dag::ExplicitDag<D> g(st);
+
+  // count() == enumeration == membership scan.
+  auto set = to_set(r);
+  EXPECT_EQ(r.count(), static_cast<int64_t>(set.size()));
+  int64_t members = 0;
+  g.for_each_vertex([&](const Point<D>& p) {
+    if (r.contains(p)) {
+      ++members;
+      EXPECT_TRUE(set.contains(p));
+    }
+  });
+  EXPECT_EQ(members, r.count());
+
+  if (r.empty()) {
+    EXPECT_EQ(r.count(), 0);
+    return;
+  }
+  EXPECT_TRUE(r.contains(*r.first_point()));
+
+  // Preboundary == brute force.
+  auto fast_pre = r.preboundary();
+  dag::PointSet<D> fast_pre_set(fast_pre.begin(), fast_pre.end());
+  EXPECT_EQ(fast_pre_set.size(), fast_pre.size()) << "duplicate preboundary";
+  EXPECT_EQ(fast_pre_set, g.preboundary(set));
+
+  // Outset == brute force.
+  dag::PointSet<D> brute_out;
+  std::array<Point<D>, geom::kMono<D> + 1> buf;
+  for (const auto& p : set) {
+    int k = st.succ_positions(p, buf);
+    for (int i = 0; i < k; ++i)
+      if (!r.contains(buf[i])) {
+        brute_out.insert(p);
+        break;
+      }
+  }
+  auto fast_out = r.outset();
+  dag::PointSet<D> fast_out_set(fast_out.begin(), fast_out.end());
+  EXPECT_EQ(fast_out_set.size(), fast_out.size()) << "duplicate outset";
+  EXPECT_EQ(fast_out_set, brute_out);
+
+  // Convexity (Definition 5).
+  EXPECT_TRUE(g.is_convex(set));
+
+  // split(): disjoint cover in topological order (Definition 4), with
+  // convex children.
+  if (r.width() >= 2) {
+    auto kids = r.split();
+    std::vector<dag::PointSet<D>> psets;
+    int64_t total = 0;
+    for (const auto& k : kids) {
+      EXPECT_FALSE(k.empty());
+      psets.push_back(to_set(k));
+      total += static_cast<int64_t>(psets.back().size());
+      EXPECT_TRUE(g.is_convex(psets.back()));
+    }
+    EXPECT_EQ(total, r.count());
+    EXPECT_TRUE(g.is_topological_partition(set, psets));
+  }
+}
+
+}  // namespace
+
+class RegionFuzz1D : public ::testing::TestWithParam<int> {};
+
+TEST_P(RegionFuzz1D, InvariantsHold) {
+  core::SplitMix64 rng(static_cast<std::uint64_t>(GetParam()) * 77 + 5);
+  for (int64_t m : {1, 2, 3}) {
+    Stencil<1> st{{7 + GetParam() % 4}, 9, m};
+    for (int iter = 0; iter < 6; ++iter)
+      check_region_invariants<1>(st, random_region<1>(rng, &st));
+  }
+}
+INSTANTIATE_TEST_SUITE_P(Seeds, RegionFuzz1D, ::testing::Range(0, 12));
+
+class RegionFuzz2D : public ::testing::TestWithParam<int> {};
+
+TEST_P(RegionFuzz2D, InvariantsHold) {
+  core::SplitMix64 rng(static_cast<std::uint64_t>(GetParam()) * 131 + 3);
+  for (int64_t m : {1, 2}) {
+    Stencil<2> st{{5, 4 + GetParam() % 3}, 6, m};
+    for (int iter = 0; iter < 3; ++iter)
+      check_region_invariants<2>(st, random_region<2>(rng, &st));
+  }
+}
+INSTANTIATE_TEST_SUITE_P(Seeds, RegionFuzz2D, ::testing::Range(0, 8));
+
+class RegionFuzz3D : public ::testing::TestWithParam<int> {};
+
+TEST_P(RegionFuzz3D, InvariantsHold) {
+  core::SplitMix64 rng(static_cast<std::uint64_t>(GetParam()) * 17 + 11);
+  Stencil<3> st{{3, 3, 3}, 4, 1 + GetParam() % 2};
+  for (int iter = 0; iter < 2; ++iter)
+    check_region_invariants<3>(st, random_region<3>(rng, &st));
+}
+INSTANTIATE_TEST_SUITE_P(Seeds, RegionFuzz3D, ::testing::Range(0, 6));
+
+TEST(RegionEdge, SinglePointBox) {
+  Stencil<1> st{{8}, 8, 1};
+  // u=5, w=1 -> t=3, x=2.
+  Region<1> r(&st, {5, 1}, {6, 2});
+  ASSERT_EQ(r.count(), 1);
+  auto p = *r.first_point();
+  EXPECT_EQ(p.t, 3);
+  EXPECT_EQ(p.x[0], 2);
+  auto pre = r.preboundary();
+  EXPECT_EQ(pre.size(), 3u);  // three preds of an interior m=1 vertex
+  EXPECT_THROW(r.split(), bsmp::precondition_error);
+}
+
+TEST(RegionEdge, ParityEmptyBox) {
+  // u and w fixed with odd sum: no lattice point (t would be half-odd).
+  Stencil<1> st{{8}, 8, 1};
+  Region<1> r(&st, {5, 2}, {6, 3});
+  EXPECT_TRUE(r.empty());
+  EXPECT_EQ(r.count(), 0);
+  EXPECT_TRUE(r.preboundary().empty());
+  EXPECT_TRUE(r.outset().empty());
+}
+
+TEST(RegionEdge, BoxOutsideSpaceIsEmpty) {
+  Stencil<1> st{{4}, 4, 1};
+  Region<1> below(&st, {-8, -8}, {-4, -4});
+  EXPECT_TRUE(below.empty());
+  Region<1> beyond(&st, {100, 100}, {104, 104});
+  EXPECT_TRUE(beyond.empty());
+}
+
+TEST(RegionEdge, FullVolumeOutsetIsTopRows) {
+  // A box covering all of V: the outset must include every node's last
+  // row (their self-lane successors are past the horizon).
+  Stencil<1> st{{6}, 6, 2};
+  Region<1> v(&st, {0, -5}, {11, 6});
+  EXPECT_EQ(v.count(), 36);
+  auto out = v.outset();
+  dag::PointSet<1> outset(out.begin(), out.end());
+  for (int64_t x = 0; x < 6; ++x) {
+    EXPECT_TRUE(outset.contains(Point<1>{{x}, 5}));
+    EXPECT_TRUE(outset.contains(Point<1>{{x}, 4}));  // t >= T - m
+  }
+  // And its preboundary is empty (nothing precedes V).
+  EXPECT_TRUE(v.preboundary().empty());
+}
+
+TEST(RegionEdge, WidthAndTimeRange) {
+  Stencil<1> st{{16}, 16, 1};
+  Region<1> r(&st, {2, -5}, {10, 1});
+  EXPECT_EQ(r.width(), 8);
+  auto [tmin, tmax] = r.time_range();
+  EXPECT_EQ(tmin, 0);  // clipped at 0 even though the box dips below
+  EXPECT_LE(tmax, 15);
+  EXPECT_GE(tmax, tmin);
+}

@@ -1,0 +1,59 @@
+#include <gtest/gtest.h>
+
+#include "geom/figures.hpp"
+#include "geom/render.hpp"
+
+using namespace bsmp;
+using geom::Region;
+using geom::Stencil;
+
+TEST(Render, PartitionCoversWithoutOverlap) {
+  Stencil<1> st{{12}, 12, 1};
+  auto parts = geom::fig1_partition(&st);
+  std::string img = geom::render_partition_1d(st, parts);
+  // A correct partition renders with no '.' (uncovered) and no '#'
+  // (overlap) inside the volume.
+  std::size_t body = img.find("---");
+  std::string volume = img.substr(0, body);
+  EXPECT_EQ(volume.find('.'), std::string::npos);
+  EXPECT_EQ(volume.find('#'), std::string::npos);
+  // 12 rows of 12 glyphs plus newlines.
+  EXPECT_EQ(volume.size(), 12u * 13u);
+}
+
+TEST(Render, OverlapShowsAsHash) {
+  Stencil<1> st{{6}, 6, 1};
+  Region<1> a(&st, {0, -5}, {11, 6});
+  std::string img = geom::render_partition_1d(st, {a, a});
+  EXPECT_NE(img.find('#'), std::string::npos);
+}
+
+TEST(Render, SingleRegionUsesStar) {
+  Stencil<1> st{{8}, 8, 1};
+  auto d = geom::make_diamond(&st, 2, -2, 4);
+  std::string img = geom::render_region_1d(d);
+  EXPECT_NE(img.find('1'), std::string::npos);
+  EXPECT_NE(img.find('.'), std::string::npos);  // outside the diamond
+}
+
+TEST(Render, TopRowIsLatestTime) {
+  // The first rendered row is t = T-1 (paper orientation): a region
+  // covering only the last step marks only the first row.
+  Stencil<1> st{{4}, 4, 1};
+  Region<1> top(&st, {3, 3}, {7, 4});  // w = t-x = 3 -> the t=3 row's band
+  std::string img = geom::render_partition_1d(st, {top});
+  std::string first_row = img.substr(0, 4);
+  EXPECT_NE(first_row.find('1'), std::string::npos);
+}
+
+TEST(Render, Slice2D) {
+  Stencil<2> st{{8, 8}, 8, 1};
+  auto p = geom::make_octahedron(&st, 2, -2, 2, -2, 4);
+  auto [tmin, tmax] = p.time_range();
+  std::string img =
+      geom::render_partition_2d_slice(st, p.split(), (tmin + tmax) / 2);
+  EXPECT_NE(img.find("t ="), std::string::npos);
+  EXPECT_EQ(img.find('#'), std::string::npos);  // split never overlaps
+  EXPECT_THROW(geom::render_partition_2d_slice(st, {}, 99),
+               bsmp::precondition_error);
+}

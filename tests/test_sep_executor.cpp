@@ -1,0 +1,199 @@
+// The Proposition-2 executor: functional correctness against the
+// direct guest run, runtime topological-partition assertions, space
+// bounds, and Proposition-3 cost conformance.
+#include <gtest/gtest.h>
+
+#include "geom/figures.hpp"
+#include "geom/tiling.hpp"
+#include "sep/executor.hpp"
+#include "sim/observe.hpp"
+#include "sim/reference.hpp"
+#include "workload/rules.hpp"
+
+using namespace bsmp;
+using sep::Executor;
+using sep::ExecutorConfig;
+using sep::ValueMap;
+
+namespace {
+
+/// Execute the whole volume V through tiles + executor and compare the
+/// final values with the reference run.
+template <int D>
+void check_equivalence(sep::Guest<D> guest, int64_t tile_w, int64_t leaf_w) {
+  auto ref = sim::reference_run<D>(guest);
+
+  ExecutorConfig cfg;
+  cfg.leaf_width = leaf_w;
+  cfg.f = hram::AccessFn::hierarchical(D, static_cast<double>(guest.stencil.m));
+  Executor<D> exec(&guest, cfg);
+  core::CostLedger ledger;
+  exec.set_ledger(&ledger);
+
+  geom::TileGrid<D> grid(&guest.stencil, tile_w);
+  ValueMap<D> staging;
+  for (const auto& wave : grid.wavefronts())
+    for (const auto& tile : wave) exec.execute(tile, staging);
+
+  EXPECT_EQ(exec.vertices_executed(),
+            guest.stencil.num_nodes() * guest.stencil.horizon);
+  auto fin = sim::extract_final<D>(guest.stencil, staging);
+  EXPECT_TRUE(sim::same_values<D>(fin, ref.final_values))
+      << "D=" << D << " tile_w=" << tile_w << " leaf_w=" << leaf_w;
+  EXPECT_GT(ledger.total(), 0.0);
+}
+
+}  // namespace
+
+TEST(Executor1D, MatchesReferenceAcrossTileAndLeafWidths) {
+  for (int64_t n : {4, 8, 13}) {
+    for (int64_t T : {4, 9, 16}) {
+      for (int64_t tile_w : {2, 4, 8}) {
+        for (int64_t leaf_w : {1, 2, 4}) {
+          if (leaf_w > tile_w) continue;
+          auto g = workload::make_mix_guest<1>({n}, T, 1,
+                                               0xabcdef | (n << 8) | T);
+          check_equivalence<1>(std::move(g), tile_w, leaf_w);
+        }
+      }
+    }
+  }
+}
+
+TEST(Executor1D, MatchesReferenceWithMemoryDepth) {
+  for (int64_t m : {2, 3, 4, 7}) {
+    for (int64_t tile_w : {4, 8}) {
+      auto g = workload::make_mix_guest<1>({9}, 17, m, 99 + m);
+      check_equivalence<1>(std::move(g), tile_w, std::min<int64_t>(m, tile_w));
+    }
+  }
+}
+
+TEST(Executor2D, MatchesReference) {
+  for (int64_t side : {3, 4, 6}) {
+    for (int64_t tile_w : {3, 4}) {
+      auto g = workload::make_mix_guest<2>({side, side}, side + 2, 1,
+                                           7 * side);
+      check_equivalence<2>(std::move(g), tile_w, 1);
+    }
+  }
+}
+
+TEST(Executor2D, MatchesReferenceWithMemoryDepth) {
+  auto g = workload::make_mix_guest<2>({4, 4}, 9, 3, 1234);
+  check_equivalence<2>(std::move(g), 4, 2);
+}
+
+TEST(Executor3D, MatchesReference) {
+  // The Section-6 d=3 extension.
+  auto g = workload::make_mix_guest<3>({3, 3, 3}, 5, 1, 55);
+  check_equivalence<3>(std::move(g), 3, 1);
+  auto g2 = workload::make_mix_guest<3>({2, 3, 2}, 6, 2, 56);
+  check_equivalence<3>(std::move(g2), 4, 2);
+}
+
+TEST(Executor1D, Rule110MatchesReference) {
+  sep::Guest<1> g;
+  g.stencil = geom::Stencil<1>{{16}, 16, 1};
+  g.rule = workload::rule110();
+  g.input = workload::random_input<1>(2024);
+  check_equivalence<1>(std::move(g), 8, 1);
+}
+
+TEST(Executor, PeakStagingWithinSpaceBound) {
+  // The live value footprint of executing one D(r) must respect
+  // Prop. 3's space bound (σ(|D|) = O(sqrt(|D|)) for d=1, m=1).
+  for (int64_t r : {8, 16, 32}) {
+    auto g = workload::make_mix_guest<1>({64}, 64, 1, 5);
+    ExecutorConfig cfg;
+    cfg.leaf_width = 1;
+    cfg.f = hram::AccessFn::hierarchical(1, 1.0);
+    Executor<1> exec(&g, cfg);
+    core::CostLedger ledger;
+    exec.set_ledger(&ledger);
+    geom::Region<1> d = geom::make_diamond(&g.stencil, 16, -r / 2, r);
+    ASSERT_FALSE(d.empty());
+    ValueMap<1> staging;
+    // Seed the preboundary with arbitrary values.
+    for (const auto& q : d.preboundary()) staging.emplace(q, 1);
+    exec.execute(d, staging);
+    EXPECT_LE(static_cast<double>(exec.peak_staging()),
+              exec.space_bound(r))
+        << "r=" << r;
+  }
+}
+
+TEST(Executor, CostWithinProposition3Bound) {
+  // τ(|U|) <= τ0 |U| log |U| for the d=1 diamond on the f(x)=x H-RAM.
+  // Verify the normalized cost stays bounded (flat, in fact) as r
+  // grows; τ0 is a constant of a few hundred (the paper's own σ0 for
+  // this separator is ~11 and every copied word pays ~4 f(S(U))).
+  double worst = 0, first = 0, last = 0;
+  for (int64_t r : {8, 16, 32, 64}) {
+    auto g = workload::make_mix_guest<1>({128}, 128, 1, 6);
+    ExecutorConfig cfg;
+    cfg.leaf_width = 1;
+    cfg.f = hram::AccessFn::hierarchical(1, 1.0);
+    Executor<1> exec(&g, cfg);
+    core::CostLedger ledger;
+    exec.set_ledger(&ledger);
+    geom::Region<1> d = geom::make_diamond(&g.stencil, 32, -r / 2, r);
+    ValueMap<1> staging;
+    for (const auto& q : d.preboundary()) staging.emplace(q, 1);
+    exec.execute(d, staging);
+    double k = static_cast<double>(d.count());
+    double norm = ledger.total() / (k * core::logbar(k));
+    if (first == 0) first = norm;
+    last = norm;
+    worst = std::max(worst, norm);
+  }
+  // A wrong exponent (Θ(k^1.5)) would both exceed the cap at r=64 and
+  // make the normalized cost grow ~2x per doubling of r.
+  EXPECT_LT(worst, 1000.0);
+  EXPECT_LT(last / first, 2.0) << "normalized cost is not flat";
+}
+
+TEST(Executor, LeafWidthDoesNotChangeValues) {
+  auto g = workload::make_mix_guest<1>({16}, 16, 4, 777);
+  auto ref = sim::reference_run<1>(g);
+  for (int64_t leaf : {1, 2, 4, 8}) {
+    ExecutorConfig cfg;
+    cfg.leaf_width = leaf;
+    cfg.f = hram::AccessFn::hierarchical(1, 4.0);
+    Executor<1> exec(&g, cfg);
+    core::CostLedger ledger;
+    exec.set_ledger(&ledger);
+    geom::TileGrid<1> grid(&g.stencil, 8);
+    ValueMap<1> staging;
+    for (const auto& wave : grid.wavefronts())
+      for (const auto& tile : wave) exec.execute(tile, staging);
+    auto fin = sim::extract_final<1>(g.stencil, staging);
+    EXPECT_TRUE(sim::same_values<1>(fin, ref.final_values)) << leaf;
+  }
+}
+
+TEST(Executor, RequiresLedger) {
+  auto g = workload::make_mix_guest<1>({4}, 4, 1, 1);
+  Executor<1> exec(&g, ExecutorConfig{});
+  geom::TileGrid<1> grid(&g.stencil, 4);
+  ValueMap<1> staging;
+  auto waves = grid.wavefronts();
+  ASSERT_FALSE(waves.empty());
+  ASSERT_FALSE(waves[0].empty());
+  EXPECT_THROW(exec.execute(waves[0][0], staging), bsmp::precondition_error);
+}
+
+TEST(Executor, MissingPreboundaryTriggersInvariantError) {
+  // Executing an interior diamond with an empty staging map must trip
+  // the runtime topological-partition assertion, not silently compute.
+  auto g = workload::make_mix_guest<1>({16}, 16, 1, 3);
+  ExecutorConfig cfg;
+  cfg.leaf_width = 1;
+  cfg.f = hram::AccessFn::unit();
+  Executor<1> exec(&g, cfg);
+  core::CostLedger ledger;
+  exec.set_ledger(&ledger);
+  geom::Region<1> d = geom::make_diamond(&g.stencil, 8, -4, 8);
+  ValueMap<1> staging;  // missing Γin
+  EXPECT_THROW(exec.execute(d, staging), bsmp::invariant_error);
+}

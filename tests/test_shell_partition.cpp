@@ -1,0 +1,78 @@
+// The generic shell partition (Figures 1 and 4 for any d): disjoint
+// cover of V, topological order, and piece counts 2K+1.
+#include <gtest/gtest.h>
+
+#include "dag/explicit_dag.hpp"
+#include "geom/figures.hpp"
+
+using namespace bsmp;
+using geom::Region;
+using geom::Stencil;
+
+namespace {
+
+template <int D>
+void check_shell(const Stencil<D>& st, const Region<D>& center,
+                 std::size_t expect_pieces) {
+  auto parts = geom::shell_partition<D>(&st, center);
+  EXPECT_LE(parts.size(), expect_pieces);  // empty pieces are dropped
+  dag::ExplicitDag<D> g(st);
+  dag::PointSet<D> v;
+  g.for_each_vertex([&](const geom::Point<D>& p) { v.insert(p); });
+  std::vector<dag::PointSet<D>> psets;
+  std::size_t covered = 0;
+  for (const auto& part : parts) {
+    dag::PointSet<D> s;
+    part.for_each([&](const geom::Point<D>& p) { s.insert(p); });
+    covered += s.size();
+    psets.push_back(std::move(s));
+  }
+  EXPECT_EQ(covered, v.size());
+  EXPECT_TRUE(g.is_topological_partition(v, psets));
+}
+
+}  // namespace
+
+TEST(ShellPartition, D1MatchesFigureOne) {
+  Stencil<1> st{{12}, 12, 1};
+  Region<1> center(&st, {6, -6}, {18, 6});  // the inscribed D(n)
+  check_shell<1>(st, center, 5);
+  auto parts = geom::shell_partition<1>(&st, center);
+  EXPECT_EQ(parts.size(), 5u);
+  // The central piece (index K=2) is the full diamond.
+  EXPECT_EQ(parts[2].count(), 12 * 12 / 2);
+}
+
+TEST(ShellPartition, D2GivesNinePieces) {
+  Stencil<2> st{{8, 8}, 8, 1};
+  Region<2> center = geom::make_octahedron(&st, 4, -4, 4, -4, 8);
+  ASSERT_FALSE(center.empty());
+  check_shell<2>(st, center, 9);
+}
+
+TEST(ShellPartition, D3GivesThirteenPieces) {
+  Stencil<3> st{{4, 4, 4}, 4, 1};
+  Region<3> center(&st, {2, -2, 2, -2, 2, -2}, {6, 2, 6, 2, 6, 2});
+  ASSERT_FALSE(center.empty());
+  check_shell<3>(st, center, 13);
+}
+
+TEST(ShellPartition, WorksWithMemoryDepth) {
+  Stencil<1> st{{10}, 10, 3};
+  Region<1> center(&st, {5, -5}, {15, 5});
+  check_shell<1>(st, center, 5);
+}
+
+TEST(ShellPartition, DegenerateCenterCoversV) {
+  // A center hugging one corner: shell pieces absorb the rest.
+  Stencil<1> st{{6}, 6, 1};
+  Region<1> center(&st, {0, -5}, {2, -3});
+  check_shell<1>(st, center, 5);
+}
+
+TEST(ShellPartition, RejectsCenterOutsideV) {
+  Stencil<1> st{{6}, 6, 1};
+  Region<1> bad(&st, {-5, -5}, {2, 2});
+  EXPECT_THROW(geom::shell_partition<1>(&st, bad),
+               bsmp::precondition_error);
+}

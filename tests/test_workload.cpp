@@ -1,0 +1,203 @@
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "core/logmath.hpp"
+#include "sim/reference.hpp"
+#include "workload/matmul.hpp"
+#include "machine/rearrange.hpp"
+#include "workload/rules.hpp"
+
+using namespace bsmp;
+using workload::matmul_hram_blocked;
+using workload::matmul_hram_naive;
+using workload::matmul_mesh_systolic;
+using workload::matmul_plain;
+
+namespace {
+std::vector<hram::Word> random_matrix(std::int64_t side, std::uint64_t seed) {
+  core::SplitMix64 rng(seed);
+  std::vector<hram::Word> m(static_cast<std::size_t>(side * side));
+  for (auto& v : m) v = rng.next();
+  return m;
+}
+}  // namespace
+
+TEST(Rules, Rule110GrowsTriangleFromPoint) {
+  // A single seeded cell under rule 110 produces the classic pattern;
+  // check the population after a few steps matches the known counts.
+  sep::Guest<1> g;
+  g.stencil = geom::Stencil<1>{{16}, 8, 1};
+  g.rule = workload::rule110();
+  g.input = [](const std::array<int64_t, 1>& x, int64_t) -> sep::Word {
+    return x[0] == 12 ? 1 : 0;
+  };
+  auto res = sim::reference_run<1>(g);
+  // Rule 110 from a single 1 expands leftward one cell per step.
+  int population = 0;
+  for (const auto& [p, v] : res.final_values) population += (v & 1);
+  EXPECT_GT(population, 2);
+  EXPECT_LE(population, 9);
+}
+
+TEST(Rules, MixRuleAvalanche) {
+  // Changing one input bit changes (almost) all final values.
+  auto g1 = workload::make_mix_guest<1>({8}, 8, 1, 1);
+  auto g2 = g1;
+  g2.input = [base = g1.input](const std::array<int64_t, 1>& x,
+                               int64_t cell) -> sep::Word {
+    sep::Word v = base(x, cell);
+    return (x[0] == 3 && cell == 0) ? v ^ 1 : v;
+  };
+  auto r1 = sim::reference_run<1>(g1);
+  auto r2 = sim::reference_run<1>(g2);
+  int diff = 0;
+  for (const auto& [p, v] : r1.final_values)
+    if (r2.final_values.at(p) != v) ++diff;
+  EXPECT_GE(diff, 6);  // the flip has propagated across the array
+}
+
+TEST(Rules, DiffusionStaysBounded) {
+  sep::Guest<2> g;
+  g.stencil = geom::Stencil<2>{{4, 4}, 10, 1};
+  g.rule = workload::diffusion_rule<2>();
+  g.input = [](const std::array<int64_t, 2>&, int64_t) -> sep::Word {
+    return 100;
+  };
+  auto res = sim::reference_run<2>(g);
+  for (const auto& [p, v] : res.final_values) {
+    EXPECT_LE(v, 200u);
+    EXPECT_GE(v, 1u);
+  }
+}
+
+TEST(Matmul, AllThreeAgreeWithPlain) {
+  for (std::int64_t side : {4, 8, 16}) {
+    auto a = random_matrix(side, 1);
+    auto b = random_matrix(side, 2);
+    auto want = matmul_plain(side, a, b);
+    EXPECT_EQ(matmul_hram_naive(side, a, b).c, want) << side;
+    EXPECT_EQ(matmul_hram_blocked(side, a, b).c, want) << side;
+    EXPECT_EQ(matmul_mesh_systolic(side, a, b).c, want) << side;
+  }
+}
+
+TEST(Matmul, IdentityTimesAnything) {
+  std::int64_t side = 8;
+  auto b = random_matrix(side, 3);
+  std::vector<hram::Word> id(static_cast<std::size_t>(side * side), 0);
+  for (std::int64_t i = 0; i < side; ++i) id[i * side + i] = 1;
+  EXPECT_EQ(matmul_mesh_systolic(side, id, b).c, b);
+  EXPECT_EQ(matmul_hram_blocked(side, id, b).c, b);
+}
+
+TEST(Matmul, CostOrdering) {
+  // mesh << blocked << naive, as in the introduction's example.
+  std::int64_t side = 32;  // n = 1024 elements
+  auto a = random_matrix(side, 4);
+  auto b = random_matrix(side, 5);
+  auto mesh = matmul_mesh_systolic(side, a, b);
+  auto blocked = matmul_hram_blocked(side, a, b);
+  auto naive = matmul_hram_naive(side, a, b);
+  EXPECT_LT(mesh.time, blocked.time);
+  EXPECT_LT(blocked.time, naive.time);
+}
+
+TEST(Matmul, MeshTimeIsLinearInSide) {
+  auto a16 = random_matrix(16, 6), b16 = random_matrix(16, 7);
+  auto a32 = random_matrix(32, 6), b32 = random_matrix(32, 7);
+  double t16 = matmul_mesh_systolic(16, a16, b16).time;
+  double t32 = matmul_mesh_systolic(32, a32, b32).time;
+  EXPECT_NEAR(t32 / t16, 2.0, 0.3);
+}
+
+TEST(Matmul, NaiveTimeScalesAsN2) {
+  // time(2*side) / time(side) ~ 2^4 (n doubles twice; n^2 -> 16x).
+  auto a16 = random_matrix(16, 8), b16 = random_matrix(16, 9);
+  auto a32 = random_matrix(32, 8), b32 = random_matrix(32, 9);
+  double r = matmul_hram_naive(32, a32, b32).time /
+             matmul_hram_naive(16, a16, b16).time;
+  EXPECT_GT(r, 10.0);
+  EXPECT_LT(r, 24.0);
+}
+
+TEST(Matmul, BlockedBeatsNaiveAsymptotically) {
+  // Naive pays Θ(sqrt(n)) per operation, blocked Θ(log n): the gain
+  // grows roughly as sqrt(n)/log n (noticeable from side ~ 32 on).
+  double prev_gain = 0;
+  for (std::int64_t side : {16, 32, 64}) {
+    auto a = random_matrix(side, 10), b = random_matrix(side, 11);
+    double gain = matmul_hram_naive(side, a, b).time /
+                  matmul_hram_blocked(side, a, b).time;
+    EXPECT_GT(gain, prev_gain * 1.05) << side;  // gain grows with n
+    prev_gain = gain;
+  }
+  EXPECT_GT(prev_gain, 1.5);
+}
+
+TEST(Rearrange, IsAPermutation) {
+  for (auto [q, p] : {std::pair{16L, 4L}, {32L, 4L}, {64L, 8L}}) {
+    auto pos = machine::rearrangement(q, p);
+    std::unordered_set<std::int64_t> seen(pos.begin(), pos.end());
+    EXPECT_EQ(seen.size(), static_cast<std::size_t>(q));
+    for (auto v : pos) {
+      EXPECT_GE(v, 0);
+      EXPECT_LT(v, q);
+    }
+  }
+}
+
+TEST(Rearrange, ConsecutiveStripsStayCloseOrAtQOverP) {
+  // Section 4.2, first bullet: initially consecutive indices are either
+  // consecutive or at distance q/p in the rearranged array.
+  for (auto [q, p] : {std::pair{16L, 4L}, {64L, 8L}, {32L, 2L}}) {
+    auto pos = machine::rearrangement(q, p);
+    for (std::int64_t g = 0; g + 1 < q; ++g) {
+      std::int64_t d = std::abs(pos[g + 1] - pos[g]);
+      EXPECT_TRUE(d == 1 || d == q / p)
+          << "q=" << q << " p=" << p << " g=" << g << " d=" << d;
+    }
+  }
+}
+
+TEST(Rearrange, EverySegmentNearEveryProcessor) {
+  // Section 4.2, second bullet: processor j sits at abscissa j*(q/p);
+  // every original segment of length p has a strip within q/p of it.
+  std::int64_t q = 64, p = 8, qp = q / p;
+  auto pos = machine::rearrangement(q, p);
+  for (std::int64_t j = 0; j < p; ++j) {
+    for (std::int64_t seg = 0; seg < q / p; ++seg) {
+      bool near = false;
+      for (std::int64_t off = 0; off < p; ++off) {
+        std::int64_t g = seg * p + off;
+        if (std::abs(pos[g] - j * qp) <= qp) near = true;
+      }
+      EXPECT_TRUE(near) << "segment " << seg << " far from proc " << j;
+    }
+  }
+}
+
+TEST(Rearrange, Pi1ReversesOddSegments) {
+  auto p1 = machine::pi1(8, 2);
+  // segments: (0,1)(2,3)(4,5)(6,7); odd segments reversed.
+  EXPECT_EQ(p1[0], 0);
+  EXPECT_EQ(p1[1], 1);
+  EXPECT_EQ(p1[2], 3);
+  EXPECT_EQ(p1[3], 2);
+  EXPECT_EQ(p1[6], 7);
+  EXPECT_EQ(p1[7], 6);
+}
+
+TEST(Rearrange, Pi2IsShuffle) {
+  auto p2 = machine::pi2(8, 2);
+  // i = a*2+b -> b*4+a.
+  EXPECT_EQ(p2[0], 0);
+  EXPECT_EQ(p2[1], 4);
+  EXPECT_EQ(p2[2], 1);
+  EXPECT_EQ(p2[7], 7);
+}
+
+TEST(Rearrange, RejectsBadShape) {
+  EXPECT_THROW(machine::rearrangement(10, 4), bsmp::precondition_error);
+  EXPECT_THROW(machine::rearrangement(4, 8), bsmp::precondition_error);
+}
