@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e2_naive.dir/bench_e2_naive.cpp.o"
+  "CMakeFiles/bench_e2_naive.dir/bench_e2_naive.cpp.o.d"
+  "bench_e2_naive"
+  "bench_e2_naive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e2_naive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

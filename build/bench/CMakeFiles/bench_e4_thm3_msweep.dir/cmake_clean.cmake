@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e4_thm3_msweep.dir/bench_e4_thm3_msweep.cpp.o"
+  "CMakeFiles/bench_e4_thm3_msweep.dir/bench_e4_thm3_msweep.cpp.o.d"
+  "bench_e4_thm3_msweep"
+  "bench_e4_thm3_msweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e4_thm3_msweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

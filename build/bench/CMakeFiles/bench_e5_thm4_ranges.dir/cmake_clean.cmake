@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e5_thm4_ranges.dir/bench_e5_thm4_ranges.cpp.o"
+  "CMakeFiles/bench_e5_thm4_ranges.dir/bench_e5_thm4_ranges.cpp.o.d"
+  "bench_e5_thm4_ranges"
+  "bench_e5_thm4_ranges.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e5_thm4_ranges.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

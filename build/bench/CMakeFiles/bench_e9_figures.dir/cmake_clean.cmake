@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e9_figures.dir/bench_e9_figures.cpp.o"
+  "CMakeFiles/bench_e9_figures.dir/bench_e9_figures.cpp.o.d"
+  "bench_e9_figures"
+  "bench_e9_figures.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e9_figures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

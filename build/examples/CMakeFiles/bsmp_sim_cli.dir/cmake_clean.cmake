@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bsmp_sim_cli.dir/bsmp_sim_cli.cpp.o"
+  "CMakeFiles/bsmp_sim_cli.dir/bsmp_sim_cli.cpp.o.d"
+  "bsmp_sim"
+  "bsmp_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bsmp_sim_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

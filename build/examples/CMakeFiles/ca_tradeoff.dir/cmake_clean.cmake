@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ca_tradeoff.dir/ca_tradeoff.cpp.o"
+  "CMakeFiles/ca_tradeoff.dir/ca_tradeoff.cpp.o.d"
+  "ca_tradeoff"
+  "ca_tradeoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ca_tradeoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figures_gallery.dir/figures_gallery.cpp.o"
+  "CMakeFiles/figures_gallery.dir/figures_gallery.cpp.o.d"
+  "figures_gallery"
+  "figures_gallery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figures_gallery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/matmul_speedup.dir/matmul_speedup.cpp.o"
+  "CMakeFiles/matmul_speedup.dir/matmul_speedup.cpp.o.d"
+  "matmul_speedup"
+  "matmul_speedup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/matmul_speedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

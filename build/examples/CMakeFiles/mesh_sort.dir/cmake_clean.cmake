@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mesh_sort.dir/mesh_sort.cpp.o"
+  "CMakeFiles/mesh_sort.dir/mesh_sort.cpp.o.d"
+  "mesh_sort"
+  "mesh_sort.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mesh_sort.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

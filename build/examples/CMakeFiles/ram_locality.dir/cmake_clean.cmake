@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ram_locality.dir/ram_locality.cpp.o"
+  "CMakeFiles/ram_locality.dir/ram_locality.cpp.o.d"
+  "ram_locality"
+  "ram_locality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ram_locality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/schedule_explorer.cpp" "examples/CMakeFiles/schedule_explorer.dir/schedule_explorer.cpp.o" "gcc" "examples/CMakeFiles/schedule_explorer.dir/schedule_explorer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/bsmp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/hram/CMakeFiles/bsmp_hram.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/bsmp_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/bsmp_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/sep/CMakeFiles/bsmp_sep.dir/DependInfo.cmake"
+  "/root/repo/build/src/analytic/CMakeFiles/bsmp_analytic.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/bsmp_workload.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

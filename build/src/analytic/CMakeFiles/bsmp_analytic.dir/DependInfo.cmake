@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analytic/advisor.cpp" "src/analytic/CMakeFiles/bsmp_analytic.dir/advisor.cpp.o" "gcc" "src/analytic/CMakeFiles/bsmp_analytic.dir/advisor.cpp.o.d"
+  "/root/repo/src/analytic/fit.cpp" "src/analytic/CMakeFiles/bsmp_analytic.dir/fit.cpp.o" "gcc" "src/analytic/CMakeFiles/bsmp_analytic.dir/fit.cpp.o.d"
+  "/root/repo/src/analytic/tradeoff.cpp" "src/analytic/CMakeFiles/bsmp_analytic.dir/tradeoff.cpp.o" "gcc" "src/analytic/CMakeFiles/bsmp_analytic.dir/tradeoff.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/bsmp_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bsmp_analytic.dir/advisor.cpp.o"
+  "CMakeFiles/bsmp_analytic.dir/advisor.cpp.o.d"
+  "CMakeFiles/bsmp_analytic.dir/fit.cpp.o"
+  "CMakeFiles/bsmp_analytic.dir/fit.cpp.o.d"
+  "CMakeFiles/bsmp_analytic.dir/tradeoff.cpp.o"
+  "CMakeFiles/bsmp_analytic.dir/tradeoff.cpp.o.d"
+  "libbsmp_analytic.a"
+  "libbsmp_analytic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bsmp_analytic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

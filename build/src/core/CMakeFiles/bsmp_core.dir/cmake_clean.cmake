@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bsmp_core.dir/args.cpp.o"
+  "CMakeFiles/bsmp_core.dir/args.cpp.o.d"
+  "CMakeFiles/bsmp_core.dir/cost.cpp.o"
+  "CMakeFiles/bsmp_core.dir/cost.cpp.o.d"
+  "CMakeFiles/bsmp_core.dir/logmath.cpp.o"
+  "CMakeFiles/bsmp_core.dir/logmath.cpp.o.d"
+  "CMakeFiles/bsmp_core.dir/table.cpp.o"
+  "CMakeFiles/bsmp_core.dir/table.cpp.o.d"
+  "libbsmp_core.a"
+  "libbsmp_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bsmp_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/geom/figures.cpp" "src/geom/CMakeFiles/bsmp_geom.dir/figures.cpp.o" "gcc" "src/geom/CMakeFiles/bsmp_geom.dir/figures.cpp.o.d"
+  "/root/repo/src/geom/render.cpp" "src/geom/CMakeFiles/bsmp_geom.dir/render.cpp.o" "gcc" "src/geom/CMakeFiles/bsmp_geom.dir/render.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/bsmp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/bsmp_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/hram/CMakeFiles/bsmp_hram.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bsmp_geom.dir/figures.cpp.o"
+  "CMakeFiles/bsmp_geom.dir/figures.cpp.o.d"
+  "CMakeFiles/bsmp_geom.dir/render.cpp.o"
+  "CMakeFiles/bsmp_geom.dir/render.cpp.o.d"
+  "libbsmp_geom.a"
+  "libbsmp_geom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bsmp_geom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libbsmp_geom.a"
+)

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hram/access_fn.cpp" "src/hram/CMakeFiles/bsmp_hram.dir/access_fn.cpp.o" "gcc" "src/hram/CMakeFiles/bsmp_hram.dir/access_fn.cpp.o.d"
+  "/root/repo/src/hram/hram.cpp" "src/hram/CMakeFiles/bsmp_hram.dir/hram.cpp.o" "gcc" "src/hram/CMakeFiles/bsmp_hram.dir/hram.cpp.o.d"
+  "/root/repo/src/hram/ram_machine.cpp" "src/hram/CMakeFiles/bsmp_hram.dir/ram_machine.cpp.o" "gcc" "src/hram/CMakeFiles/bsmp_hram.dir/ram_machine.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/bsmp_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

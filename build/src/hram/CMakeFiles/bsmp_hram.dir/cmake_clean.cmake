@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bsmp_hram.dir/access_fn.cpp.o"
+  "CMakeFiles/bsmp_hram.dir/access_fn.cpp.o.d"
+  "CMakeFiles/bsmp_hram.dir/hram.cpp.o"
+  "CMakeFiles/bsmp_hram.dir/hram.cpp.o.d"
+  "CMakeFiles/bsmp_hram.dir/ram_machine.cpp.o"
+  "CMakeFiles/bsmp_hram.dir/ram_machine.cpp.o.d"
+  "libbsmp_hram.a"
+  "libbsmp_hram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bsmp_hram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bsmp_hram.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/machine/clocks.cpp" "src/machine/CMakeFiles/bsmp_machine.dir/clocks.cpp.o" "gcc" "src/machine/CMakeFiles/bsmp_machine.dir/clocks.cpp.o.d"
+  "/root/repo/src/machine/layout.cpp" "src/machine/CMakeFiles/bsmp_machine.dir/layout.cpp.o" "gcc" "src/machine/CMakeFiles/bsmp_machine.dir/layout.cpp.o.d"
+  "/root/repo/src/machine/rearrange.cpp" "src/machine/CMakeFiles/bsmp_machine.dir/rearrange.cpp.o" "gcc" "src/machine/CMakeFiles/bsmp_machine.dir/rearrange.cpp.o.d"
+  "/root/repo/src/machine/spec.cpp" "src/machine/CMakeFiles/bsmp_machine.dir/spec.cpp.o" "gcc" "src/machine/CMakeFiles/bsmp_machine.dir/spec.cpp.o.d"
+  "/root/repo/src/machine/topology.cpp" "src/machine/CMakeFiles/bsmp_machine.dir/topology.cpp.o" "gcc" "src/machine/CMakeFiles/bsmp_machine.dir/topology.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/bsmp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/hram/CMakeFiles/bsmp_hram.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

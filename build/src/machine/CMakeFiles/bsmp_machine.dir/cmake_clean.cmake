@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bsmp_machine.dir/clocks.cpp.o"
+  "CMakeFiles/bsmp_machine.dir/clocks.cpp.o.d"
+  "CMakeFiles/bsmp_machine.dir/layout.cpp.o"
+  "CMakeFiles/bsmp_machine.dir/layout.cpp.o.d"
+  "CMakeFiles/bsmp_machine.dir/rearrange.cpp.o"
+  "CMakeFiles/bsmp_machine.dir/rearrange.cpp.o.d"
+  "CMakeFiles/bsmp_machine.dir/spec.cpp.o"
+  "CMakeFiles/bsmp_machine.dir/spec.cpp.o.d"
+  "CMakeFiles/bsmp_machine.dir/topology.cpp.o"
+  "CMakeFiles/bsmp_machine.dir/topology.cpp.o.d"
+  "libbsmp_machine.a"
+  "libbsmp_machine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bsmp_machine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

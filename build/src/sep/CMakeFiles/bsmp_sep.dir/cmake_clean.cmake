@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bsmp_sep.dir/bounds.cpp.o"
+  "CMakeFiles/bsmp_sep.dir/bounds.cpp.o.d"
+  "libbsmp_sep.a"
+  "libbsmp_sep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bsmp_sep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

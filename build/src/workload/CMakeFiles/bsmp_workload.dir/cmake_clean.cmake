@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bsmp_workload.dir/matmul.cpp.o"
+  "CMakeFiles/bsmp_workload.dir/matmul.cpp.o.d"
+  "CMakeFiles/bsmp_workload.dir/ram_programs.cpp.o"
+  "CMakeFiles/bsmp_workload.dir/ram_programs.cpp.o.d"
+  "CMakeFiles/bsmp_workload.dir/rules.cpp.o"
+  "CMakeFiles/bsmp_workload.dir/rules.cpp.o.d"
+  "libbsmp_workload.a"
+  "libbsmp_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bsmp_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

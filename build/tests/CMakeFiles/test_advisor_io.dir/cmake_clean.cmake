@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_advisor_io.dir/test_advisor_io.cpp.o"
+  "CMakeFiles/test_advisor_io.dir/test_advisor_io.cpp.o.d"
+  "test_advisor_io"
+  "test_advisor_io.pdb"
+  "test_advisor_io[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_advisor_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_concrete.dir/test_concrete.cpp.o"
+  "CMakeFiles/test_concrete.dir/test_concrete.cpp.o.d"
+  "test_concrete"
+  "test_concrete.pdb"
+  "test_concrete[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_concrete.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_executor_property.dir/test_executor_property.cpp.o"
+  "CMakeFiles/test_executor_property.dir/test_executor_property.cpp.o.d"
+  "test_executor_property"
+  "test_executor_property.pdb"
+  "test_executor_property[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_executor_property.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_geom_partitions.dir/test_geom_partitions.cpp.o"
+  "CMakeFiles/test_geom_partitions.dir/test_geom_partitions.cpp.o.d"
+  "test_geom_partitions"
+  "test_geom_partitions.pdb"
+  "test_geom_partitions[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_geom_partitions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

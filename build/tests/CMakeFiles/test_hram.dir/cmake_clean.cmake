@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hram.dir/test_hram.cpp.o"
+  "CMakeFiles/test_hram.dir/test_hram.cpp.o.d"
+  "test_hram"
+  "test_hram.pdb"
+  "test_hram[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

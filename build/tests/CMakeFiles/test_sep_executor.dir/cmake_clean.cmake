@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sep_executor.dir/test_sep_executor.cpp.o"
+  "CMakeFiles/test_sep_executor.dir/test_sep_executor.cpp.o.d"
+  "test_sep_executor"
+  "test_sep_executor.pdb"
+  "test_sep_executor[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sep_executor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

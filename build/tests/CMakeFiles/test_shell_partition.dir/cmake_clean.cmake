@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_shell_partition.dir/test_shell_partition.cpp.o"
+  "CMakeFiles/test_shell_partition.dir/test_shell_partition.cpp.o.d"
+  "test_shell_partition"
+  "test_shell_partition.pdb"
+  "test_shell_partition[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_shell_partition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

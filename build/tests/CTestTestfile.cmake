@@ -1,0 +1,33 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_core[1]_include.cmake")
+include("/root/repo/build/tests/test_args_stats[1]_include.cmake")
+include("/root/repo/build/tests/test_region_property[1]_include.cmake")
+include("/root/repo/build/tests/test_executor_property[1]_include.cmake")
+include("/root/repo/build/tests/test_concrete[1]_include.cmake")
+include("/root/repo/build/tests/test_bounds[1]_include.cmake")
+include("/root/repo/build/tests/test_observe[1]_include.cmake")
+include("/root/repo/build/tests/test_sim_more[1]_include.cmake")
+include("/root/repo/build/tests/test_sched[1]_include.cmake")
+include("/root/repo/build/tests/test_parallel_sched[1]_include.cmake")
+include("/root/repo/build/tests/test_render[1]_include.cmake")
+include("/root/repo/build/tests/test_shell_partition[1]_include.cmake")
+include("/root/repo/build/tests/test_layout[1]_include.cmake")
+include("/root/repo/build/tests/test_ram_machine[1]_include.cmake")
+include("/root/repo/build/tests/test_advisor_io[1]_include.cmake")
+include("/root/repo/build/tests/test_sweeps[1]_include.cmake")
+include("/root/repo/build/tests/test_invariants[1]_include.cmake")
+include("/root/repo/build/tests/test_compare[1]_include.cmake")
+include("/root/repo/build/tests/test_hram[1]_include.cmake")
+include("/root/repo/build/tests/test_machine[1]_include.cmake")
+include("/root/repo/build/tests/test_geom_region[1]_include.cmake")
+include("/root/repo/build/tests/test_geom_partitions[1]_include.cmake")
+include("/root/repo/build/tests/test_dag[1]_include.cmake")
+include("/root/repo/build/tests/test_sep_executor[1]_include.cmake")
+include("/root/repo/build/tests/test_sim_equivalence[1]_include.cmake")
+include("/root/repo/build/tests/test_analytic[1]_include.cmake")
+include("/root/repo/build/tests/test_workload[1]_include.cmake")
