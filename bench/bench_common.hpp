@@ -1,19 +1,32 @@
-// Shared helpers for the reproduction benches: every bench prints its
-// paper-artifact table(s) first, then runs the registered
-// google-benchmark kernels.
+// Shared harness for the reproduction benches. Every bench binary:
+//
+//   1. runs its table emitter (src/tables) twice — once on a 1-thread
+//      engine::Pool and once on a hardware_concurrency pool, each with
+//      a fresh PlanCache — and aborts if the two passes disagree on a
+//      single table (the same check the tier-2 conformance suite
+//      enforces under ctest);
+//   2. prints the tables of the parallel pass, then an `# engine:` line
+//      reporting the wall-clock speedup of pass 2 over pass 1 and the
+//      PlanCache hit rate;
+//   3. runs the registered google-benchmark kernels.
 #pragma once
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdio>
 #include <iostream>
 
 #include "analytic/tradeoff.hpp"
 #include "core/table.hpp"
+#include "engine/plan_cache.hpp"
+#include "engine/pool.hpp"
 #include "machine/spec.hpp"
 #include "sim/dc_uniproc.hpp"
 #include "sim/multiproc.hpp"
 #include "sim/naive.hpp"
 #include "sim/reference.hpp"
+#include "tables/emitters.hpp"
 #include "workload/rules.hpp"
 
 namespace bsmp::bench {
@@ -28,20 +41,65 @@ inline machine::MachineSpec spec(int d, std::int64_t n, std::int64_t p,
   return s;
 }
 
-/// Abort loudly if a simulation diverged from the guest — a bench must
-/// never report costs of a wrong computation.
-template <int D>
-void require_equivalent(const sim::SimResult<D>& res,
-                        const sim::SimResult<D>& ref, const char* what) {
-  if (!sim::same_values<D>(res.final_values, ref.final_values)) {
-    std::cerr << "FATAL: " << what
-              << " produced wrong guest values; cost data is meaningless\n";
-    std::abort();
-  }
+struct EmitterPass {
+  std::vector<tables::Emitted> artifacts;
+  double seconds = 0;
+  engine::PlanCache::Stats cache;
+};
+
+inline EmitterPass run_pass(const tables::Emitter& emitter, int threads) {
+  engine::Pool pool(threads);
+  engine::PlanCache plans;
+  tables::EngineCtx ctx{&pool, &plans};
+  auto t0 = std::chrono::steady_clock::now();
+  EmitterPass pass;
+  pass.artifacts = emitter.fn(ctx);
+  pass.seconds = std::chrono::duration<double>(
+                     std::chrono::steady_clock::now() - t0)
+                     .count();
+  pass.cache = plans.stats();
+  return pass;
 }
 
-inline int run_bench_main(int argc, char** argv, void (*emit_tables)()) {
-  emit_tables();
+/// Emit the named tables with the dual-pass determinism check, print
+/// the parallel pass, and report speedup + cache hit rate.
+inline void emit_tables(const char* emitter_name) {
+  const auto& emitter = tables::find_emitter(emitter_name);
+  auto seq = run_pass(emitter, 1);
+  int threads = engine::Pool::hardware_threads();
+  auto par = run_pass(emitter, threads);
+
+  if (seq.artifacts.size() != par.artifacts.size()) {
+    std::cerr << "FATAL: " << emitter.name
+              << " emitted a different table count at threads=1 vs threads="
+              << threads << "\n";
+    std::abort();
+  }
+  for (std::size_t i = 0; i < seq.artifacts.size(); ++i) {
+    if (!(seq.artifacts[i].table == par.artifacts[i].table)) {
+      std::cerr << "FATAL: table '" << par.artifacts[i].table.title()
+                << "' differs between threads=1 and threads=" << threads
+                << " — engine determinism broken\n";
+      std::abort();
+    }
+  }
+
+  for (const auto& a : par.artifacts) {
+    a.table.print(std::cout);
+    if (!a.note.empty()) std::cout << a.note << "\n";
+  }
+  std::printf(
+      "# engine: threads=1 %.3fs, threads=%d %.3fs, speedup %.2fx; "
+      "plan cache: %llu hits / %llu lookups (hit rate %.0f%%)\n\n",
+      seq.seconds, threads, par.seconds,
+      par.seconds > 0 ? seq.seconds / par.seconds : 0.0,
+      static_cast<unsigned long long>(par.cache.hits),
+      static_cast<unsigned long long>(par.cache.lookups()),
+      100.0 * par.cache.hit_rate());
+}
+
+inline int run_bench_main(int argc, char** argv, const char* emitter_name) {
+  emit_tables(emitter_name);
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();
@@ -51,7 +109,8 @@ inline int run_bench_main(int argc, char** argv, void (*emit_tables)()) {
 
 }  // namespace bsmp::bench
 
-#define BSMP_BENCH_MAIN(emit_tables_fn)                              \
-  int main(int argc, char** argv) {                                  \
-    return ::bsmp::bench::run_bench_main(argc, argv, emit_tables_fn); \
+/// `emitter` is the registry name of this bench's table emitter ("e1").
+#define BSMP_BENCH_MAIN(emitter)                                  \
+  int main(int argc, char** argv) {                               \
+    return ::bsmp::bench::run_bench_main(argc, argv, emitter);    \
   }

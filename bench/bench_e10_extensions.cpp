@@ -1,106 +1,12 @@
-// E10 — the comparison baselines and Section-6 extensions:
-//   * Brent baseline: in the instantaneous model the slowdown is
-//     exactly Θ(n/p) — no locality term;
-//   * pipelined memory: a p-processor machine with pipelined memory
-//     modules simulates with no locality slowdown (Section 6);
-//   * the d=3 conjecture: the six-coordinate separator executes a 3-d
-//     mesh computation with slowdown O(n log n) on one processor.
+// E10 — the comparison baselines and Section-6 extensions (Brent
+// baseline, pipelined memory, the d=3 conjecture, heterogeneous
+// memory), plus the cached-plan re-costing table. Tables come from
+// tables::e10_tables via the engine harness.
 #include "bench_common.hpp"
-#include "core/logmath.hpp"
 
 using namespace bsmp;
-using bsmp::bench::spec;
 
 namespace {
-
-void emit() {
-  {
-    std::int64_t n = 256;
-    core::Table t("E10a: instantaneous model (Brent) vs bounded speed, d=1",
-                  {"p", "instantaneous Tp/Tn", "n/p", "bounded-speed naive",
-                   "bounded/instant"});
-    auto g = workload::make_mix_guest<1>({n}, 16, 1, 13);
-    auto ref = sim::reference_run<1>(g);
-    for (std::int64_t p : {1, 4, 16, 64}) {
-      sim::NaiveConfig inst;
-      inst.instantaneous = true;
-      auto ri = sim::simulate_naive<1>(g, spec(1, n, p, 1), inst);
-      bench::require_equivalent<1>(ri, ref, "instantaneous");
-      auto rb = sim::simulate_naive<1>(g, spec(1, n, p, 1));
-      t.add_row({(long long)p, ri.slowdown(), (double)n / (double)p,
-                 rb.slowdown(), rb.slowdown() / ri.slowdown()});
-    }
-    t.print(std::cout);
-    std::cout << "# instantaneous slowdown tracks n/p exactly (Brent);\n"
-                 "# bounded speed pays an extra locality factor.\n\n";
-  }
-  {
-    std::int64_t n = 256;
-    core::Table t("E10b: pipelined memory kills the locality slowdown",
-                  {"p", "pipelined Tp/Tn", "n/p", "plain Tp/Tn",
-                   "locality factor removed"});
-    auto g = workload::make_mix_guest<1>({n}, 16, 1, 14);
-    auto ref = sim::reference_run<1>(g);
-    for (std::int64_t p : {1, 4, 16}) {
-      sim::NaiveConfig piped;
-      piped.pipelined = true;
-      auto rp = sim::simulate_naive<1>(g, spec(1, n, p, 1), piped);
-      bench::require_equivalent<1>(rp, ref, "pipelined");
-      auto rn = sim::simulate_naive<1>(g, spec(1, n, p, 1));
-      t.add_row({(long long)p, rp.slowdown(), (double)n / (double)p,
-                 rn.slowdown(), rn.slowdown() / rp.slowdown()});
-    }
-    t.print(std::cout);
-    std::cout << "# pipelined slowdown ~ n/p (no locality term) — but the\n"
-                 "# paper notes the pipelining hardware itself scales with\n"
-                 "# n, making the machine as costly as p = n.\n\n";
-  }
-  {
-    core::Table t("E10c: d=3 conjecture — D&C uniprocessor, m=1",
-                  {"n", "side", "T1/Tn (D&C)", "n*logn", "ratio",
-                   "naive n^{4/3}"});
-    for (std::int64_t side : {4, 6, 8, 10}) {
-      std::int64_t n = side * side * side;
-      auto g = workload::make_mix_guest<3>({side, side, side}, side, 1, 15);
-      auto ref = sim::reference_run<3>(g);
-      machine::MachineSpec host;
-      host.d = 3;
-      host.n = n;
-      host.p = 1;
-      host.m = 1;
-      auto dc = sim::simulate_dc_uniproc<3>(g, host);
-      bench::require_equivalent<3>(dc, ref, "dc d=3");
-      double bound = (double)n * core::logbar((double)n);
-      t.add_row({(long long)n, (long long)side, dc.slowdown(), bound,
-                 dc.slowdown() / bound, std::pow((double)n, 4.0 / 3.0)});
-    }
-    t.print(std::cout);
-    std::cout << "# Section 6 conjectures Theorem 1 extends to d=3; the\n"
-                 "# six-coordinate box separator indeed achieves\n"
-                 "# Θ(n log n) here.\n\n";
-  }
-  {
-    // Section 6, last paragraph: if the guest algorithm actually needs
-    // only m' < m cells per node, the denser technology yields more
-    // locality: the D&C slowdown falls as m grows past m'.
-    core::Table t("E10d: heterogeneous memory — guest m'=4, technology m "
-                  "sweep (d=1, p=1, n=128)",
-                  {"m", "T1/Tn", "vs m=m'"});
-    std::int64_t n = 128, guest_m = 4;
-    auto g = workload::make_mix_guest<1>({n}, n, guest_m, 16);
-    auto ref = sim::reference_run<1>(g);
-    double base = 0;
-    for (std::int64_t m : {4, 8, 16, 64, 256}) {
-      auto res = sim::simulate_dc_uniproc<1>(g, spec(1, n, 1, m));
-      bench::require_equivalent<1>(res, ref, "heterogeneous m");
-      if (base == 0) base = res.slowdown();
-      t.add_row({(long long)m, res.slowdown(), res.slowdown() / base});
-    }
-    t.print(std::cout);
-    std::cout << "# denser memory, same data: \"more locality will\n"
-                 "# result\" — the slowdown drops monotonically.\n\n";
-  }
-}
 
 void BM_dc_d3(benchmark::State& state) {
   std::int64_t side = state.range(0);
@@ -117,4 +23,4 @@ BENCHMARK(BM_dc_d3)->Arg(4)->Arg(8);
 
 }  // namespace
 
-BSMP_BENCH_MAIN(emit)
+BSMP_BENCH_MAIN("e10")

@@ -3,10 +3,9 @@
 //   mesh M2(n,n,1):       Θ(sqrt(n))
 //   uniprocessor, naive:  Θ(n^2)          -> speedup Θ(n^(3/2))
 //   uniprocessor, AACS87: Θ(n^(3/2) log n) -> speedup Θ(n log n)
-// Both speedups are superlinear in the n mesh processors; under the
-// instantaneous model the cap is n (Brent).
+// Tables come from tables::e1_tables via the engine harness; the
+// kernels below time the three matmul variants in isolation.
 #include "bench_common.hpp"
-#include "core/logmath.hpp"
 #include "core/rng.hpp"
 #include "workload/matmul.hpp"
 
@@ -19,33 +18,6 @@ std::vector<hram::Word> rnd(std::int64_t side, std::uint64_t seed) {
   std::vector<hram::Word> m(static_cast<std::size_t>(side * side));
   for (auto& v : m) v = rng.next();
   return m;
-}
-
-void emit() {
-  core::Table t(
-      "E1: matmul speedups under bounded-speed propagation (intro example)",
-      {"n", "mesh T", "naive T", "blocked T", "speedup_naive",
-       "sp_naive/n^1.5", "speedup_blocked", "sp_blocked/(n logn)"});
-  for (std::int64_t side : {8, 16, 32, 64, 128}) {
-    std::int64_t n = side * side;
-    auto a = rnd(side, 1), b = rnd(side, 2);
-    auto mesh = workload::matmul_mesh_systolic(side, a, b);
-    auto naive = workload::matmul_hram_naive(side, a, b);
-    auto blocked = workload::matmul_hram_blocked(side, a, b);
-    if (mesh.c != naive.c || mesh.c != blocked.c) {
-      std::cerr << "FATAL: matmul variants disagree\n";
-      std::abort();
-    }
-    double dn = static_cast<double>(n);
-    double sp_n = naive.time / mesh.time;
-    double sp_b = blocked.time / mesh.time;
-    t.add_row({(long long)n, mesh.time, naive.time, blocked.time, sp_n,
-               sp_n / std::pow(dn, 1.5), sp_b,
-               sp_b / (dn * core::logbar(dn))});
-  }
-  t.print(std::cout);
-  std::cout << "# Expected shape: sp_naive/n^1.5 and sp_blocked/(n logn)\n"
-               "# are flat (Θ(1)) — both speedups superlinear in n.\n\n";
 }
 
 void BM_mesh(benchmark::State& state) {
@@ -74,4 +46,4 @@ BENCHMARK(BM_hram_blocked)->Arg(16)->Arg(32);
 
 }  // namespace
 
-BSMP_BENCH_MAIN(emit)
+BSMP_BENCH_MAIN("e1")

@@ -1,65 +1,13 @@
 // E2 — Proposition 1: the naive simulation. Md(n,1,m) simulates
 // Md(n,n,m) with slowdown Θ(n^(1+1/d)), independent of m; with p
-// processors the slowdown is Θ((n/p)^(1+1/d)).
+// processors the slowdown is Θ((n/p)^(1+1/d)). Tables come from
+// tables::e2_tables via the engine harness.
 #include "bench_common.hpp"
 
 using namespace bsmp;
 using bsmp::bench::spec;
 
 namespace {
-
-void emit() {
-  {
-    core::Table t("E2a: naive slowdown vs n (d=1, p=1) — Prop. 1",
-                  {"n", "m", "Tp/Tn", "bound n^2", "ratio"});
-    for (std::int64_t n : {32, 64, 128, 256}) {
-      for (std::int64_t m : {1, 8}) {
-        auto g = workload::make_mix_guest<1>({n}, 16, m, 1);
-        auto ref = sim::reference_run<1>(g);
-        auto res = sim::simulate_naive<1>(g, spec(1, n, 1, m));
-        bench::require_equivalent<1>(res, ref, "naive d=1");
-        double bound = analytic::naive_bound(1, (double)n, (double)m, 1);
-        t.add_row({(long long)n, (long long)m, res.slowdown(), bound,
-                   res.slowdown() / bound});
-      }
-    }
-    t.print(std::cout);
-    std::cout << "# ratio flat in n and m: slowdown is Θ(n^2), "
-                 "independent of m.\n\n";
-  }
-  {
-    core::Table t("E2b: naive slowdown vs n (d=2, p=1) — Prop. 1",
-                  {"n", "Tp/Tn", "bound n^1.5", "ratio"});
-    for (std::int64_t side : {8, 16, 32}) {
-      std::int64_t n = side * side;
-      auto g = workload::make_mix_guest<2>({side, side}, 8, 1, 2);
-      auto ref = sim::reference_run<2>(g);
-      auto res = sim::simulate_naive<2>(g, spec(2, n, 1, 1));
-      bench::require_equivalent<2>(res, ref, "naive d=2");
-      double bound = analytic::naive_bound(2, (double)n, 1, 1);
-      t.add_row({(long long)n, res.slowdown(), bound,
-                 res.slowdown() / bound});
-    }
-    t.print(std::cout);
-    std::cout << "# d=2: slowdown Θ(n^(3/2)).\n\n";
-  }
-  {
-    core::Table t("E2c: naive slowdown vs p (d=1, n=256)",
-                  {"p", "Tp/Tn", "bound (n/p)^2", "ratio"});
-    std::int64_t n = 256;
-    auto g = workload::make_mix_guest<1>({n}, 16, 1, 3);
-    auto ref = sim::reference_run<1>(g);
-    for (std::int64_t p : {1, 4, 16, 64}) {
-      auto res = sim::simulate_naive<1>(g, spec(1, n, p, 1));
-      bench::require_equivalent<1>(res, ref, "naive d=1 p");
-      double bound = analytic::naive_bound(1, (double)n, 1, (double)p);
-      t.add_row({(long long)p, res.slowdown(), bound,
-                 res.slowdown() / bound});
-    }
-    t.print(std::cout);
-    std::cout << "# parallel naive: Θ((n/p)^2).\n\n";
-  }
-}
 
 void BM_naive_d1(benchmark::State& state) {
   std::int64_t n = state.range(0);
@@ -71,4 +19,4 @@ BENCHMARK(BM_naive_d1)->Arg(64)->Arg(128)->Arg(256);
 
 }  // namespace
 
-BSMP_BENCH_MAIN(emit)
+BSMP_BENCH_MAIN("e2")

@@ -1,35 +1,12 @@
 // E3 — Theorem 2: M1(n,1,1) simulates a Tn-step M1(n,n,1) with
-// slowdown O(n log n) via the diamond topological separator. The table
-// sweeps n geometrically; measured/(n loḡ n) must be flat, and the
-// divide-and-conquer scheme must beat the naive Θ(n^2) by a growing
-// factor.
+// slowdown O(n log n) via the diamond topological separator. Tables
+// come from tables::e3_tables via the engine harness.
 #include "bench_common.hpp"
-#include "core/logmath.hpp"
 
 using namespace bsmp;
 using bsmp::bench::spec;
 
 namespace {
-
-void emit() {
-  core::Table t("E3: Theorem 2 — D&C uniprocessor, d=1, m=1",
-                {"n", "T1/Tn (D&C)", "n*logn bound", "ratio",
-                 "naive T1/Tn", "D&C gain"});
-  for (std::int64_t n : {32, 64, 128, 256, 512}) {
-    auto g = workload::make_mix_guest<1>({n}, n, 1, 4);
-    auto ref = sim::reference_run<1>(g);
-    auto dc = sim::simulate_dc_uniproc<1>(g, spec(1, n, 1, 1));
-    bench::require_equivalent<1>(dc, ref, "dc d=1");
-    auto nv = sim::simulate_naive<1>(g, spec(1, n, 1, 1));
-    double bound = analytic::thm2_bound((double)n);
-    t.add_row({(long long)n, dc.slowdown(), bound, dc.slowdown() / bound,
-               nv.slowdown(), nv.slowdown() / dc.slowdown()});
-  }
-  t.print(std::cout);
-  std::cout << "# Expected: 'ratio' flat (slowdown Θ(n log n)); 'D&C gain'\n"
-               "# grows like n/log n — locality recovered from spatial\n"
-               "# structure, paying only a log factor.\n\n";
-}
 
 void BM_dc_thm2(benchmark::State& state) {
   std::int64_t n = state.range(0);
@@ -42,4 +19,4 @@ BENCHMARK(BM_dc_thm2)->Arg(64)->Arg(128)->Arg(256);
 
 }  // namespace
 
-BSMP_BENCH_MAIN(emit)
+BSMP_BENCH_MAIN("e3")

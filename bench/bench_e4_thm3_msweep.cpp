@@ -1,87 +1,12 @@
 // E4 — Theorem 3: M1(n,1,m) simulates M1(n,n,m) with slowdown
-// O(n * min(n, m loḡ(n/m))). Sweeps m at fixed n (the locality
-// slowdown grows with m until it saturates at the naive n) and n at
-// fixed m.
+// O(n * min(n, m loḡ(n/m))). Tables come from tables::e4_tables via
+// the engine harness.
 #include "bench_common.hpp"
-#include "core/logmath.hpp"
 
 using namespace bsmp;
 using bsmp::bench::spec;
 
 namespace {
-
-void emit() {
-  {
-    std::int64_t n = 128;
-    core::Table t("E4a: Theorem 3 — m sweep at n=128 (d=1, p=1)",
-                  {"m", "T1/Tn", "bound n*min(n,m*log(n/m))", "ratio",
-                   "naive T1/Tn"});
-    for (std::int64_t m : {1, 2, 4, 8, 16, 32, 64, 128, 256}) {
-      auto g = workload::make_mix_guest<1>({n}, n, m, 5);
-      auto ref = sim::reference_run<1>(g);
-      auto dc = sim::simulate_dc_uniproc<1>(g, spec(1, n, 1, m));
-      bench::require_equivalent<1>(dc, ref, "dc thm3");
-      auto nv = sim::simulate_naive<1>(g, spec(1, n, 1, m));
-      double bound = analytic::thm3_bound((double)n, (double)m);
-      t.add_row({(long long)m, dc.slowdown(), bound, dc.slowdown() / bound,
-                 nv.slowdown()});
-    }
-    t.print(std::cout);
-    std::cout << "# Locality slowdown grows ~ m log(n/m) and saturates at\n"
-                 "# the naive level once m ~ n.\n\n";
-  }
-  {
-    std::int64_t m = 8;
-    core::Table t("E4b: Theorem 3 — n sweep at m=8",
-                  {"n", "T1/Tn", "bound", "ratio"});
-    for (std::int64_t n : {32, 64, 128, 256}) {
-      auto g = workload::make_mix_guest<1>({n}, n, m, 6);
-      auto ref = sim::reference_run<1>(g);
-      auto dc = sim::simulate_dc_uniproc<1>(g, spec(1, n, 1, m));
-      bench::require_equivalent<1>(dc, ref, "dc thm3 n-sweep");
-      double bound = analytic::thm3_bound((double)n, (double)m);
-      t.add_row({(long long)n, dc.slowdown(), bound,
-                 dc.slowdown() / bound});
-    }
-    t.print(std::cout);
-    std::cout << "# ratio flat in n: slowdown Θ(n * m log(n/m)).\n\n";
-  }
-  {
-    // Ablation of the executable-diamond width (the leaf at which the
-    // recursion switches to naive execution — Theorem 3 picks D(m)).
-    // The measured curve has the interior minimum the theorem's
-    // analysis predicts: smaller leaves pay more relocation levels,
-    // larger leaves pay superlinear naive execution. The minimum sits
-    // at Θ(m) — at c*m where c ~ (relocation constant)/(naive
-    // constant) of the implementation, ~16 here.
-    std::int64_t n = 512, m = 4;
-    core::Table t("E4c: executable-diamond width ablation — n=512, m=4",
-                  {"leaf width", "T1/Tn", "note"});
-    auto g = workload::make_mix_guest<1>({n}, n, m, 13);
-    auto ref = sim::reference_run<1>(g);
-    double best = 1e300, at_m = 0;
-    std::vector<std::pair<std::int64_t, double>> rows;
-    for (std::int64_t leaf = 1; leaf <= n; leaf *= 4) {
-      sim::DcConfig cfg;
-      cfg.leaf_width = leaf;
-      auto res = sim::simulate_dc_uniproc<1>(g, spec(1, n, 1, m), cfg);
-      bench::require_equivalent<1>(res, ref, "leaf ablation");
-      rows.emplace_back(leaf, res.slowdown());
-      best = std::min(best, res.slowdown());
-      if (leaf == m) at_m = res.slowdown();
-    }
-    for (auto [leaf, slow] : rows) {
-      std::string note;
-      if (leaf == m) note += "= m (Theorem 3); ";
-      if (slow == best) note += "minimum";
-      t.add_row({(long long)leaf, slow, note});
-    }
-    t.print(std::cout);
-    std::cout << "# interior minimum at a constant multiple of m; leaf=m\n"
-                 "# itself is within " << at_m / best
-              << "x — the Θ(m) switch point of Theorem 3.\n\n";
-  }
-}
 
 void BM_dc_thm3(benchmark::State& state) {
   std::int64_t m = state.range(0);
@@ -94,4 +19,4 @@ BENCHMARK(BM_dc_thm3)->Arg(1)->Arg(8)->Arg(64);
 
 }  // namespace
 
-BSMP_BENCH_MAIN(emit)
+BSMP_BENCH_MAIN("e4")

@@ -1,7 +1,6 @@
 // E5 — Theorem 4 (= Theorem 1 at d=1): the multiprocessor simulation
-// with memory rearrangement and the two-regime schedule. Sweeps m
-// through the four ranges at fixed (n,p) and sweeps p at fixed m,
-// comparing the measured slowdown with (n/p) * A(n,m,p).
+// with memory rearrangement and the two-regime schedule. Tables come
+// from tables::e5_tables via the engine harness.
 #include "bench_common.hpp"
 
 using namespace bsmp;
@@ -17,78 +16,6 @@ std::int64_t pick_s(std::int64_t n, std::int64_t m, std::int64_t p) {
   return s;
 }
 
-void emit() {
-  {
-    std::int64_t n = 256, p = 4;
-    core::Table t("E5a: Theorem 4 — m sweep, n=256, p=4",
-                  {"m", "range", "s*", "Tp/Tn", "bound (n/p)A", "ratio",
-                   "util"});
-    for (std::int64_t m : {1, 2, 4, 8, 16, 32, 64, 128, 256}) {
-      auto g = workload::make_mix_guest<1>({n}, n, m, 7);
-      auto ref = sim::reference_run<1>(g);
-      sim::MultiprocConfig cfg;
-      cfg.s = pick_s(n, m, p);
-      auto res = sim::simulate_multiproc<1>(g, spec(1, n, p, m), cfg);
-      bench::require_equivalent<1>(res, ref, "multiproc m-sweep");
-      double bound = analytic::slowdown_bound(1, (double)n, (double)m,
-                                              (double)p);
-      t.add_row({(long long)m,
-                 std::string(analytic::to_string(
-                     analytic::classify_range(1, n, m, p))),
-                 (long long)cfg.s, res.slowdown(), bound,
-                 res.slowdown() / bound, res.utilization});
-    }
-    t.print(std::cout);
-    std::cout << "# The four ranges of Theorem 1: ratio stays Θ(1) as the\n"
-                 "# dominant mechanism shifts from cooperation to naive.\n\n";
-  }
-  {
-    std::int64_t n = 256, m = 4;
-    core::Table t("E5b: Theorem 4 — p sweep, n=256, m=4",
-                  {"p", "Tp/Tn", "bound", "ratio", "Brent n/p",
-                   "A measured"});
-    for (std::int64_t p : {1, 2, 4, 8, 16}) {
-      auto g = workload::make_mix_guest<1>({n}, n, m, 8);
-      auto ref = sim::reference_run<1>(g);
-      sim::MultiprocConfig cfg;
-      cfg.s = pick_s(n, m, p);
-      auto res = sim::simulate_multiproc<1>(g, spec(1, n, p, m), cfg);
-      bench::require_equivalent<1>(res, ref, "multiproc p-sweep");
-      double bound = analytic::slowdown_bound(1, (double)n, (double)m,
-                                              (double)p);
-      double brent = (double)n / (double)p;
-      t.add_row({(long long)p, res.slowdown(), bound,
-                 res.slowdown() / bound, brent, res.slowdown() / brent});
-    }
-    t.print(std::cout);
-    std::cout << "# 'A measured' is the locality slowdown left after\n"
-                 "# dividing out Brent's n/p.\n\n";
-  }
-  {
-    // Section 4.2: the one-time memory rearrangement costs O(n^2 m / p)
-    // and "its cost gives a contribution to the slowdown that vanishes
-    // as the number of simulated steps increases". Sweep the horizon.
-    std::int64_t n = 128, p = 4, m = 2;
-    core::Table t("E5c: rearrangement amortization — n=128, p=4, m=2",
-                  {"T", "Tp/Tn (steady)", "with preprocessing",
-                   "preprocessing share"});
-    for (std::int64_t T : {128, 256, 512, 1024}) {
-      auto g = workload::make_mix_guest<1>({n}, T, m, 21);
-      auto ref = sim::reference_run<1>(g);
-      sim::MultiprocConfig cfg;
-      cfg.s = pick_s(n, m, p);
-      auto res = sim::simulate_multiproc<1>(g, spec(1, n, p, m), cfg);
-      bench::require_equivalent<1>(res, ref, "amortization");
-      double with_pre = (res.time + res.preprocess) / res.guest_time;
-      t.add_row({(long long)T, res.slowdown(), with_pre,
-                 res.preprocess / (res.time + res.preprocess)});
-    }
-    t.print(std::cout);
-    std::cout << "# the preprocessing share vanishes as T grows — the\n"
-                 "# paper's amortization argument, measured.\n\n";
-  }
-}
-
 void BM_multiproc(benchmark::State& state) {
   std::int64_t p = state.range(0);
   auto g = workload::make_mix_guest<1>({128}, 128, 4, 7);
@@ -102,4 +29,4 @@ BENCHMARK(BM_multiproc)->Arg(2)->Arg(4)->Arg(8);
 
 }  // namespace
 
-BSMP_BENCH_MAIN(emit)
+BSMP_BENCH_MAIN("e5")

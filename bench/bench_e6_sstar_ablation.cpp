@@ -1,94 +1,12 @@
 // E6 — ablation of the strip width s (Section 4.2's optimization).
-//
-// The paper minimizes A(s) = (m/p) loḡ(n/ps) + min(s, m loḡ(s/m)) +
-// n/(ps), a sum of three mechanisms whose big-O constants it drops. A
-// real implementation carries a constant per mechanism (our executor's
-// τ0 alone is ~10^2, consistent with the paper's own σ0 ≈ 11 from
-// Proposition 3), so the *absolute* optimum shifts. The reproducible
-// claim is structural: the measured slowdown is a non-negative linear
-// combination of exactly those three terms. We fit the three
-// coefficients by least squares across the s sweep, report R^2, and
-// compare the argmin of the fitted curve with the measured argmin.
+// Tables (with the three-mechanism least-squares fit) come from
+// tables::e6_tables via the engine harness.
 #include "bench_common.hpp"
-
-#include "analytic/fit.hpp"
 
 using namespace bsmp;
 using bsmp::bench::spec;
 
 namespace {
-
-void emit() {
-  std::int64_t n = 256, p = 4;
-  for (std::int64_t m : {1, 8, 64}) {
-    auto range = analytic::classify_range(1, n, m, p);
-    core::Table t("E6: A(s) ablation — n=256, p=4, m=" + std::to_string(m) +
-                      "  [" + analytic::to_string(range) + "]",
-                  {"s", "A(s) analytic", "Tp/Tn measured", "fitted",
-                   "note"});
-    double star = analytic::s_star((double)n, (double)m, (double)p);
-    auto g = workload::make_mix_guest<1>({n}, n, m, 9);
-    auto ref = sim::reference_run<1>(g);
-
-    std::vector<std::int64_t> svals;
-    std::vector<std::array<double, 3>> xs;
-    std::vector<double> ys;
-    for (std::int64_t s = 1; s * p <= n; s *= 2) {
-      sim::MultiprocConfig cfg;
-      cfg.s = s;
-      auto res = sim::simulate_multiproc<1>(g, spec(1, n, p, m), cfg);
-      bench::require_equivalent<1>(res, ref, "sstar ablation");
-      auto terms = analytic::A_terms((double)n, (double)m, (double)p,
-                                     (double)s);
-      svals.push_back(s);
-      xs.push_back({terms.relocation, terms.execution, terms.communication});
-      ys.push_back(res.slowdown() / ((double)n / (double)p));  // measured A
-    }
-    // Relative least squares (rows scaled by 1/y) so every point on
-    // the sweep carries equal weight regardless of magnitude.
-    std::vector<std::array<double, 3>> xs_rel = xs;
-    std::vector<double> ys_rel(ys.size(), 1.0);
-    for (std::size_t i = 0; i < ys.size(); ++i)
-      for (double& v : xs_rel[i]) v /= ys[i];
-    auto c = analytic::fit_least_squares<3>(xs_rel, ys_rel);
-    double mre = 0;  // mean relative error of the fitted curve
-    for (std::size_t i = 0; i < ys.size(); ++i) {
-      double pred = c[0] * xs[i][0] + c[1] * xs[i][1] + c[2] * xs[i][2];
-      mre += std::fabs(pred - ys[i]) / ys[i];
-    }
-    mre /= static_cast<double>(ys.size());
-
-    std::size_t argmin_meas = 0, argmin_fit = 0;
-    for (std::size_t i = 1; i < ys.size(); ++i) {
-      if (ys[i] < ys[argmin_meas]) argmin_meas = i;
-      double fi = c[0] * xs[i][0] + c[1] * xs[i][1] + c[2] * xs[i][2];
-      double fb = c[0] * xs[argmin_fit][0] + c[1] * xs[argmin_fit][1] +
-                  c[2] * xs[argmin_fit][2];
-      if (fi < fb) argmin_fit = i;
-    }
-    for (std::size_t i = 0; i < ys.size(); ++i) {
-      double s = (double)svals[i];
-      double fit = c[0] * xs[i][0] + c[1] * xs[i][1] + c[2] * xs[i][2];
-      std::string note;
-      if (s <= star && star < 2 * s) note += "paper s*; ";
-      if (i == argmin_meas) note += "measured min; ";
-      if (i == argmin_fit) note += "fit min";
-      t.add_row({(long long)svals[i],
-                 analytic::A_of_s((double)n, (double)m, (double)p, s),
-                 ys[i] * ((double)n / (double)p),
-                 fit * ((double)n / (double)p), note});
-    }
-    t.print(std::cout);
-    std::cout << "# mechanism constants (fit): relocation=" << c[0]
-              << " execution=" << c[1] << " communication=" << c[2]
-              << "  mean-relative-error=" << mre << "\n\n";
-  }
-  std::cout << "# Expected: small relative error — the measured curve is the\n"
-               "# three-mechanism combination the paper optimizes; with the\n"
-               "# fitted (implementation) constants the optimum shifts to\n"
-               "# smaller s than the constant-free s*, as Section 4.2's\n"
-               "# analysis predicts it would for any concrete machine.\n\n";
-}
 
 void BM_sweep_s(benchmark::State& state) {
   std::int64_t s = state.range(0);
@@ -103,4 +21,4 @@ BENCHMARK(BM_sweep_s)->Arg(2)->Arg(8)->Arg(32);
 
 }  // namespace
 
-BSMP_BENCH_MAIN(emit)
+BSMP_BENCH_MAIN("e6")

@@ -1,35 +1,13 @@
 // E7 — Theorem 5: M2(n,1,1) simulates a Tn-step M2(n,n,1) with
 // slowdown O(n log n), via the octahedron/tetrahedron separator in the
-// three-dimensional space-time lattice.
+// three-dimensional space-time lattice. Tables come from
+// tables::e7_tables via the engine harness.
 #include "bench_common.hpp"
-#include "core/logmath.hpp"
 
 using namespace bsmp;
 using bsmp::bench::spec;
 
 namespace {
-
-void emit() {
-  core::Table t("E7: Theorem 5 — D&C uniprocessor, d=2, m=1",
-                {"n", "side", "T1/Tn (D&C)", "n*logn bound", "ratio",
-                 "naive T1/Tn", "D&C gain"});
-  for (std::int64_t side : {8, 16, 32, 48}) {
-    std::int64_t n = side * side;
-    // One simulation cycle covers sqrt(n) steps (Theorem 5's proof).
-    auto g = workload::make_mix_guest<2>({side, side}, side, 1, 10);
-    auto ref = sim::reference_run<2>(g);
-    auto dc = sim::simulate_dc_uniproc<2>(g, spec(2, n, 1, 1));
-    bench::require_equivalent<2>(dc, ref, "dc d=2");
-    auto nv = sim::simulate_naive<2>(g, spec(2, n, 1, 1));
-    double bound = analytic::thm5_bound((double)n);
-    t.add_row({(long long)n, (long long)side, dc.slowdown(), bound,
-               dc.slowdown() / bound, nv.slowdown(),
-               nv.slowdown() / dc.slowdown()});
-  }
-  t.print(std::cout);
-  std::cout << "# Expected: ratio flat (Θ(n log n)); naive is Θ(n^{3/2}),\n"
-               "# so the gain grows like sqrt(n)/log n.\n\n";
-}
 
 void BM_dc_thm5(benchmark::State& state) {
   std::int64_t side = state.range(0);
@@ -42,4 +20,4 @@ BENCHMARK(BM_dc_thm5)->Arg(8)->Arg(16)->Arg(32);
 
 }  // namespace
 
-BSMP_BENCH_MAIN(emit)
+BSMP_BENCH_MAIN("e7")

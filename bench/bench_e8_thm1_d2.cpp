@@ -1,60 +1,13 @@
 // E8 — Theorem 1 at d=2: the multiprocessor mesh simulation. The paper
 // states the bound and defers the construction to its companion
-// report [BP95a]; we run the d=2 analogue of the Section-4.2 scheme
-// (Regime 1 relocation + Regime 2 cooperating subtiles on the
-// sqrt(p) x sqrt(p) processor grid) and compare with the closed form.
+// report [BP95a]; we run the d=2 analogue of the Section-4.2 scheme.
+// Tables come from tables::e8_tables via the engine harness.
 #include "bench_common.hpp"
 
 using namespace bsmp;
 using bsmp::bench::spec;
 
 namespace {
-
-void emit() {
-  {
-    std::int64_t side = 16, n = side * side;
-    core::Table t("E8a: Theorem 1 (d=2) — m sweep, n=256, p=4",
-                  {"m", "range", "Tp/Tn", "bound (n/p)A", "ratio", "util"});
-    for (std::int64_t m : {1, 2, 4, 8, 16}) {
-      auto g = workload::make_mix_guest<2>({side, side}, side, m, 11);
-      auto ref = sim::reference_run<2>(g);
-      sim::MultiprocConfig cfg;
-      cfg.s = 4;  // sqrt(n/p) = sqrt(64) = 8 strips of width 4 per dim
-      auto res = sim::simulate_multiproc<2>(g, spec(2, n, 4, m), cfg);
-      bench::require_equivalent<2>(res, ref, "multiproc d=2 m-sweep");
-      double bound =
-          analytic::slowdown_bound(2, (double)n, (double)m, 4.0);
-      t.add_row({(long long)m,
-                 std::string(analytic::to_string(
-                     analytic::classify_range(2, n, m, 4))),
-                 res.slowdown(), bound, res.slowdown() / bound,
-                 res.utilization});
-    }
-    t.print(std::cout);
-  }
-  {
-    std::int64_t side = 16, n = side * side, m = 2;
-    core::Table t("E8b: Theorem 1 (d=2) — p sweep, n=256, m=2",
-                  {"p", "Tp/Tn", "bound", "ratio", "Brent n/p"});
-    for (std::int64_t p : {1, 4, 16}) {
-      auto g = workload::make_mix_guest<2>({side, side}, side, m, 12);
-      auto ref = sim::reference_run<2>(g);
-      sim::MultiprocConfig cfg;
-      cfg.s = std::max<std::int64_t>(
-          1, side / (2 * std::max<std::int64_t>(
-                             1, (std::int64_t)std::sqrt((double)p))));
-      auto res = sim::simulate_multiproc<2>(g, spec(2, n, p, m), cfg);
-      bench::require_equivalent<2>(res, ref, "multiproc d=2 p-sweep");
-      double bound =
-          analytic::slowdown_bound(2, (double)n, (double)m, (double)p);
-      t.add_row({(long long)p, res.slowdown(), bound,
-                 res.slowdown() / bound, (double)n / (double)p});
-    }
-    t.print(std::cout);
-    std::cout << "# d=2 scheme is ours (paper defers details to [BP95a]);\n"
-                 "# the measured/bound ratio staying Θ(1) validates it.\n\n";
-  }
-}
 
 void BM_multiproc_d2(benchmark::State& state) {
   std::int64_t side = 16;
@@ -69,4 +22,4 @@ BENCHMARK(BM_multiproc_d2);
 
 }  // namespace
 
-BSMP_BENCH_MAIN(emit)
+BSMP_BENCH_MAIN("e8")

@@ -1,122 +1,13 @@
 // E9 — the paper's decomposition geometry (Figures 1-4) and the
-// Section-4.2 rearrangement, regenerated as tables:
-//   Fig. 1: the 5-piece ordered partition of the d=1 volume V;
-//   Fig. 3a: P -> 6 octahedra + 8 tetrahedra (14 pieces);
-//   Fig. 3b: W -> 1 octahedron + 4 tetrahedra (5 pieces);
-//   Fig. 4: the full/truncated octahedra/tetrahedra covering the d=2
-//           volume (our regular-tiling equivalent);
-//   Fig. 2: the zig-zag bands, via the strip-to-processor assignment
-//           statistics of the rearrangement pi2*pi1.
+// Section-4.2 rearrangement, regenerated as tables by
+// tables::e9_tables via the engine harness.
 #include "bench_common.hpp"
 #include "geom/figures.hpp"
 #include "geom/tiling.hpp"
-#include "machine/layout.hpp"
-#include "machine/rearrange.hpp"
 
 using namespace bsmp;
 
 namespace {
-
-void emit() {
-  {
-    geom::Stencil<1> st{{32}, 32, 1};
-    auto parts = geom::fig1_partition(&st);
-    core::Table t("E9/Fig1: ordered partition of V = [0,32) x [0,32), d=1",
-                  {"piece", "|Ui|", "|Γin(Ui)|", "width"});
-    std::int64_t total = 0;
-    for (std::size_t i = 0; i < parts.size(); ++i) {
-      total += parts[i].count();
-      t.add_row({std::string("U") + std::to_string(i + 1),
-                 (long long)parts[i].count(),
-                 (long long)parts[i].preboundary().size(),
-                 (long long)parts[i].width()});
-    }
-    t.print(std::cout);
-    std::cout << "# pieces: " << parts.size() << ", total |V| = " << total
-              << " (= 32*32 = 1024): U3 is the full diamond D(n).\n\n";
-  }
-  {
-    geom::Stencil<2> st{{32, 32}, 32, 1};
-    auto p = geom::make_octahedron(&st, 8, -8, 8, -8, 16);
-    auto kids = p.split();
-    core::Table t("E9/Fig3a: recursive decomposition of the octahedron P",
-                  {"child", "class", "|Ui|", "|Ui|/|P|"});
-    for (std::size_t i = 0; i < kids.size(); ++i)
-      t.add_row({(long long)(i + 1),
-                 geom::to_string(geom::classify_d2(kids[i])),
-                 (long long)kids[i].count(),
-                 (double)kids[i].count() / (double)p.count()});
-    t.print(std::cout);
-    std::cout << "# " << kids.size()
-              << " children (paper: 14 = 6 P + 8 W; |P/2|/|P| ~ 1/8, "
-                 "|W/2|/|P| ~ 1/32)\n\n";
-
-    auto w = geom::make_tetrahedron(&st, 16, -8, 8, -16, 16);
-    auto wkids = w.split();
-    core::Table t2("E9/Fig3b: recursive decomposition of the tetrahedron W",
-                   {"child", "class", "|Ui|", "|Ui|/|W|"});
-    for (std::size_t i = 0; i < wkids.size(); ++i)
-      t2.add_row({(long long)(i + 1),
-                  geom::to_string(geom::classify_d2(wkids[i])),
-                  (long long)wkids[i].count(),
-                  (double)wkids[i].count() / (double)w.count()});
-    t2.print(std::cout);
-    std::cout << "# " << wkids.size()
-              << " children (paper: 5 = 1 P + 4 W; ratios 1/2 and 1/8)\n\n";
-  }
-  {
-    geom::Stencil<2> st{{16, 16}, 16, 1};
-    geom::TileGrid<2> grid(&st, 16);
-    auto waves = grid.wavefronts();
-    core::Table t("E9/Fig4: cover of the d=2 volume V by width-sqrt(n) "
-                  "octahedra/tetrahedra (regular-tiling equivalent)",
-                  {"wavefront", "tiles", "points"});
-    std::int64_t total = 0, tiles = 0;
-    for (std::size_t k = 0; k < waves.size(); ++k) {
-      std::int64_t pts = 0;
-      for (const auto& tile : waves[k]) pts += tile.count();
-      total += pts;
-      tiles += (std::int64_t)waves[k].size();
-      t.add_row({(long long)k, (long long)waves[k].size(), (long long)pts});
-    }
-    t.print(std::cout);
-    std::cout << "# " << tiles << " full/truncated pieces covering |V| = "
-              << total << " (= 16*16*16 = 4096)\n\n";
-  }
-  {
-    std::int64_t q = 32, p = 4;
-    auto pos = machine::rearrangement(q, p);
-    core::Table t("E9/Fig2: rearranged strip layout (q=32 strips, p=4)",
-                  {"original strip", "rearranged position", "owner proc"});
-    for (std::int64_t g = 0; g < q; g += 4)
-      t.add_row({(long long)g, (long long)pos[g],
-                 (long long)(pos[g] / (q / p))});
-    t.print(std::cout);
-    std::cout << "# consecutive strips land consecutive or q/p apart — the\n"
-                 "# zig-zag bands of Figure 2.\n\n";
-  }
-  {
-    // Section 4.2's distance claim, measured on the address map: the
-    // per-processor transfer distance for a width-span window under
-    // the rearrangement vs the identity layout's global diameter.
-    std::int64_t q = 64, p = 8;
-    auto ident = machine::StripLayout::identity(q, p, 1);
-    auto rear = machine::StripLayout::rearranged(q, p, 1);
-    core::Table t("E9/Fig2b: transfer distances, identity vs rearranged "
-                  "(q=64 strips, p=8)",
-                  {"window span", "identity (global)",
-                   "rearranged (per-proc)", "reduction"});
-    for (std::int64_t span : {8, 16, 32, 64}) {
-      std::int64_t di = ident.global_window_diameter(span);
-      std::int64_t dr = rear.per_proc_window_diameter(span);
-      t.add_row({(long long)span, (long long)di, (long long)dr,
-                 (double)di / (double)std::max<std::int64_t>(1, dr)});
-    }
-    t.print(std::cout);
-    std::cout << "# \"the distances at which transfers occur are reduced\n"
-                 "# by a factor p\" — measured ~p for every window span.\n\n";
-  }
-}
 
 void BM_split_octahedron(benchmark::State& state) {
   geom::Stencil<2> st{{64, 64}, 64, 1};
@@ -134,4 +25,4 @@ BENCHMARK(BM_preboundary);
 
 }  // namespace
 
-BSMP_BENCH_MAIN(emit)
+BSMP_BENCH_MAIN("e9")

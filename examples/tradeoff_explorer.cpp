@@ -1,15 +1,20 @@
 // Interactive-ish explorer for the closed-form tradeoff: prints the
 // locality slowdown A(n,m,p), the full bound, the range and the
-// optimal strip width s* over user-selected parameter grids.
+// optimal strip width s* over user-selected parameter grids. The grid
+// is evaluated through the sweep engine (rows merge in point order, so
+// the output is identical at any thread count).
 //
-//   $ ./tradeoff_explorer [d] [n] [p_max]
-// Defaults: d=1, n=65536, p_max=256.
+//   $ ./tradeoff_explorer [d] [n] [p_max] [threads]
+// Defaults: d=1, n=65536, p_max=256, threads=hardware.
 #include <cmath>
 #include <cstdlib>
 #include <iostream>
+#include <vector>
 
 #include "analytic/tradeoff.hpp"
 #include "core/table.hpp"
+#include "engine/pool.hpp"
+#include "engine/sweep.hpp"
 
 using namespace bsmp;
 
@@ -17,29 +22,39 @@ int main(int argc, char** argv) {
   int d = argc > 1 ? std::atoi(argv[1]) : 1;
   double n = argc > 2 ? std::atof(argv[2]) : 65536.0;
   double p_max = argc > 3 ? std::atof(argv[3]) : 256.0;
+  int threads = argc > 4 ? std::atoi(argv[4]) : 0;
   if (d < 1 || d > 3 || n < 1 || p_max < 1) {
-    std::cerr << "usage: tradeoff_explorer [d=1|2|3] [n] [p_max]\n";
+    std::cerr << "usage: tradeoff_explorer [d=1|2|3] [n] [p_max] [threads]\n";
     return 2;
   }
 
+  std::vector<std::pair<double, double>> grid;  // (m, p)
+  for (double m = 1; m <= 2 * std::pow(n, 1.0 / d); m *= 8)
+    for (double p = 1; p <= p_max; p *= 16)
+      if (p <= n) grid.emplace_back(m, p);
+
+  engine::Pool pool(threads);
+  auto rows = engine::sweep_map<std::vector<core::Cell>>(
+      pool, grid, [&](const std::pair<double, double>& mp, engine::SweepContext&) {
+        auto [m, p] = mp;
+        double A = analytic::locality_A(d, n, m, p);
+        double sd = analytic::slowdown_bound(d, n, m, p);
+        // Speedup of the n-processor machine over the p-processor one.
+        double speedup = sd;
+        double sstar = d == 1 ? analytic::s_star(n, m, p) : 0.0;
+        return std::vector<core::Cell>{
+            (long long)m, (long long)p,
+            std::string(
+                analytic::to_string(analytic::classify_range(d, n, m, p))),
+            A, sd, speedup, sstar};
+      });
+
   core::Table table("processor-time tradeoff (Theorem 1), d=" +
-                        std::to_string(d) + ", n=" + std::to_string((long long)n),
+                        std::to_string(d) + ", n=" +
+                        std::to_string((long long)n),
                     {"m", "p", "range", "A(n,m,p)", "slowdown (n/p)A",
                      "speedup n vs p", "s* (d=1)"});
-  for (double m = 1; m <= 2 * std::pow(n, 1.0 / d); m *= 8) {
-    for (double p = 1; p <= p_max; p *= 16) {
-      if (p > n) continue;
-      double A = analytic::locality_A(d, n, m, p);
-      double sd = analytic::slowdown_bound(d, n, m, p);
-      // Speedup of the n-processor machine over the p-processor one.
-      double speedup = sd;
-      double sstar = d == 1 ? analytic::s_star(n, m, p) : 0.0;
-      table.add_row(
-          {(long long)m, (long long)p,
-           std::string(analytic::to_string(analytic::classify_range(d, n, m, p))),
-           A, sd, speedup, sstar});
-    }
-  }
+  for (auto& r : rows) table.add_row(std::move(r));
   table.print(std::cout);
 
   std::cout << "\nReading the table: 'slowdown' bounds Tp/Tn when p\n"

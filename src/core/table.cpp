@@ -35,6 +35,26 @@ void Table::add_row(std::vector<Cell> row) {
   rows_.push_back(std::move(row));
 }
 
+bool Table::operator==(const Table& other) const {
+  return title_ == other.title_ && columns_ == other.columns_ &&
+         rows_ == other.rows_;
+}
+
+std::string Table::to_string() const {
+  std::ostringstream os;
+  print(os);
+  return os.str();
+}
+
+std::uint64_t Table::digest() const {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (unsigned char c : to_string()) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
 void Table::print_csv(std::ostream& os) const {
   auto sanitize = [](std::string s) {
     for (char& c : s)

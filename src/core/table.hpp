@@ -3,6 +3,7 @@
 // prediction, ratio) in a grep-friendly layout.
 #pragma once
 
+#include <cstdint>
 #include <iosfwd>
 #include <string>
 #include <variant>
@@ -24,8 +25,24 @@ class Table {
 
   std::size_t num_rows() const { return rows_.size(); }
 
+  const std::string& title() const { return title_; }
+  const std::vector<std::string>& columns() const { return columns_; }
+  const std::vector<std::vector<Cell>>& rows() const { return rows_; }
+
+  /// Value equality of title, columns, and every cell. Doubles compare
+  /// bit-exactly: two tables are equal iff the computations that built
+  /// them were identical — the conformance contract of the sweep engine.
+  bool operator==(const Table& other) const;
+
   /// Render with aligned columns to `os`.
   void print(std::ostream& os) const;
+
+  /// The aligned rendering as a string (what print() writes).
+  std::string to_string() const;
+
+  /// FNV-1a hash of to_string(): a byte-for-byte fingerprint of the
+  /// rendered table, used by determinism regression tests.
+  std::uint64_t digest() const;
 
   /// Render as CSV (header row + data rows); commas in cells are
   /// replaced by semicolons to keep the format line-per-row.

@@ -1,0 +1,124 @@
+#include "engine/pool.hpp"
+
+#include <algorithm>
+
+#include "core/expect.hpp"
+
+namespace bsmp::engine {
+
+int Pool::hardware_threads() {
+  unsigned hc = std::thread::hardware_concurrency();
+  return hc == 0 ? 1 : static_cast<int>(hc);
+}
+
+Pool::Pool(int threads) {
+  size_ = threads <= 0 ? hardware_threads() : threads;
+  workers_.reserve(static_cast<std::size_t>(size_ - 1));
+  for (int i = 1; i < size_; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+Pool::~Pool() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  cv_work_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void Pool::record_error(std::size_t index) {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (!error_ || index < error_index_) {
+    error_ = std::current_exception();
+    error_index_ = index;
+  }
+}
+
+void Pool::drain() {
+  for (;;) {
+    std::size_t i = next_.fetch_add(1, std::memory_order_relaxed);
+    if (i >= n_) return;
+    try {
+      (*body_)(i);
+    } catch (...) {
+      record_error(i);
+    }
+    if (remaining_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      std::lock_guard<std::mutex> lk(mu_);
+      cv_done_.notify_all();
+    }
+  }
+}
+
+void Pool::worker_loop() {
+  std::uint64_t seen = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      cv_work_.wait(lk, [&] { return stop_ || generation_ != seen; });
+      if (stop_) return;
+      seen = generation_;
+      ++draining_;
+    }
+    drain();
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      --draining_;
+      if (draining_ == 0) cv_done_.notify_all();
+    }
+  }
+}
+
+void Pool::parallel_for(std::size_t n,
+                        const std::function<void(std::size_t)>& body) {
+  if (n == 0) return;
+  if (size_ == 1 || n == 1) {
+    // Sequential reference path: no handoff, body runs on the caller.
+    // Same exception contract as the parallel path: every index runs,
+    // the lowest-index failure is rethrown.
+    std::exception_ptr first;
+    for (std::size_t i = 0; i < n; ++i) {
+      try {
+        body(i);
+      } catch (...) {
+        if (!first) first = std::current_exception();
+      }
+    }
+    if (first) std::rethrow_exception(first);
+    return;
+  }
+  {
+    // Wait out stragglers of the previous job before reusing the slots
+    // (a worker may still be draining an already-completed generation).
+    std::unique_lock<std::mutex> lk(mu_);
+    cv_done_.wait(lk, [&] {
+      return remaining_.load(std::memory_order_acquire) == 0 &&
+             draining_ == 0;
+    });
+    body_ = &body;
+    n_ = n;
+    next_.store(0, std::memory_order_relaxed);
+    remaining_.store(n, std::memory_order_relaxed);
+    error_ = nullptr;
+    ++generation_;
+  }
+  cv_work_.notify_all();
+  drain();  // the caller is an executor too
+  {
+    std::unique_lock<std::mutex> lk(mu_);
+    cv_done_.wait(lk, [&] {
+      return remaining_.load(std::memory_order_acquire) == 0 &&
+             draining_ == 0;
+    });
+    body_ = nullptr;
+    n_ = 0;
+    if (error_) {
+      std::exception_ptr e = error_;
+      error_ = nullptr;
+      std::rethrow_exception(e);
+    }
+  }
+}
+
+}  // namespace bsmp::engine

@@ -1,0 +1,76 @@
+// Thread pool backing the sweep engine.
+//
+// A Pool owns `threads - 1` persistent worker threads; the caller of
+// parallel_for is the remaining executor, so Pool(k) runs a sweep on
+// exactly k threads and Pool(1) degenerates to a plain sequential loop
+// on the calling thread (no workers, no synchronization) — the
+// reference execution the conformance tests compare against.
+//
+// parallel_for(n, body) runs body(0..n-1) with dynamic index
+// distribution and blocks until every index has completed. Exceptions
+// thrown by body are captured; after all indices have run, the
+// exception of the *lowest-index* failing point is rethrown, so error
+// reporting is deterministic regardless of thread interleaving.
+//
+// parallel_for calls must not be nested on the same Pool (a body must
+// not call back into its own pool); sweeps over sweeps should flatten
+// their point sets instead.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace bsmp::engine {
+
+class Pool {
+ public:
+  /// `threads <= 0` uses hardware_threads().
+  explicit Pool(int threads = 0);
+  ~Pool();
+
+  Pool(const Pool&) = delete;
+  Pool& operator=(const Pool&) = delete;
+
+  /// Total executors (workers + the calling thread of parallel_for).
+  int size() const { return size_; }
+
+  /// Run body(i) for every i in [0, n); blocks until all complete.
+  void parallel_for(std::size_t n,
+                    const std::function<void(std::size_t)>& body);
+
+  /// std::thread::hardware_concurrency, never less than 1.
+  static int hardware_threads();
+
+ private:
+  void worker_loop();
+  void drain();
+  void record_error(std::size_t index);
+
+  int size_ = 1;
+
+  std::mutex mu_;
+  std::condition_variable cv_work_;   // workers wait for a new job
+  std::condition_variable cv_done_;   // caller waits for completion
+  std::uint64_t generation_ = 0;      // bumped per parallel_for
+  bool stop_ = false;
+
+  // Current job (valid while remaining_ > 0 or draining_ > 0).
+  const std::function<void(std::size_t)>* body_ = nullptr;
+  std::size_t n_ = 0;
+  std::atomic<std::size_t> next_{0};
+  std::atomic<std::size_t> remaining_{0};
+  int draining_ = 0;  // workers currently inside drain(), guarded by mu_
+
+  std::exception_ptr error_;
+  std::size_t error_index_ = 0;
+
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace bsmp::engine

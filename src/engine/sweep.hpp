@@ -1,0 +1,103 @@
+// The sweep engine: evaluate a vector of sweep points across a Pool
+// and merge the per-point rows back in *point order*, regardless of
+// which thread finished which point first.
+//
+// Determinism contract (locked down by tests/test_engine_determinism):
+// for a fixed point vector, row function, and seed, run() returns the
+// same rows — value- and byte-identical once rendered — for every pool
+// size, because
+//   * each point writes only its own result slot (merge order is the
+//     point order by construction);
+//   * the per-point RNG stream is derived from (seed, point index),
+//     never from the executing thread or any global state;
+//   * shared artifacts (plans, guests, reference runs) live in a
+//     PlanCache behind shared_ptr-to-const and are built at most once
+//     per key, so every point observes the same immutable object.
+//
+// The row function must be a pure function of (point, context): no
+// writes to shared mutable state, no iteration-order dependence.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "core/expect.hpp"
+#include "core/rng.hpp"
+#include "engine/plan_cache.hpp"
+#include "engine/pool.hpp"
+
+namespace bsmp::engine {
+
+/// Deterministic per-point generator: a SplitMix64 stream that depends
+/// only on (sweep seed, point index) — pinned per point, not per
+/// thread, so refactors of the execution order cannot silently reorder
+/// RNG consumption.
+inline core::SplitMix64 point_rng(std::uint64_t seed, std::size_t index) {
+  std::uint64_t z = seed + 0x9e3779b97f4a7c15ULL *
+                               (static_cast<std::uint64_t>(index) + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return core::SplitMix64(z ^ (z >> 31));
+}
+
+struct SweepOptions {
+  /// Base seed of the per-point RNG streams.
+  std::uint64_t seed = 0;
+  /// Shared memo for separator trees / Prop-2 plans / guests; may be
+  /// null when the sweep needs no shared artifacts.
+  PlanCache* plans = nullptr;
+};
+
+/// Per-point evaluation context handed to the row function.
+struct SweepContext {
+  std::size_t index = 0;       ///< the point's position in the sweep
+  core::SplitMix64 rng;        ///< point_rng(seed, index)
+  PlanCache* plans = nullptr;  ///< shared plan cache (may be null)
+};
+
+template <typename Point, typename Row>
+class Sweep {
+ public:
+  Sweep() = default;
+  explicit Sweep(std::vector<Point> points, SweepOptions opt = {})
+      : points_(std::move(points)), opt_(opt) {}
+
+  void add(Point p) { points_.push_back(std::move(p)); }
+
+  std::size_t size() const { return points_.size(); }
+  const std::vector<Point>& points() const { return points_; }
+
+  /// Evaluate every point through `fn(const Point&, SweepContext&)`
+  /// on `pool`, returning rows in point order. If any point throws,
+  /// every point still runs and the lowest-index exception propagates.
+  template <typename Fn>
+  std::vector<Row> run(Pool& pool, Fn&& fn) const {
+    std::vector<std::optional<Row>> slots(points_.size());
+    pool.parallel_for(points_.size(), [&](std::size_t i) {
+      SweepContext ctx{i, point_rng(opt_.seed, i), opt_.plans};
+      slots[i].emplace(fn(points_[i], ctx));
+    });
+    std::vector<Row> rows;
+    rows.reserve(slots.size());
+    for (auto& s : slots) {
+      BSMP_ASSERT(s.has_value());
+      rows.push_back(std::move(*s));
+    }
+    return rows;
+  }
+
+ private:
+  std::vector<Point> points_;
+  SweepOptions opt_;
+};
+
+/// One-shot convenience: sweep `points` through `fn` on `pool`.
+template <typename Row, typename Point, typename Fn>
+std::vector<Row> sweep_map(Pool& pool, const std::vector<Point>& points,
+                           Fn&& fn, SweepOptions opt = {}) {
+  return Sweep<Point, Row>(points, opt).run(pool, std::forward<Fn>(fn));
+}
+
+}  // namespace bsmp::engine

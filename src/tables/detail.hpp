@@ -1,0 +1,71 @@
+// Internal helpers shared by the emitter translation units.
+#pragma once
+
+#include <cstdint>
+
+#include "analytic/tradeoff.hpp"
+#include "core/expect.hpp"
+#include "engine/sweep.hpp"
+#include "machine/spec.hpp"
+#include "sim/compare.hpp"
+#include "sim/result.hpp"
+#include "tables/cached.hpp"
+#include "tables/emitters.hpp"
+
+namespace bsmp::tables::detail {
+
+using Row = std::vector<core::Cell>;
+
+inline machine::MachineSpec spec(int d, std::int64_t n, std::int64_t p,
+                                 std::int64_t m) {
+  machine::MachineSpec s;
+  s.d = d;
+  s.n = n;
+  s.p = p;
+  s.m = m;
+  return s;
+}
+
+/// A table emitter must never report costs of a wrong computation:
+/// throws (failing the conformance suite, aborting a bench) if a
+/// simulation diverged from the reference.
+template <int D>
+void require_equivalent(const sim::SimResult<D>& res,
+                        const sim::SimResult<D>& ref, const char* what) {
+  BSMP_REQUIRE_MSG(sim::same_values<D>(res.final_values, ref.final_values),
+                   what << " produced wrong guest values; cost data would "
+                           "be meaningless");
+}
+
+/// Strip width used by the Theorem-4 sweeps: the closed-form s*
+/// clamped to the feasible range.
+inline std::int64_t pick_s(std::int64_t n, std::int64_t m, std::int64_t p) {
+  auto s = static_cast<std::int64_t>(analytic::s_star(
+      static_cast<double>(n), static_cast<double>(m), static_cast<double>(p)));
+  s = s < 1 ? 1 : s;
+  while (s > 1 && s * p > n) s /= 2;
+  return s;
+}
+
+/// Sweep `points` into table rows on the context's pool and cache.
+template <typename Point, typename Fn>
+std::vector<Row> sweep_rows(EngineCtx& ctx, const std::vector<Point>& points,
+                            Fn&& fn) {
+  engine::SweepOptions opt;
+  opt.plans = ctx.plans;
+  return engine::Sweep<Point, Row>(points, opt).run(*ctx.pool,
+                                                    std::forward<Fn>(fn));
+}
+
+/// Sweep into arbitrary per-point values (for emitters that
+/// post-process across the whole sweep before building rows).
+template <typename Value, typename Point, typename Fn>
+std::vector<Value> sweep_values(EngineCtx& ctx,
+                                const std::vector<Point>& points, Fn&& fn) {
+  engine::SweepOptions opt;
+  opt.plans = ctx.plans;
+  return engine::Sweep<Point, Value>(points, opt).run(*ctx.pool,
+                                                      std::forward<Fn>(fn));
+}
+
+}  // namespace bsmp::tables::detail

@@ -1,0 +1,64 @@
+// The paper-artifact table emitters (E1–E10), extracted from the bench
+// mains into a library so the same code path serves three consumers:
+//
+//   * bench/bench_e*.cpp — print the tables, then run the registered
+//     google-benchmark kernels;
+//   * tests/test_engine_determinism.cpp — the tier-2 conformance suite:
+//     every emitter must produce value- and byte-identical tables at
+//     threads=1 and threads=N;
+//   * ad-hoc tools that want one artifact without a bench binary.
+//
+// Every emitter runs its parameter sweeps through engine::Sweep on the
+// caller-supplied Pool, shares guests / reference runs / Prop-2 plans
+// through the caller-supplied PlanCache, and merges rows in point
+// order — so its output is a pure function of the parameters, never of
+// the thread count.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/table.hpp"
+#include "engine/plan_cache.hpp"
+#include "engine/pool.hpp"
+
+namespace bsmp::tables {
+
+/// Execution context every emitter runs in.
+struct EngineCtx {
+  engine::Pool* pool = nullptr;
+  engine::PlanCache* plans = nullptr;
+};
+
+/// One emitted artifact: the table plus the commentary printed after it.
+struct Emitted {
+  core::Table table;
+  std::string note;  ///< trailing commentary ("# ..."), may be empty
+};
+
+std::vector<Emitted> e1_tables(EngineCtx& ctx);   ///< intro matmul speedups
+std::vector<Emitted> e2_tables(EngineCtx& ctx);   ///< Prop. 1 naive
+std::vector<Emitted> e3_tables(EngineCtx& ctx);   ///< Thm 2 D&C d=1
+std::vector<Emitted> e4_tables(EngineCtx& ctx);   ///< Thm 3 m sweep
+std::vector<Emitted> e5_tables(EngineCtx& ctx);   ///< Thm 4 ranges
+std::vector<Emitted> e6_tables(EngineCtx& ctx);   ///< A(s) ablation
+std::vector<Emitted> e7_tables(EngineCtx& ctx);   ///< Thm 5 D&C d=2
+std::vector<Emitted> e8_tables(EngineCtx& ctx);   ///< Thm 1 d=2
+std::vector<Emitted> e9_tables(EngineCtx& ctx);   ///< figures 1-4
+std::vector<Emitted> e10_tables(EngineCtx& ctx);  ///< baselines + Sec. 6
+
+struct Emitter {
+  const char* name;  ///< "e1" … "e10"
+  const char* what;  ///< one-line description
+  std::vector<Emitted> (*fn)(EngineCtx&);
+};
+
+/// All ten emitters in order — the sweep surface the conformance suite
+/// iterates.
+const std::vector<Emitter>& all_emitters();
+
+/// Lookup by name ("e5"); throws precondition_error when unknown.
+const Emitter& find_emitter(std::string_view name);
+
+}  // namespace bsmp::tables

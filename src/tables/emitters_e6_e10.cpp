@@ -1,0 +1,467 @@
+// Emitters E6–E10: the A(s) ablation, the d=2/d=3 theorems, the
+// figure-geometry tables, and the baselines/extensions — plus E10e,
+// which re-costs one cached Prop-2 plan under several memory regimes
+// (the kSchedule PlanCache family's consumer).
+#include <cmath>
+#include <sstream>
+
+#include "analytic/fit.hpp"
+#include "core/logmath.hpp"
+#include "engine/plans.hpp"
+#include "geom/figures.hpp"
+#include "geom/tiling.hpp"
+#include "machine/layout.hpp"
+#include "machine/rearrange.hpp"
+#include "sim/dc_uniproc.hpp"
+#include "sim/multiproc.hpp"
+#include "sim/naive.hpp"
+#include "sim/reference.hpp"
+#include "tables/detail.hpp"
+#include "workload/rules.hpp"
+
+namespace bsmp::tables {
+
+using detail::pick_s;
+using detail::require_equivalent;
+using detail::spec;
+using detail::sweep_rows;
+using detail::sweep_values;
+using detail::Row;
+
+// ---------------------------------------------------------------------
+// E6 — ablation of the strip width s (Section 4.2's optimization).
+//
+// The paper minimizes A(s), a sum of three mechanisms whose big-O
+// constants it drops. We fit the three coefficients by relative least
+// squares across the s sweep and compare the fitted argmin with the
+// measured one. The fit is a whole-sweep computation, so the sweep
+// returns raw measurements and the fit runs sequentially afterwards.
+// ---------------------------------------------------------------------
+
+std::vector<Emitted> e6_tables(EngineCtx& ctx) {
+  std::vector<Emitted> out;
+  std::int64_t n = 256, p = 4;
+  for (std::int64_t m : {1, 8, 64}) {
+    auto range = analytic::classify_range(1, n, m, p);
+    core::Table t("E6: A(s) ablation — n=256, p=4, m=" + std::to_string(m) +
+                      "  [" + analytic::to_string(range) + "]",
+                  {"s", "A(s) analytic", "Tp/Tn measured", "fitted", "note"});
+    double star = analytic::s_star((double)n, (double)m, (double)p);
+
+    std::vector<std::int64_t> svals;
+    for (std::int64_t s = 1; s * p <= n; s *= 2) svals.push_back(s);
+    struct Meas {
+      std::array<double, 3> terms;
+      double y;  // measured A = slowdown / (n/p)
+    };
+    auto meas = sweep_values<Meas>(
+        ctx, svals, [&](std::int64_t s, engine::SweepContext& c) -> Meas {
+          auto ref = cached_reference<1>(*c.plans, {n}, n, m, 9);
+          auto g = cached_mix_guest<1>(*c.plans, {n}, n, m, 9);
+          sim::MultiprocConfig cfg;
+          cfg.s = s;
+          auto res = sim::simulate_multiproc<1>(*g, spec(1, n, p, m), cfg);
+          require_equivalent<1>(res, *ref, "sstar ablation");
+          auto terms =
+              analytic::A_terms((double)n, (double)m, (double)p, (double)s);
+          return {{terms.relocation, terms.execution, terms.communication},
+                  res.slowdown() / ((double)n / (double)p)};
+        });
+
+    // Relative least squares (rows scaled by 1/y) so every point on
+    // the sweep carries equal weight regardless of magnitude.
+    std::vector<std::array<double, 3>> xs_rel;
+    std::vector<double> ys_rel(meas.size(), 1.0);
+    for (const auto& r : meas) {
+      auto row = r.terms;
+      for (double& v : row) v /= r.y;
+      xs_rel.push_back(row);
+    }
+    auto c = analytic::fit_least_squares<3>(xs_rel, ys_rel);
+    auto fitted = [&](const Meas& r) {
+      return c[0] * r.terms[0] + c[1] * r.terms[1] + c[2] * r.terms[2];
+    };
+    double mre = 0;  // mean relative error of the fitted curve
+    for (const auto& r : meas) mre += std::fabs(fitted(r) - r.y) / r.y;
+    mre /= static_cast<double>(meas.size());
+
+    std::size_t argmin_meas = 0, argmin_fit = 0;
+    for (std::size_t i = 1; i < meas.size(); ++i) {
+      if (meas[i].y < meas[argmin_meas].y) argmin_meas = i;
+      if (fitted(meas[i]) < fitted(meas[argmin_fit])) argmin_fit = i;
+    }
+    for (std::size_t i = 0; i < meas.size(); ++i) {
+      double s = (double)svals[i];
+      std::string note;
+      if (s <= star && star < 2 * s) note += "paper s*; ";
+      if (i == argmin_meas) note += "measured min; ";
+      if (i == argmin_fit) note += "fit min";
+      t.add_row({(long long)svals[i],
+                 analytic::A_of_s((double)n, (double)m, (double)p, s),
+                 meas[i].y * ((double)n / (double)p),
+                 fitted(meas[i]) * ((double)n / (double)p), note});
+    }
+    std::ostringstream note;
+    note << "# mechanism constants (fit): relocation=" << c[0]
+         << " execution=" << c[1] << " communication=" << c[2]
+         << "  mean-relative-error=" << mre << "\n";
+    if (m == 64)
+      note << "\n# Expected: small relative error — the measured curve is "
+              "the\n# three-mechanism combination the paper optimizes; with "
+              "the\n# fitted (implementation) constants the optimum shifts "
+              "to\n# smaller s than the constant-free s*, as Section 4.2's\n"
+              "# analysis predicts it would for any concrete machine.\n";
+    out.push_back({std::move(t), note.str()});
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------
+// E7 — Theorem 5: D&C uniprocessor at d=2 via the octahedron/
+// tetrahedron separator in the three-dimensional space-time lattice.
+// ---------------------------------------------------------------------
+
+std::vector<Emitted> e7_tables(EngineCtx& ctx) {
+  core::Table t("E7: Theorem 5 — D&C uniprocessor, d=2, m=1",
+                {"n", "side", "T1/Tn (D&C)", "n*logn bound", "ratio",
+                 "naive T1/Tn", "D&C gain"});
+  std::vector<std::int64_t> sides{8, 16, 32, 48};
+  auto rows = sweep_rows(ctx, sides, [](std::int64_t side,
+                                        engine::SweepContext& c) -> Row {
+    std::int64_t n = side * side;
+    // One simulation cycle covers sqrt(n) steps (Theorem 5's proof).
+    auto ref = cached_reference<2>(*c.plans, {side, side}, side, 1, 10);
+    auto g = cached_mix_guest<2>(*c.plans, {side, side}, side, 1, 10);
+    auto dc = sim::simulate_dc_uniproc<2>(*g, spec(2, n, 1, 1));
+    require_equivalent<2>(dc, *ref, "dc d=2");
+    auto nv = sim::simulate_naive<2>(*g, spec(2, n, 1, 1));
+    double bound = analytic::thm5_bound((double)n);
+    return {(long long)n, (long long)side, dc.slowdown(), bound,
+            dc.slowdown() / bound, nv.slowdown(),
+            nv.slowdown() / dc.slowdown()};
+  });
+  for (auto& r : rows) t.add_row(std::move(r));
+  return {{std::move(t),
+           "# Expected: ratio flat (Θ(n log n)); naive is Θ(n^{3/2}),\n"
+           "# so the gain grows like sqrt(n)/log n.\n"}};
+}
+
+// ---------------------------------------------------------------------
+// E8 — Theorem 1 at d=2: the multiprocessor mesh simulation.
+// ---------------------------------------------------------------------
+
+std::vector<Emitted> e8_tables(EngineCtx& ctx) {
+  std::vector<Emitted> out;
+  {
+    std::int64_t side = 16, n = side * side;
+    core::Table t("E8a: Theorem 1 (d=2) — m sweep, n=256, p=4",
+                  {"m", "range", "Tp/Tn", "bound (n/p)A", "ratio", "util"});
+    std::vector<std::int64_t> ms{1, 2, 4, 8, 16};
+    auto rows = sweep_rows(ctx, ms, [&](std::int64_t m,
+                                        engine::SweepContext& c) -> Row {
+      auto ref = cached_reference<2>(*c.plans, {side, side}, side, m, 11);
+      auto g = cached_mix_guest<2>(*c.plans, {side, side}, side, m, 11);
+      sim::MultiprocConfig cfg;
+      cfg.s = 4;  // sqrt(n/p) = sqrt(64) = 8 strips of width 4 per dim
+      auto res = sim::simulate_multiproc<2>(*g, spec(2, n, 4, m), cfg);
+      require_equivalent<2>(res, *ref, "multiproc d=2 m-sweep");
+      double bound = analytic::slowdown_bound(2, (double)n, (double)m, 4.0);
+      return {(long long)m,
+              std::string(
+                  analytic::to_string(analytic::classify_range(2, n, m, 4))),
+              res.slowdown(), bound, res.slowdown() / bound,
+              res.utilization};
+    });
+    for (auto& r : rows) t.add_row(std::move(r));
+    out.push_back({std::move(t), ""});
+  }
+  {
+    std::int64_t side = 16, n = side * side, m = 2;
+    core::Table t("E8b: Theorem 1 (d=2) — p sweep, n=256, m=2",
+                  {"p", "Tp/Tn", "bound", "ratio", "Brent n/p"});
+    std::vector<std::int64_t> ps{1, 4, 16};
+    auto rows = sweep_rows(ctx, ps, [&](std::int64_t p,
+                                        engine::SweepContext& c) -> Row {
+      auto ref = cached_reference<2>(*c.plans, {side, side}, side, m, 12);
+      auto g = cached_mix_guest<2>(*c.plans, {side, side}, side, m, 12);
+      sim::MultiprocConfig cfg;
+      cfg.s = std::max<std::int64_t>(
+          1, side / (2 * std::max<std::int64_t>(
+                             1, (std::int64_t)std::sqrt((double)p))));
+      auto res = sim::simulate_multiproc<2>(*g, spec(2, n, p, m), cfg);
+      require_equivalent<2>(res, *ref, "multiproc d=2 p-sweep");
+      double bound =
+          analytic::slowdown_bound(2, (double)n, (double)m, (double)p);
+      return {(long long)p, res.slowdown(), bound, res.slowdown() / bound,
+              (double)n / (double)p};
+    });
+    for (auto& r : rows) t.add_row(std::move(r));
+    out.push_back({std::move(t),
+                   "# d=2 scheme is ours (paper defers details to [BP95a]);\n"
+                   "# the measured/bound ratio staying Θ(1) validates it.\n"});
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------
+// E9 — the paper's decomposition geometry (Figures 1-4) and the
+// Section-4.2 rearrangement. All deterministic enumeration; only the
+// Fig2b distance sweep is heavy enough to shard.
+// ---------------------------------------------------------------------
+
+std::vector<Emitted> e9_tables(EngineCtx& ctx) {
+  std::vector<Emitted> out;
+  {
+    geom::Stencil<1> st{{32}, 32, 1};
+    auto parts = geom::fig1_partition(&st);
+    core::Table t("E9/Fig1: ordered partition of V = [0,32) x [0,32), d=1",
+                  {"piece", "|Ui|", "|Γin(Ui)|", "width"});
+    std::int64_t total = 0;
+    for (std::size_t i = 0; i < parts.size(); ++i) {
+      total += parts[i].count();
+      t.add_row({std::string("U") + std::to_string(i + 1),
+                 (long long)parts[i].count(),
+                 (long long)parts[i].preboundary().size(),
+                 (long long)parts[i].width()});
+    }
+    std::ostringstream note;
+    note << "# pieces: " << parts.size() << ", total |V| = " << total
+         << " (= 32*32 = 1024): U3 is the full diamond D(n).\n";
+    out.push_back({std::move(t), note.str()});
+  }
+  {
+    geom::Stencil<2> st{{32, 32}, 32, 1};
+    auto p = geom::make_octahedron(&st, 8, -8, 8, -8, 16);
+    auto kids = p.split();
+    core::Table t("E9/Fig3a: recursive decomposition of the octahedron P",
+                  {"child", "class", "|Ui|", "|Ui|/|P|"});
+    for (std::size_t i = 0; i < kids.size(); ++i)
+      t.add_row({(long long)(i + 1),
+                 geom::to_string(geom::classify_d2(kids[i])),
+                 (long long)kids[i].count(),
+                 (double)kids[i].count() / (double)p.count()});
+    std::ostringstream note;
+    note << "# " << kids.size()
+         << " children (paper: 14 = 6 P + 8 W; |P/2|/|P| ~ 1/8, "
+            "|W/2|/|P| ~ 1/32)\n";
+    out.push_back({std::move(t), note.str()});
+
+    auto w = geom::make_tetrahedron(&st, 16, -8, 8, -16, 16);
+    auto wkids = w.split();
+    core::Table t2("E9/Fig3b: recursive decomposition of the tetrahedron W",
+                   {"child", "class", "|Ui|", "|Ui|/|W|"});
+    for (std::size_t i = 0; i < wkids.size(); ++i)
+      t2.add_row({(long long)(i + 1),
+                  geom::to_string(geom::classify_d2(wkids[i])),
+                  (long long)wkids[i].count(),
+                  (double)wkids[i].count() / (double)w.count()});
+    std::ostringstream note2;
+    note2 << "# " << wkids.size()
+          << " children (paper: 5 = 1 P + 4 W; ratios 1/2 and 1/8)\n";
+    out.push_back({std::move(t2), note2.str()});
+  }
+  {
+    geom::Stencil<2> st{{16, 16}, 16, 1};
+    geom::TileGrid<2> grid(&st, 16);
+    auto waves = grid.wavefronts();
+    core::Table t("E9/Fig4: cover of the d=2 volume V by width-sqrt(n) "
+                  "octahedra/tetrahedra (regular-tiling equivalent)",
+                  {"wavefront", "tiles", "points"});
+    std::int64_t total = 0, tiles = 0;
+    for (std::size_t k = 0; k < waves.size(); ++k) {
+      std::int64_t pts = 0;
+      for (const auto& tile : waves[k]) pts += tile.count();
+      total += pts;
+      tiles += (std::int64_t)waves[k].size();
+      t.add_row({(long long)k, (long long)waves[k].size(), (long long)pts});
+    }
+    std::ostringstream note;
+    note << "# " << tiles << " full/truncated pieces covering |V| = " << total
+         << " (= 16*16*16 = 4096)\n";
+    out.push_back({std::move(t), note.str()});
+  }
+  {
+    std::int64_t q = 32, p = 4;
+    auto pos = machine::rearrangement(q, p);
+    core::Table t("E9/Fig2: rearranged strip layout (q=32 strips, p=4)",
+                  {"original strip", "rearranged position", "owner proc"});
+    for (std::int64_t s = 0; s < q; s += 4)
+      t.add_row(
+          {(long long)s, (long long)pos[s], (long long)(pos[s] / (q / p))});
+    out.push_back({std::move(t),
+                   "# consecutive strips land consecutive or q/p apart — "
+                   "the\n# zig-zag bands of Figure 2.\n"});
+  }
+  {
+    // Section 4.2's distance claim, measured on the address map: the
+    // per-processor transfer distance for a width-span window under
+    // the rearrangement vs the identity layout's global diameter.
+    std::int64_t q = 64, p = 8;
+    core::Table t("E9/Fig2b: transfer distances, identity vs rearranged "
+                  "(q=64 strips, p=8)",
+                  {"window span", "identity (global)",
+                   "rearranged (per-proc)", "reduction"});
+    std::vector<std::int64_t> spans{8, 16, 32, 64};
+    auto rows = sweep_rows(ctx, spans, [&](std::int64_t span,
+                                           engine::SweepContext&) -> Row {
+      auto ident = machine::StripLayout::identity(q, p, 1);
+      auto rear = machine::StripLayout::rearranged(q, p, 1);
+      std::int64_t di = ident.global_window_diameter(span);
+      std::int64_t dr = rear.per_proc_window_diameter(span);
+      return {(long long)span, (long long)di, (long long)dr,
+              (double)di / (double)std::max<std::int64_t>(1, dr)};
+    });
+    for (auto& r : rows) t.add_row(std::move(r));
+    out.push_back({std::move(t),
+                   "# \"the distances at which transfers occur are reduced\n"
+                   "# by a factor p\" — measured ~p for every window span.\n"});
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------
+// E10 — the comparison baselines and Section-6 extensions, plus E10e:
+// one cached Prop-2 plan re-costed under several memory regimes.
+// ---------------------------------------------------------------------
+
+std::vector<Emitted> e10_tables(EngineCtx& ctx) {
+  std::vector<Emitted> out;
+  {
+    std::int64_t n = 256;
+    core::Table t("E10a: instantaneous model (Brent) vs bounded speed, d=1",
+                  {"p", "instantaneous Tp/Tn", "n/p", "bounded-speed naive",
+                   "bounded/instant"});
+    std::vector<std::int64_t> ps{1, 4, 16, 64};
+    auto rows = sweep_rows(ctx, ps, [&](std::int64_t p,
+                                        engine::SweepContext& c) -> Row {
+      auto ref = cached_reference<1>(*c.plans, {n}, 16, 1, 13);
+      auto g = cached_mix_guest<1>(*c.plans, {n}, 16, 1, 13);
+      sim::NaiveConfig inst;
+      inst.instantaneous = true;
+      auto ri = sim::simulate_naive<1>(*g, spec(1, n, p, 1), inst);
+      require_equivalent<1>(ri, *ref, "instantaneous");
+      auto rb = sim::simulate_naive<1>(*g, spec(1, n, p, 1));
+      return {(long long)p, ri.slowdown(), (double)n / (double)p,
+              rb.slowdown(), rb.slowdown() / ri.slowdown()};
+    });
+    for (auto& r : rows) t.add_row(std::move(r));
+    out.push_back({std::move(t),
+                   "# instantaneous slowdown tracks n/p exactly (Brent);\n"
+                   "# bounded speed pays an extra locality factor.\n"});
+  }
+  {
+    std::int64_t n = 256;
+    core::Table t("E10b: pipelined memory kills the locality slowdown",
+                  {"p", "pipelined Tp/Tn", "n/p", "plain Tp/Tn",
+                   "locality factor removed"});
+    std::vector<std::int64_t> ps{1, 4, 16};
+    auto rows = sweep_rows(ctx, ps, [&](std::int64_t p,
+                                        engine::SweepContext& c) -> Row {
+      auto ref = cached_reference<1>(*c.plans, {n}, 16, 1, 14);
+      auto g = cached_mix_guest<1>(*c.plans, {n}, 16, 1, 14);
+      sim::NaiveConfig piped;
+      piped.pipelined = true;
+      auto rp = sim::simulate_naive<1>(*g, spec(1, n, p, 1), piped);
+      require_equivalent<1>(rp, *ref, "pipelined");
+      auto rn = sim::simulate_naive<1>(*g, spec(1, n, p, 1));
+      return {(long long)p, rp.slowdown(), (double)n / (double)p,
+              rn.slowdown(), rn.slowdown() / rp.slowdown()};
+    });
+    for (auto& r : rows) t.add_row(std::move(r));
+    out.push_back(
+        {std::move(t),
+         "# pipelined slowdown ~ n/p (no locality term) — but the\n"
+         "# paper notes the pipelining hardware itself scales with\n"
+         "# n, making the machine as costly as p = n.\n"});
+  }
+  {
+    core::Table t("E10c: d=3 conjecture — D&C uniprocessor, m=1",
+                  {"n", "side", "T1/Tn (D&C)", "n*logn", "ratio",
+                   "naive n^{4/3}"});
+    std::vector<std::int64_t> sides{4, 6, 8, 10};
+    auto rows = sweep_rows(ctx, sides, [](std::int64_t side,
+                                          engine::SweepContext& c) -> Row {
+      std::int64_t n = side * side * side;
+      auto ref =
+          cached_reference<3>(*c.plans, {side, side, side}, side, 1, 15);
+      auto g = cached_mix_guest<3>(*c.plans, {side, side, side}, side, 1, 15);
+      auto dc = sim::simulate_dc_uniproc<3>(*g, spec(3, n, 1, 1));
+      require_equivalent<3>(dc, *ref, "dc d=3");
+      double bound = (double)n * core::logbar((double)n);
+      return {(long long)n, (long long)side, dc.slowdown(), bound,
+              dc.slowdown() / bound, std::pow((double)n, 4.0 / 3.0)};
+    });
+    for (auto& r : rows) t.add_row(std::move(r));
+    out.push_back({std::move(t),
+                   "# Section 6 conjectures Theorem 1 extends to d=3; the\n"
+                   "# six-coordinate box separator indeed achieves\n"
+                   "# Θ(n log n) here.\n"});
+  }
+  {
+    // Section 6, last paragraph: if the guest algorithm actually needs
+    // only m' < m cells per node, the denser technology yields more
+    // locality. The base (m = m') row is needed by every other row's
+    // ratio, so the sweep returns raw slowdowns.
+    core::Table t("E10d: heterogeneous memory — guest m'=4, technology m "
+                  "sweep (d=1, p=1, n=128)",
+                  {"m", "T1/Tn", "vs m=m'"});
+    std::int64_t n = 128, guest_m = 4;
+    std::vector<std::int64_t> ms{4, 8, 16, 64, 256};
+    auto slows = sweep_values<double>(
+        ctx, ms, [&](std::int64_t m, engine::SweepContext& c) -> double {
+          auto ref = cached_reference<1>(*c.plans, {n}, n, guest_m, 16);
+          auto g = cached_mix_guest<1>(*c.plans, {n}, n, guest_m, 16);
+          auto res = sim::simulate_dc_uniproc<1>(*g, spec(1, n, 1, m));
+          require_equivalent<1>(res, *ref, "heterogeneous m");
+          return res.slowdown();
+        });
+    double base = slows.empty() ? 1.0 : slows[0];
+    for (std::size_t i = 0; i < ms.size(); ++i)
+      t.add_row({(long long)ms[i], slows[i], slows[i] / base});
+    out.push_back({std::move(t),
+                   "# denser memory, same data: \"more locality will\n"
+                   "# result\" — the slowdown drops monotonically.\n"});
+  }
+  {
+    // E10e: one plan, many memory regimes. The Schedule IR makes "what
+    // would this exact schedule cost on machine X" a pure function of
+    // the plan, so the sweep builds the plan once through the
+    // kSchedule cache family and re-costs it per regime.
+    geom::Stencil<1> st{{64}, 64, 1};
+    sched::PlannerConfig<1> cfg;
+    cfg.tile_width = 16;
+    cfg.leaf_width = 4;
+    core::Table t("E10e: one cached plan costed under several memory "
+                  "regimes (n=64, tile=16, leaf=4)",
+                  {"regime", "virtual time", "vs unit RAM"});
+    struct Regime {
+      const char* name;
+      hram::AccessFn f;
+      bool pipelined;
+    };
+    std::vector<Regime> regimes{
+        {"unit RAM (instantaneous)", hram::AccessFn::unit(), false},
+        {"hierarchical m=1", hram::AccessFn::hierarchical(1, 1.0), false},
+        {"hierarchical m=8", hram::AccessFn::hierarchical(1, 8.0), false},
+        {"hierarchical m=64", hram::AccessFn::hierarchical(1, 64.0), false},
+        {"hierarchical m=1, pipelined", hram::AccessFn::hierarchical(1, 1.0),
+         true},
+    };
+    auto costs = sweep_values<double>(
+        ctx, regimes, [&](const Regime& r, engine::SweepContext& c) {
+          auto plan = engine::cached_plan<1>(*c.plans, st, cfg);
+          return static_cast<double>(plan->cost_under(st, r.f, r.pipelined));
+        });
+    double unit = costs.empty() ? 1.0 : costs[0];
+    for (std::size_t i = 0; i < regimes.size(); ++i)
+      t.add_row({std::string(regimes[i].name), costs[i], costs[i] / unit});
+    out.push_back(
+        {std::move(t),
+         "# the plan is built once (one kSchedule cache miss) and\n"
+         "# re-costed per regime — pipelining collapses the copy cost\n"
+         "# back toward the unit-RAM floor, Section 6's observation.\n"});
+  }
+  return out;
+}
+
+}  // namespace bsmp::tables

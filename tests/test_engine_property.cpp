@@ -1,0 +1,241 @@
+// Property tests for the sweep engine: pool/task-count matrices,
+// degenerate sweeps, exception propagation, and PlanCache semantics
+// (hit/miss accounting, build-once under contention, failed builds
+// never poisoning a key).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+
+#include "engine/plan_cache.hpp"
+#include "engine/plans.hpp"
+#include "engine/pool.hpp"
+#include "engine/sweep.hpp"
+
+using namespace bsmp;
+using engine::PlanCache;
+using engine::PlanFamily;
+using engine::PlanKey;
+using engine::Pool;
+
+namespace {
+
+PlanKey key_of(int width, PlanFamily family = PlanFamily::kUser) {
+  PlanKey k;
+  k.d = 1;
+  k.family = family;
+  k.width = width;
+  return k;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------
+// Pool: every index runs exactly once, for every (pool size, n) pair —
+// including n = 0, n = 1, n < threads, and n >> threads.
+// ---------------------------------------------------------------------
+
+TEST(PoolProperty, EveryIndexRunsExactlyOnce) {
+  for (int threads : {1, 2, 3, 8}) {
+    Pool pool(threads);
+    EXPECT_EQ(pool.size(), threads);
+    for (std::size_t n : {0u, 1u, 2u, 7u, 64u, 301u}) {
+      std::vector<std::atomic<int>> counts(n);
+      for (auto& c : counts) c = 0;
+      pool.parallel_for(n, [&](std::size_t i) { counts[i]++; });
+      for (std::size_t i = 0; i < n; ++i)
+        EXPECT_EQ(counts[i].load(), 1)
+            << "threads=" << threads << " n=" << n << " i=" << i;
+    }
+  }
+}
+
+TEST(PoolProperty, PoolIsReusableAcrossManyJobs) {
+  Pool pool(4);
+  std::atomic<long long> total{0};
+  for (int round = 0; round < 50; ++round)
+    pool.parallel_for(10, [&](std::size_t i) {
+      total += static_cast<long long>(i);
+    });
+  EXPECT_EQ(total.load(), 50 * 45);
+}
+
+TEST(PoolProperty, ZeroAndDefaultThreadCounts) {
+  Pool defaulted(0);  // 0 -> hardware_threads()
+  EXPECT_EQ(defaulted.size(), Pool::hardware_threads());
+  EXPECT_GE(Pool::hardware_threads(), 1);
+}
+
+// ---------------------------------------------------------------------
+// Exception propagation: every point still runs, and the exception of
+// the lowest-index failing point is the one rethrown — deterministic
+// at every pool size.
+// ---------------------------------------------------------------------
+
+TEST(PoolProperty, LowestIndexExceptionWinsAndAllPointsRun) {
+  for (int threads : {1, 4}) {
+    Pool pool(threads);
+    std::vector<std::atomic<int>> ran(16);
+    for (auto& r : ran) r = 0;
+    try {
+      pool.parallel_for(16, [&](std::size_t i) {
+        ran[i]++;
+        if (i == 11 || i == 5 || i == 13)
+          throw std::runtime_error("boom at " + std::to_string(i));
+      });
+      FAIL() << "expected an exception (threads=" << threads << ")";
+    } catch (const std::runtime_error& e) {
+      EXPECT_STREQ(e.what(), "boom at 5") << "threads=" << threads;
+    }
+    for (std::size_t i = 0; i < 16; ++i)
+      EXPECT_EQ(ran[i].load(), 1) << "threads=" << threads << " i=" << i;
+  }
+}
+
+TEST(SweepProperty, ThrowingPointPropagatesFromSweep) {
+  Pool pool(4);
+  std::vector<int> points{0, 1, 2, 3, 4, 5};
+  EXPECT_THROW(engine::sweep_map<int>(
+                   pool, points,
+                   [](int p, engine::SweepContext&) {
+                     if (p == 2) throw std::invalid_argument("bad point");
+                     return p;
+                   }),
+               std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------
+// Sweep: degenerate sizes, ordering, and oversubscription.
+// ---------------------------------------------------------------------
+
+TEST(SweepProperty, EmptyAndSinglePointSweeps) {
+  Pool pool(4);
+  std::vector<int> none;
+  auto empty = engine::sweep_map<int>(
+      pool, none, [](int p, engine::SweepContext&) { return p; });
+  EXPECT_TRUE(empty.empty());
+
+  std::vector<int> one{7};
+  auto single = engine::sweep_map<int>(
+      pool, one, [](int p, engine::SweepContext&) { return p * p; });
+  ASSERT_EQ(single.size(), 1u);
+  EXPECT_EQ(single[0], 49);
+}
+
+TEST(SweepProperty, RowsMergeInPointOrderUnderOversubscription) {
+  // Many more points than threads; rows must come back in point order
+  // regardless of which worker finished which point.
+  Pool pool(3);
+  std::vector<int> points(500);
+  std::iota(points.begin(), points.end(), 0);
+  auto rows = engine::sweep_map<int>(
+      pool, points, [](int p, engine::SweepContext& ctx) {
+        // Unbalance the work so completion order scrambles.
+        volatile int sink = 0;
+        for (int k = 0; k < (p % 7) * 1000; ++k) sink = sink + k;
+        EXPECT_EQ(ctx.index, static_cast<std::size_t>(p));
+        return p * 3;
+      });
+  ASSERT_EQ(rows.size(), points.size());
+  for (std::size_t i = 0; i < rows.size(); ++i)
+    EXPECT_EQ(rows[i], static_cast<int>(i) * 3);
+}
+
+// ---------------------------------------------------------------------
+// PlanCache: accounting, build-once, immutability via shared_ptr.
+// ---------------------------------------------------------------------
+
+TEST(PlanCacheProperty, HitMissAccounting) {
+  PlanCache cache;
+  int builds = 0;
+  auto build = [&] {
+    ++builds;
+    return 41;
+  };
+  auto a = cache.get_or_build<int>(key_of(1), build);
+  auto b = cache.get_or_build<int>(key_of(1), build);
+  EXPECT_EQ(*a, 41);
+  EXPECT_EQ(a.get(), b.get());  // the same immutable object is shared
+  EXPECT_EQ(builds, 1);
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_DOUBLE_EQ(cache.stats().hit_rate(), 0.5);
+  EXPECT_EQ(cache.size(), 1u);
+
+  // A different family is a different entry even at the same width.
+  auto c = cache.get_or_build<int>(key_of(1, PlanFamily::kGuest),
+                                   [&] { return 17; });
+  EXPECT_EQ(*c, 17);
+  EXPECT_EQ(cache.stats().misses, 2u);
+
+  EXPECT_EQ(cache.lookup<int>(key_of(99)), nullptr);
+  EXPECT_EQ(cache.stats().misses, 3u);
+
+  cache.clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.stats().lookups(), 0u);
+}
+
+TEST(PlanCacheProperty, ConcurrentMissesShareOneBuild) {
+  PlanCache cache;
+  Pool pool(8);
+  std::atomic<int> builds{0};
+  std::vector<std::shared_ptr<const int>> got(64);
+  pool.parallel_for(64, [&](std::size_t i) {
+    got[i] = cache.get_or_build<int>(key_of(5), [&] {
+      ++builds;
+      return 123;
+    });
+  });
+  EXPECT_EQ(builds.load(), 1);
+  for (const auto& p : got) {
+    ASSERT_NE(p, nullptr);
+    EXPECT_EQ(*p, 123);
+    EXPECT_EQ(p.get(), got[0].get());
+  }
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_EQ(cache.stats().hits, 63u);
+}
+
+TEST(PlanCacheProperty, FailedBuildDoesNotPoisonTheKey) {
+  PlanCache cache;
+  EXPECT_THROW(cache.get_or_build<int>(
+                   key_of(2), []() -> int { throw std::runtime_error("x"); }),
+               std::runtime_error);
+  auto v = cache.get_or_build<int>(key_of(2), [] { return 9; });
+  EXPECT_EQ(*v, 9);
+}
+
+TEST(PlanCacheProperty, TypeMismatchOnAKeyIsAPreconditionError) {
+  PlanCache cache;
+  (void)cache.get_or_build<int>(key_of(3), [] { return 1; });
+  EXPECT_THROW(cache.get_or_build<double>(key_of(3), [] { return 1.0; }),
+               precondition_error);
+}
+
+// ---------------------------------------------------------------------
+// The kSchedule family end to end: cached_plan builds the Prop-2 plan
+// once and every consumer shares the identical immutable schedule.
+// ---------------------------------------------------------------------
+
+TEST(PlanCacheProperty, CachedPlanIsBuiltOnceAndShared) {
+  PlanCache cache;
+  geom::Stencil<1> st{{16}, 16, 1};
+  sched::PlannerConfig<1> cfg;
+  cfg.tile_width = 4;
+  cfg.leaf_width = 2;
+  auto a = engine::cached_plan<1>(cache, st, cfg);
+  auto b = engine::cached_plan<1>(cache, st, cfg);
+  EXPECT_EQ(a.get(), b.get());
+  EXPECT_GT(a->size(), 0u);
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_EQ(cache.stats().hits, 1u);
+
+  // A different planner config is a different plan.
+  sched::PlannerConfig<1> cfg2 = cfg;
+  cfg2.leaf_width = 4;
+  auto c = engine::cached_plan<1>(cache, st, cfg2);
+  EXPECT_NE(a.get(), c.get());
+  EXPECT_EQ(cache.stats().misses, 2u);
+}

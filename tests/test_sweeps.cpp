@@ -1,9 +1,15 @@
 // Broad equivalence sweeps: every simulator against the reference run
 // across parameter matrices in d = 1, 2, 3, including randomized
-// multiprocessor configurations.
+// multiprocessor configurations. The parameter matrices run through
+// engine::sweep_map on a multi-thread Pool — the same harness the
+// bench emitters use — with results checked on the main thread
+// (gtest assertions are not thread-safe, so sweep points only report).
 #include <gtest/gtest.h>
 
-#include "core/rng.hpp"
+#include <sstream>
+
+#include "engine/pool.hpp"
+#include "engine/sweep.hpp"
 #include "sim/dc_uniproc.hpp"
 #include "sim/multiproc.hpp"
 #include "sim/naive.hpp"
@@ -13,9 +19,20 @@
 using namespace bsmp;
 
 namespace {
+
 machine::MachineSpec spec(int d, int64_t n, int64_t p, int64_t m) {
   return machine::MachineSpec{d, n, p, m};
 }
+
+engine::Pool& shared_pool() {
+  static engine::Pool pool(std::max(4, engine::Pool::hardware_threads()));
+  return pool;
+}
+
+/// What one sweep point reports back to the main thread: an empty
+/// string on success, the failure description otherwise.
+using Verdict = std::string;
+
 }  // namespace
 
 // ---------------------------------------------------------------------
@@ -26,39 +43,42 @@ struct Sweep2D {
   int64_t side, T, m, p, s;
 };
 
-class Mesh2DSweep : public ::testing::TestWithParam<Sweep2D> {};
-
-TEST_P(Mesh2DSweep, AllSchemesMatchReference) {
-  auto [side, T, m, p, s] = GetParam();
-  int64_t n = side * side;
-  auto g = workload::make_mix_guest<2>({side, side}, T, m,
-                                       static_cast<std::uint64_t>(
-                                           side * 100 + T * 10 + m + p));
-  auto ref = sim::reference_run<2>(g);
-
-  auto nv = sim::simulate_naive<2>(g, spec(2, n, p, m));
-  EXPECT_TRUE(sim::same_values<2>(nv.final_values, ref.final_values))
-      << "naive";
-  if (p == 1) {
-    auto dc = sim::simulate_dc_uniproc<2>(g, spec(2, n, 1, m));
-    EXPECT_TRUE(sim::same_values<2>(dc.final_values, ref.final_values))
-        << "dc";
-  }
-  sim::MultiprocConfig cfg;
-  cfg.s = s;
-  auto mp = sim::simulate_multiproc<2>(g, spec(2, n, p, m), cfg);
-  EXPECT_TRUE(sim::same_values<2>(mp.final_values, ref.final_values))
-      << "multiproc";
-  EXPECT_EQ(mp.vertices, n * T);
+TEST(Mesh2DSweep, AllSchemesMatchReference) {
+  std::vector<Sweep2D> points{
+      {4, 4, 1, 1, 2},  {4, 9, 1, 4, 2},  {4, 6, 2, 4, 2},  {6, 6, 1, 1, 3},
+      {6, 13, 3, 1, 2}, {8, 8, 1, 4, 4},  {8, 8, 2, 16, 2}, {8, 21, 4, 4, 3},
+      {9, 9, 1, 9, 3},  {12, 7, 2, 4, 5}};
+  auto verdicts = engine::sweep_map<Verdict>(
+      shared_pool(), points, [](const Sweep2D& pt, engine::SweepContext&) {
+        auto [side, T, m, p, s] = pt;
+        int64_t n = side * side;
+        auto g = workload::make_mix_guest<2>(
+            {side, side}, T, m,
+            static_cast<std::uint64_t>(side * 100 + T * 10 + m + p));
+        auto ref = sim::reference_run<2>(g);
+        std::ostringstream err;
+        auto nv = sim::simulate_naive<2>(g, spec(2, n, p, m));
+        if (!sim::same_values<2>(nv.final_values, ref.final_values))
+          err << "naive diverged; ";
+        if (p == 1) {
+          auto dc = sim::simulate_dc_uniproc<2>(g, spec(2, n, 1, m));
+          if (!sim::same_values<2>(dc.final_values, ref.final_values))
+            err << "dc diverged; ";
+        }
+        sim::MultiprocConfig cfg;
+        cfg.s = s;
+        auto mp = sim::simulate_multiproc<2>(g, spec(2, n, p, m), cfg);
+        if (!sim::same_values<2>(mp.final_values, ref.final_values))
+          err << "multiproc diverged; ";
+        if (mp.vertices != n * T)
+          err << "multiproc vertices " << mp.vertices << " != " << n * T;
+        return err.str();
+      });
+  for (std::size_t i = 0; i < points.size(); ++i)
+    EXPECT_EQ(verdicts[i], "") << "side=" << points[i].side
+                               << " T=" << points[i].T << " m=" << points[i].m
+                               << " p=" << points[i].p << " s=" << points[i].s;
 }
-
-INSTANTIATE_TEST_SUITE_P(
-    Matrix, Mesh2DSweep,
-    ::testing::Values(Sweep2D{4, 4, 1, 1, 2}, Sweep2D{4, 9, 1, 4, 2},
-                      Sweep2D{4, 6, 2, 4, 2}, Sweep2D{6, 6, 1, 1, 3},
-                      Sweep2D{6, 13, 3, 1, 2}, Sweep2D{8, 8, 1, 4, 4},
-                      Sweep2D{8, 8, 2, 16, 2}, Sweep2D{8, 21, 4, 4, 3},
-                      Sweep2D{9, 9, 1, 9, 3}, Sweep2D{12, 7, 2, 4, 5}));
 
 // ---------------------------------------------------------------------
 // d = 3 sweeps (the Section-6 conjecture machinery).
@@ -68,85 +88,109 @@ struct Sweep3D {
   int64_t side, T, m;
 };
 
-class Mesh3DSweep : public ::testing::TestWithParam<Sweep3D> {};
-
-TEST_P(Mesh3DSweep, DcAndNaiveMatchReference) {
-  auto [side, T, m] = GetParam();
-  int64_t n = side * side * side;
-  auto g = workload::make_mix_guest<3>({side, side, side}, T, m,
-                                       static_cast<std::uint64_t>(
-                                           side * 31 + T * 7 + m));
-  auto ref = sim::reference_run<3>(g);
-  auto nv = sim::simulate_naive<3>(g, spec(3, n, 1, m));
-  EXPECT_TRUE(sim::same_values<3>(nv.final_values, ref.final_values));
-  auto dc = sim::simulate_dc_uniproc<3>(g, spec(3, n, 1, m));
-  EXPECT_TRUE(sim::same_values<3>(dc.final_values, ref.final_values));
-  EXPECT_EQ(dc.vertices, n * T);
+TEST(Mesh3DSweep, DcAndNaiveMatchReference) {
+  std::vector<Sweep3D> points{{2, 3, 1}, {2, 7, 2}, {3, 3, 1},
+                              {3, 5, 3}, {4, 4, 1}, {4, 6, 2}};
+  auto verdicts = engine::sweep_map<Verdict>(
+      shared_pool(), points, [](const Sweep3D& pt, engine::SweepContext&) {
+        auto [side, T, m] = pt;
+        int64_t n = side * side * side;
+        auto g = workload::make_mix_guest<3>(
+            {side, side, side}, T, m,
+            static_cast<std::uint64_t>(side * 31 + T * 7 + m));
+        auto ref = sim::reference_run<3>(g);
+        std::ostringstream err;
+        auto nv = sim::simulate_naive<3>(g, spec(3, n, 1, m));
+        if (!sim::same_values<3>(nv.final_values, ref.final_values))
+          err << "naive diverged; ";
+        auto dc = sim::simulate_dc_uniproc<3>(g, spec(3, n, 1, m));
+        if (!sim::same_values<3>(dc.final_values, ref.final_values))
+          err << "dc diverged; ";
+        if (dc.vertices != n * T)
+          err << "dc vertices " << dc.vertices << " != " << n * T;
+        return err.str();
+      });
+  for (std::size_t i = 0; i < points.size(); ++i)
+    EXPECT_EQ(verdicts[i], "") << "side=" << points[i].side
+                               << " T=" << points[i].T << " m=" << points[i].m;
 }
 
-INSTANTIATE_TEST_SUITE_P(Matrix, Mesh3DSweep,
-                         ::testing::Values(Sweep3D{2, 3, 1}, Sweep3D{2, 7, 2},
-                                           Sweep3D{3, 3, 1}, Sweep3D{3, 5, 3},
-                                           Sweep3D{4, 4, 1},
-                                           Sweep3D{4, 6, 2}));
-
 // ---------------------------------------------------------------------
-// Randomized multiprocessor fuzz (d = 1).
+// Randomized multiprocessor fuzz (d = 1). Each sweep point draws its
+// configuration from the engine's per-point RNG stream — pinned to
+// (seed, point index), never to the executing thread — so the fuzz
+// cases are identical at every pool size.
 // ---------------------------------------------------------------------
 
-class MultiprocFuzz : public ::testing::TestWithParam<int> {};
-
-TEST_P(MultiprocFuzz, RandomConfigsMatchReference) {
-  core::SplitMix64 rng(static_cast<std::uint64_t>(GetParam()) * 9173 + 1);
-  for (int iter = 0; iter < 4; ++iter) {
-    int64_t n = 8 << rng.next_below(3);                  // 8..32
-    int64_t p = 1 << rng.next_below(3);                  // 1..4
-    while (p > n) p /= 2;
-    int64_t m = 1 + static_cast<int64_t>(rng.next_below(5));
-    int64_t T = 1 + static_cast<int64_t>(rng.next_below(40));
-    int64_t s = 1 + static_cast<int64_t>(rng.next_below(4));
-    while (s * p > n) s = std::max<int64_t>(1, s / 2);
-    auto g = workload::make_mix_guest<1>({n}, T, m, rng.next());
-    auto ref = sim::reference_run<1>(g);
-    sim::MultiprocConfig cfg;
-    cfg.s = s;
-    auto res = sim::simulate_multiproc<1>(g, spec(1, n, p, m), cfg);
-    EXPECT_TRUE(sim::same_values<1>(res.final_values, ref.final_values))
-        << "n=" << n << " p=" << p << " m=" << m << " T=" << T
-        << " s=" << s;
-    EXPECT_EQ(res.vertices, n * T);
-    EXPECT_GT(res.time, 0.0);
-  }
+TEST(MultiprocFuzz, RandomConfigsMatchReference) {
+  std::vector<int> points(40);  // 10 seeds x 4 iterations, flattened
+  for (std::size_t i = 0; i < points.size(); ++i)
+    points[i] = static_cast<int>(i);
+  engine::SweepOptions opt;
+  opt.seed = 9173;
+  auto verdicts = engine::sweep_map<Verdict>(
+      shared_pool(), points,
+      [](int, engine::SweepContext& ctx) {
+        auto& rng = ctx.rng;
+        int64_t n = 8 << rng.next_below(3);  // 8..32
+        int64_t p = 1 << rng.next_below(3);  // 1..4
+        while (p > n) p /= 2;
+        int64_t m = 1 + static_cast<int64_t>(rng.next_below(5));
+        int64_t T = 1 + static_cast<int64_t>(rng.next_below(40));
+        int64_t s = 1 + static_cast<int64_t>(rng.next_below(4));
+        while (s * p > n) s = std::max<int64_t>(1, s / 2);
+        auto g = workload::make_mix_guest<1>({n}, T, m, rng.next());
+        auto ref = sim::reference_run<1>(g);
+        sim::MultiprocConfig cfg;
+        cfg.s = s;
+        auto res = sim::simulate_multiproc<1>(g, spec(1, n, p, m), cfg);
+        std::ostringstream err;
+        if (!sim::same_values<1>(res.final_values, ref.final_values))
+          err << "diverged at n=" << n << " p=" << p << " m=" << m
+              << " T=" << T << " s=" << s << "; ";
+        if (res.vertices != n * T) err << "bad vertex count; ";
+        if (!(res.time > 0.0)) err << "nonpositive time";
+        return err.str();
+      },
+      opt);
+  for (std::size_t i = 0; i < verdicts.size(); ++i)
+    EXPECT_EQ(verdicts[i], "") << "point " << i;
 }
-
-INSTANTIATE_TEST_SUITE_P(Seeds, MultiprocFuzz, ::testing::Range(0, 10));
 
 // ---------------------------------------------------------------------
 // Randomized dc fuzz across tile/leaf (d = 1).
 // ---------------------------------------------------------------------
 
-class DcFuzz : public ::testing::TestWithParam<int> {};
-
-TEST_P(DcFuzz, RandomTilingsMatchReference) {
-  core::SplitMix64 rng(static_cast<std::uint64_t>(GetParam()) * 311 + 7);
-  for (int iter = 0; iter < 4; ++iter) {
-    int64_t n = 5 + static_cast<int64_t>(rng.next_below(20));
-    int64_t m = 1 + static_cast<int64_t>(rng.next_below(6));
-    int64_t T = 1 + static_cast<int64_t>(rng.next_below(50));
-    int64_t tile = 1 + static_cast<int64_t>(rng.next_below(
-                           static_cast<std::uint64_t>(n)));
-    int64_t leaf = 1 + static_cast<int64_t>(
-                           rng.next_below(static_cast<std::uint64_t>(tile)));
-    auto g = workload::make_mix_guest<1>({n}, T, m, rng.next());
-    auto ref = sim::reference_run<1>(g);
-    sim::DcConfig cfg;
-    cfg.tile_width = tile;
-    cfg.leaf_width = leaf;
-    auto res = sim::simulate_dc_uniproc<1>(g, spec(1, n, 1, m), cfg);
-    EXPECT_TRUE(sim::same_values<1>(res.final_values, ref.final_values))
-        << "n=" << n << " m=" << m << " T=" << T << " tile=" << tile
-        << " leaf=" << leaf;
-  }
+TEST(DcFuzz, RandomTilingsMatchReference) {
+  std::vector<int> points(40);
+  for (std::size_t i = 0; i < points.size(); ++i)
+    points[i] = static_cast<int>(i);
+  engine::SweepOptions opt;
+  opt.seed = 311;
+  auto verdicts = engine::sweep_map<Verdict>(
+      shared_pool(), points,
+      [](int, engine::SweepContext& ctx) {
+        auto& rng = ctx.rng;
+        int64_t n = 5 + static_cast<int64_t>(rng.next_below(20));
+        int64_t m = 1 + static_cast<int64_t>(rng.next_below(6));
+        int64_t T = 1 + static_cast<int64_t>(rng.next_below(50));
+        int64_t tile = 1 + static_cast<int64_t>(
+                               rng.next_below(static_cast<std::uint64_t>(n)));
+        int64_t leaf = 1 + static_cast<int64_t>(rng.next_below(
+                               static_cast<std::uint64_t>(tile)));
+        auto g = workload::make_mix_guest<1>({n}, T, m, rng.next());
+        auto ref = sim::reference_run<1>(g);
+        sim::DcConfig cfg;
+        cfg.tile_width = tile;
+        cfg.leaf_width = leaf;
+        auto res = sim::simulate_dc_uniproc<1>(g, spec(1, n, 1, m), cfg);
+        std::ostringstream err;
+        if (!sim::same_values<1>(res.final_values, ref.final_values))
+          err << "diverged at n=" << n << " m=" << m << " T=" << T
+              << " tile=" << tile << " leaf=" << leaf;
+        return err.str();
+      },
+      opt);
+  for (std::size_t i = 0; i < verdicts.size(); ++i)
+    EXPECT_EQ(verdicts[i], "") << "point " << i;
 }
-
-INSTANTIATE_TEST_SUITE_P(Seeds, DcFuzz, ::testing::Range(0, 10));
