@@ -8,17 +8,23 @@
 //   2. prints the tables of the parallel pass, then an `# engine:` line
 //      reporting the wall-clock speedup of pass 2 over pass 1 and the
 //      PlanCache hit rate;
-//   3. runs the registered google-benchmark kernels.
+//   3. serializes both passes' engine metrics (per-point wall clock and
+//      queue wait, per-sweep occupancy, cache hits/misses/builds) as
+//      `metrics_<emitter>.json` next to the tables — the recorded
+//      threads=1 vs threads=N story CI uploads as an artifact;
+//   4. runs the registered google-benchmark kernels.
 #pragma once
 
 #include <benchmark/benchmark.h>
 
 #include <chrono>
 #include <cstdio>
+#include <initializer_list>
 #include <iostream>
 
 #include "analytic/tradeoff.hpp"
 #include "core/table.hpp"
+#include "engine/metrics.hpp"
 #include "engine/plan_cache.hpp"
 #include "engine/pool.hpp"
 #include "machine/spec.hpp"
@@ -43,26 +49,29 @@ inline machine::MachineSpec spec(int d, std::int64_t n, std::int64_t p,
 
 struct EmitterPass {
   std::vector<tables::Emitted> artifacts;
-  double seconds = 0;
-  engine::PlanCache::Stats cache;
+  engine::MetricsPass metrics;  ///< threads, wall clock, cache, sweeps
 };
 
 inline EmitterPass run_pass(const tables::Emitter& emitter, int threads) {
   engine::Pool pool(threads);
   engine::PlanCache plans;
-  tables::EngineCtx ctx{&pool, &plans};
+  engine::Metrics metrics;
+  tables::EngineCtx ctx{&pool, &plans, &metrics};
   auto t0 = std::chrono::steady_clock::now();
   EmitterPass pass;
   pass.artifacts = emitter.fn(ctx);
-  pass.seconds = std::chrono::duration<double>(
-                     std::chrono::steady_clock::now() - t0)
-                     .count();
-  pass.cache = plans.stats();
+  pass.metrics.threads = threads;
+  pass.metrics.seconds = std::chrono::duration<double>(
+                             std::chrono::steady_clock::now() - t0)
+                             .count();
+  pass.metrics.cache = plans.stats();
+  pass.metrics.sweeps = metrics.snapshot();
   return pass;
 }
 
 /// Emit the named tables with the dual-pass determinism check, print
-/// the parallel pass, and report speedup + cache hit rate.
+/// the parallel pass, report speedup + cache hit rate, and serialize
+/// both passes as metrics_<emitter>.json.
 inline void emit_tables(const char* emitter_name) {
   const auto& emitter = tables::find_emitter(emitter_name);
   auto seq = run_pass(emitter, 1);
@@ -88,18 +97,34 @@ inline void emit_tables(const char* emitter_name) {
     a.table.print(std::cout);
     if (!a.note.empty()) std::cout << a.note << "\n";
   }
+
+  engine::MetricsReport report;
+  report.name = emitter.name;
+  report.passes = {std::move(seq.metrics), std::move(par.metrics)};
+  const auto path = engine::metrics_filename(report.name);
+  const bool wrote = report.write_json_file(path);
+
   std::printf(
       "# engine: threads=1 %.3fs, threads=%d %.3fs, speedup %.2fx; "
-      "plan cache: %llu hits / %llu lookups (hit rate %.0f%%)\n\n",
-      seq.seconds, threads, par.seconds,
-      par.seconds > 0 ? seq.seconds / par.seconds : 0.0,
-      static_cast<unsigned long long>(par.cache.hits),
-      static_cast<unsigned long long>(par.cache.lookups()),
-      100.0 * par.cache.hit_rate());
+      "plan cache: %llu hits / %llu lookups (hit rate %.0f%%, "
+      "%llu builds)\n",
+      report.passes[0].seconds, threads, report.passes[1].seconds,
+      report.speedup(),
+      static_cast<unsigned long long>(report.passes[1].cache.hits),
+      static_cast<unsigned long long>(report.passes[1].cache.lookups()),
+      100.0 * report.passes[1].cache.hit_rate(),
+      static_cast<unsigned long long>(report.passes[1].cache.builds));
+  if (wrote)
+    std::printf("# metrics: %s (%zu + %zu sweeps recorded)\n\n", path.c_str(),
+                report.passes[0].sweeps.size(),
+                report.passes[1].sweeps.size());
+  else
+    std::printf("# metrics: could not write %s\n\n", path.c_str());
 }
 
-inline int run_bench_main(int argc, char** argv, const char* emitter_name) {
-  emit_tables(emitter_name);
+inline int run_bench_main(int argc, char** argv,
+                          std::initializer_list<const char*> emitters) {
+  for (const char* name : emitters) emit_tables(name);
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();
@@ -109,8 +134,10 @@ inline int run_bench_main(int argc, char** argv, const char* emitter_name) {
 
 }  // namespace bsmp::bench
 
-/// `emitter` is the registry name of this bench's table emitter ("e1").
-#define BSMP_BENCH_MAIN(emitter)                                  \
-  int main(int argc, char** argv) {                               \
-    return ::bsmp::bench::run_bench_main(argc, argv, emitter);    \
+/// The arguments are the registry names of this bench's table
+/// emitters, in print order ("e6", "e6d", "cal").
+#define BSMP_BENCH_MAIN(...)                                       \
+  int main(int argc, char** argv) {                                \
+    return ::bsmp::bench::run_bench_main(argc, argv,               \
+                                         {__VA_ARGS__});           \
   }

@@ -1,6 +1,7 @@
 // E6 — ablation of the strip width s (Section 4.2's optimization).
 // Tables (with the three-mechanism least-squares fit) come from
-// tables::e6_tables via the engine harness.
+// tables::e6_tables via the engine harness, followed by the dense
+// every-s sweep (e6d) and the engine-backed advisor calibration (cal).
 #include "bench_common.hpp"
 
 using namespace bsmp;
@@ -21,4 +22,4 @@ BENCHMARK(BM_sweep_s)->Arg(2)->Arg(8)->Arg(32);
 
 }  // namespace
 
-BSMP_BENCH_MAIN("e6")
+BSMP_BENCH_MAIN("e6", "e6d", "cal")

@@ -22,6 +22,9 @@ Recommendation recommend(int d, double n, double m, double p) {
   rec.range = classify_range(d, n, m, p);
   double thm1 = slowdown_bound(d, n, m, p);
   double naive = naive_bound(d, n, m, p);
+  // Range 4 *is* naive (s* = n/p, one strip per processor) — see the
+  // header; rec.s_star stays 0 because there is no separate multiproc
+  // schedule to parameterize.
   if (rec.range == Range::k4 || naive <= thm1) {
     rec.scheme = Scheme::kNaive;
     rec.predicted_slowdown = naive;
@@ -38,8 +41,7 @@ Recommendation recommend(int d, double n, double m, double p) {
 }
 
 std::array<double, 3> Calibration::terms(double n, double m, double p) {
-  double s = s_star(n, m, p);
-  if (s * p > n) s = n / p;
+  double s = feasible_s_star(n, m, p);
   ATerms t = A_terms(n, m, p, s);
   double brent = n / p;
   return {brent * t.relocation, brent * t.execution, brent * t.communication};

@@ -7,6 +7,13 @@
 // bounds; the calibrator fits per-mechanism constants from a few
 // measurements (via analytic::fit_least_squares) and predicts measured
 // slowdowns at other sizes.
+//
+// Calibration is the *model* only: it never runs a simulator itself.
+// The canonical way to feed it is tables::run_calibration
+// (src/tables/calibration.hpp), which measures the training points
+// through engine::Sweep with PlanCache-memoized reference runs — the
+// same deterministic harness that produces the E-tables — so the
+// measured-constant table is byte-identical at any thread count.
 #pragma once
 
 #include <array>
@@ -23,37 +30,76 @@ const char* to_string(Scheme s);
 struct Recommendation {
   Scheme scheme;
   double predicted_slowdown;  ///< the winning closed-form bound
-  double s_star = 0;          ///< strip width, when multiproc (d=1)
+  /// Strip width for the Theorem-4 schedule; set only when `scheme` is
+  /// kMultiproc at d=1. In particular it stays 0 when the
+  /// recommendation is kNaive — including the whole of Range 4, where
+  /// analytic::s_star() itself would return n/p. That is not a
+  /// contradiction: s* = n/p means one strip per processor, and the
+  /// two-regime scheme with one strip per processor *is* the naive
+  /// simulation, so there is no separate multiproc schedule to
+  /// parameterize. See recommend().
+  double s_star = 0;
   Range range = Range::k1;
 };
 
 /// Recommend a simulation scheme for simulating Md(n,n,m) on Md(n,p,m)
 /// from the constant-free bounds: naive (Prop. 1) vs the Theorem-1
-/// scheme; for m >= n^(1/d) they coincide (range 4 *is* naive).
+/// scheme.
+///
+/// The m >= n^(1/d) case (Range 4) coincides with naive: there the
+/// locality factor A is (n/p)^(1/d), Theorem 1's bound equals
+/// Proposition 1's, and the optimizing strip width is the full
+/// per-processor strip s* = n/p — the "scheme" is to hand each
+/// processor one contiguous strip and replay it, which is exactly the
+/// naive simulation. recommend() therefore reports kNaive for Range 4
+/// (with Recommendation::s_star left 0; see its comment). The
+/// coincidence already holds at the boundary m = n^(1/d), the top of
+/// Range 3, where range-3's s* = m/p equals n/p; the boundary point
+/// m = n at d=1 is pinned by a unit test (test_advisor_io).
 Recommendation recommend(int d, double n, double m, double p);
 
 /// Calibration: given measured slowdowns at a few (n, m, p) points,
 /// fit the constants of the model
 ///   slowdown ~ (n/p) * (c_r * t_reloc + c_e * t_exec + c_c * t_comm)
-/// evaluated at s = s*(n,m,p), and predict elsewhere.
+/// evaluated at s = feasible_s_star(n,m,p), and predict elsewhere.
 class Calibration {
  public:
+  /// Add one training point: the slowdown measured when simulating
+  /// Md(n,n,m) on Md(n,p,m) with the Theorem-4 scheme at strip width
+  /// feasible_s_star(n,m,p). Invalidates a previous fit (fitted()
+  /// returns false until the next fit()).
+  /// \pre slowdown > 0.
   void add_measurement(double n, double m, double p, double slowdown);
 
-  /// Least-squares fit of the three mechanism constants (relative
-  /// error weighting). Requires >= 3 measurements.
+  /// Least-squares fit of the three mechanism constants with relative
+  /// error weighting (every training point carries equal weight
+  /// regardless of magnitude; constants are clamped non-negative by
+  /// fit_least_squares).
+  /// \pre at least 3 measurements have been added.
   void fit();
 
+  /// Whether fit() has run on the current measurement set.
   bool fitted() const { return fitted_; }
+  /// Fitted constant of the Regime-1 relocation mechanism.
+  /// \pre fitted().
   double c_relocation() const { return c_[0]; }
+  /// Fitted constant of the subtile execution mechanism. \pre fitted().
   double c_execution() const { return c_[1]; }
+  /// Fitted constant of the cooperating-mode communication mechanism.
+  /// \pre fitted().
   double c_communication() const { return c_[2]; }
 
-  /// Predicted measured slowdown at (n, m, p).
+  /// Predicted measured slowdown at (n, m, p): the fitted constants
+  /// applied to the model terms at s = feasible_s_star(n,m,p).
+  /// \pre fitted().
   double predict(double n, double m, double p) const;
 
   /// Mean relative error of the fit on the training points.
+  /// \pre fitted().
   double training_error() const;
+
+  /// Number of training points added so far.
+  std::size_t num_measurements() const { return y_.size(); }
 
  private:
   static std::array<double, 3> terms(double n, double m, double p);

@@ -81,6 +81,12 @@ double s_star(double n, double m, double p) {
   return 1.0;
 }
 
+double feasible_s_star(double n, double m, double p) {
+  double s = s_star(n, m, p);
+  if (s * p > n) s = n / p;
+  return std::max(1.0, s);
+}
+
 double thm2_bound(double n) { return n * logbar(n); }
 
 double thm3_bound(double n, double m) {

@@ -45,7 +45,17 @@ ATerms A_terms(double n, double m, double p, double s);
 
 /// The optimizing strip width s* of Section 4.2, by range:
 /// range 1: n/(m p); range 2: sqrt(n/p); range 3: m/p; range 4: n/p.
+/// Note the top: for m >= n^(1/d) (range 4) — and already at the
+/// range-3/range-4 boundary m = n^(1/d), where m/p = n/p — s* is the
+/// full per-processor strip n/p, i.e. the two-regime scheme degenerates
+/// to the naive simulation (Prop. 1). See advisor.hpp.
 double s_star(double n, double m, double p);
+
+/// s* clamped to the feasible strip range [1, n/p] (p strips of width
+/// s must tile the n nodes). This is the width both the Calibration
+/// model terms and the engine-backed calibration measurements use, so
+/// model and measurement always evaluate the same schedule.
+double feasible_s_star(double n, double m, double p);
 
 /// Theorem 2 bound: slowdown of M1(n,1,1) simulating M1(n,n,1).
 double thm2_bound(double n);

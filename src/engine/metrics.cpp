@@ -1,0 +1,136 @@
+#include "engine/metrics.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+
+namespace bsmp::engine {
+
+double SweepMetric::busy_s() const {
+  double b = 0;
+  for (const auto& p : per_point) b += p.run_s;
+  return b;
+}
+
+double SweepMetric::occupancy() const {
+  double denom = wall_s * static_cast<double>(pool_threads);
+  return denom <= 0 ? 0.0 : busy_s() / denom;
+}
+
+void Metrics::record(SweepMetric m) {
+  std::lock_guard<std::mutex> lk(mu_);
+  sweeps_.push_back(std::move(m));
+}
+
+std::vector<SweepMetric> Metrics::snapshot() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return sweeps_;
+}
+
+std::size_t Metrics::num_sweeps() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return sweeps_.size();
+}
+
+void Metrics::clear() {
+  std::lock_guard<std::mutex> lk(mu_);
+  sweeps_.clear();
+}
+
+double MetricsReport::speedup() const {
+  if (passes.size() < 2) return 1.0;
+  double last = passes.back().seconds;
+  return last > 0 ? passes.front().seconds / last : 0.0;
+}
+
+namespace {
+
+// Labels are caller-controlled ASCII, but escape defensively so the
+// artifact is always valid JSON.
+void json_string(std::ostream& os, const std::string& s) {
+  os << '"';
+  for (char ch : s) {
+    switch (ch) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", ch);
+          os << buf;
+        } else {
+          os << ch;
+        }
+    }
+  }
+  os << '"';
+}
+
+void json_real(std::ostream& os, double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.9g", v);
+  os << buf;
+}
+
+}  // namespace
+
+void MetricsReport::write_json(std::ostream& os) const {
+  os << "{\n  \"schema\": \"bsmp-metrics-v1\",\n  \"name\": ";
+  json_string(os, name);
+  os << ",\n  \"speedup\": ";
+  json_real(os, speedup());
+  os << ",\n  \"passes\": [";
+  for (std::size_t pi = 0; pi < passes.size(); ++pi) {
+    const auto& pass = passes[pi];
+    os << (pi ? ",\n    {" : "\n    {");
+    os << "\n      \"threads\": " << pass.threads << ",\n      \"seconds\": ";
+    json_real(os, pass.seconds);
+    os << ",\n      \"cache\": {\"hits\": " << pass.cache.hits
+       << ", \"misses\": " << pass.cache.misses
+       << ", \"builds\": " << pass.cache.builds << ", \"hit_rate\": ";
+    json_real(os, pass.cache.hit_rate());
+    os << "},\n      \"sweeps\": [";
+    for (std::size_t si = 0; si < pass.sweeps.size(); ++si) {
+      const auto& sw = pass.sweeps[si];
+      os << (si ? ",\n        {" : "\n        {");
+      os << "\n          \"label\": ";
+      json_string(os, sw.label);
+      os << ",\n          \"points\": " << sw.points
+         << ", \"pool_threads\": " << sw.pool_threads << ",\n          "
+         << "\"wall_s\": ";
+      json_real(os, sw.wall_s);
+      os << ", \"busy_s\": ";
+      json_real(os, sw.busy_s());
+      os << ", \"occupancy\": ";
+      json_real(os, sw.occupancy());
+      os << ",\n          \"per_point\": [";
+      for (std::size_t i = 0; i < sw.per_point.size(); ++i) {
+        const auto& pt = sw.per_point[i];
+        os << (i ? ", " : "") << "{\"index\": " << pt.index
+           << ", \"queue_wait_s\": ";
+        json_real(os, pt.queue_wait_s);
+        os << ", \"run_s\": ";
+        json_real(os, pt.run_s);
+        os << "}";
+      }
+      os << "]\n        }";
+    }
+    os << (pass.sweeps.empty() ? "]" : "\n      ]") << "\n    }";
+  }
+  os << (passes.empty() ? "]" : "\n  ]") << "\n}\n";
+}
+
+bool MetricsReport::write_json_file(const std::string& path) const {
+  std::ofstream f(path);
+  if (!f) return false;
+  write_json(f);
+  return static_cast<bool>(f);
+}
+
+std::string metrics_filename(const std::string& name) {
+  return "metrics_" + name + ".json";
+}
+
+}  // namespace bsmp::engine

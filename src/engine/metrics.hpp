@@ -1,0 +1,117 @@
+// engine::Metrics — the observability layer under the sweep engine.
+//
+// The determinism contract (sweep.hpp) makes every table a pure
+// function of its parameters; this sink records what the engine *did*
+// to produce it — per-point wall clock and queue wait, whole-sweep
+// wall clock, pool occupancy, and PlanCache hit/miss/build accounting
+// — so the threads=1 vs threads=N speedup and hit-rate story is a
+// serialized artifact (`metrics_<name>.json`) next to the tables, not
+// a printout. Timing values are observational and vary run to run;
+// only the *schema* and the structural fields (labels, point counts,
+// pass layout) are stable, and those are what the conformance suite
+// pins.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "engine/plan_cache.hpp"
+
+namespace bsmp::engine {
+
+/// One sweep point's execution record, stored at the point's index so
+/// the vector is in point order regardless of which thread ran what.
+struct PointMetric {
+  std::size_t index = 0;    ///< the point's position in the sweep
+  double queue_wait_s = 0;  ///< sweep submission → point start
+  double run_s = 0;         ///< point start → point finish
+};
+
+/// Aggregate record of one Sweep::run() call.
+struct SweepMetric {
+  std::string label;        ///< caller-supplied sweep label (may be empty)
+  std::size_t points = 0;   ///< number of sweep points
+  int pool_threads = 1;     ///< executors of the pool that ran the sweep
+  double wall_s = 0;        ///< whole-sweep wall clock
+  std::vector<PointMetric> per_point;  ///< in point order
+
+  /// Total compute time across points (sum of run_s).
+  double busy_s() const;
+  /// Fraction of the pool's capacity the sweep kept busy:
+  /// busy_s / (wall_s * pool_threads). 1.0 is a perfectly packed pool;
+  /// timing noise can push it slightly above.
+  double occupancy() const;
+};
+
+/// Thread-safe sink the engine reports into. Hand one to
+/// SweepOptions::metrics (or tables::EngineCtx::metrics) and every
+/// sweep that runs appends one SweepMetric; snapshot() hands them back
+/// for serialization into a MetricsReport.
+class Metrics {
+ public:
+  /// Append one sweep record (called by Sweep::run on completion).
+  void record(SweepMetric m);
+
+  /// Copy of all records so far, in recording order.
+  std::vector<SweepMetric> snapshot() const;
+
+  /// Number of sweeps recorded so far.
+  std::size_t num_sweeps() const;
+
+  void clear();
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<SweepMetric> sweeps_;
+};
+
+/// One emitter pass (one thread count, one fresh PlanCache) inside a
+/// MetricsReport.
+struct MetricsPass {
+  int threads = 1;          ///< pool size of the pass
+  double seconds = 0;       ///< whole-pass wall clock
+  PlanCache::Stats cache;   ///< hit/miss/build accounting of the pass
+  std::vector<SweepMetric> sweeps;  ///< every sweep the pass ran
+};
+
+/// The `metrics_<name>.json` artifact: a named sequence of passes
+/// (conventionally threads=1 then threads=N) with derived speedup.
+/// Schema (stable, versioned by the "schema" field):
+///
+/// {
+///   "schema": "bsmp-metrics-v1",
+///   "name": "e6d",
+///   "speedup": 1.02,
+///   "passes": [
+///     { "threads": 1, "seconds": 2.31,
+///       "cache": {"hits": 93, "misses": 3, "builds": 3,
+///                 "hit_rate": 0.968},
+///       "sweeps": [
+///         { "label": "e6d m=1", "points": 32, "pool_threads": 1,
+///           "wall_s": 0.71, "busy_s": 0.70, "occupancy": 0.99,
+///           "per_point": [ {"index": 0, "queue_wait_s": 0.0,
+///                           "run_s": 0.02}, ... ] } ] } ]
+/// }
+struct MetricsReport {
+  std::string name;                 ///< emitter / bench name ("e6d")
+  std::vector<MetricsPass> passes;  ///< in run order
+
+  /// Wall-clock speedup of the last pass over the first (1.0 when
+  /// fewer than two passes were recorded).
+  double speedup() const;
+
+  /// Serialize the report in the schema above.
+  void write_json(std::ostream& os) const;
+
+  /// write_json to `path`; false (no throw) when the file cannot be
+  /// opened — metrics must never fail the measurement they observe.
+  bool write_json_file(const std::string& path) const;
+};
+
+/// The canonical artifact filename for a report: "metrics_<name>.json".
+std::string metrics_filename(const std::string& name);
+
+}  // namespace bsmp::engine

@@ -13,6 +13,7 @@ PlanCache::Stats PlanCache::stats() const {
   Stats s;
   s.hits = hits_;
   s.misses = misses_;
+  s.builds = builds_.load(std::memory_order_relaxed);
   return s;
 }
 
@@ -26,6 +27,7 @@ void PlanCache::clear() {
   map_.clear();
   hits_ = 0;
   misses_ = 0;
+  builds_.store(0, std::memory_order_relaxed);
 }
 
 }  // namespace bsmp::engine

@@ -13,6 +13,7 @@
 // result — the builder runs exactly once per key.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -70,9 +71,14 @@ struct PlanKeyHash {
 
 class PlanCache {
  public:
+  /// Lookup/build accounting, snapshot by stats(). `hits`/`misses`
+  /// count lookups; `builds` counts builder invocations that actually
+  /// ran (at most one per key unless a build threw and was retried) —
+  /// the metrics layer serializes all three per pass.
   struct Stats {
     std::uint64_t hits = 0;
     std::uint64_t misses = 0;
+    std::uint64_t builds = 0;
     std::uint64_t lookups() const { return hits + misses; }
     double hit_rate() const {
       return lookups() == 0
@@ -110,7 +116,10 @@ class PlanCache {
     std::lock_guard<std::mutex> lk(entry->mu);
     // Null also when a previous build threw: retry it here so a failed
     // build never poisons the key.
-    if (entry->value == nullptr) entry->value = to_shared(build());
+    if (entry->value == nullptr) {
+      builds_.fetch_add(1, std::memory_order_relaxed);
+      entry->value = to_shared(build());
+    }
     BSMP_ASSERT(entry->value != nullptr);
     return std::static_pointer_cast<const T>(entry->value);
   }
@@ -164,6 +173,8 @@ class PlanCache {
   std::unordered_map<PlanKey, std::shared_ptr<Entry>, PlanKeyHash> map_;
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
+  // Incremented under the *entry* mutex, not mu_, hence atomic.
+  std::atomic<std::uint64_t> builds_{0};
 };
 
 }  // namespace bsmp::engine

@@ -16,15 +16,23 @@
 //
 // The row function must be a pure function of (point, context): no
 // writes to shared mutable state, no iteration-order dependence.
+//
+// Observability is strictly on the side: when SweepOptions::metrics is
+// set, run() additionally records per-point wall clock / queue wait
+// into an engine::Metrics sink (see metrics.hpp) without touching the
+// rows — timings vary run to run, tables never do.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <optional>
+#include <string>
 #include <utility>
 #include <vector>
 
 #include "core/expect.hpp"
 #include "core/rng.hpp"
+#include "engine/metrics.hpp"
 #include "engine/plan_cache.hpp"
 #include "engine/pool.hpp"
 
@@ -48,6 +56,12 @@ struct SweepOptions {
   /// Shared memo for separator trees / Prop-2 plans / guests; may be
   /// null when the sweep needs no shared artifacts.
   PlanCache* plans = nullptr;
+  /// Observability sink: when non-null, run() appends one SweepMetric
+  /// (per-point wall clock + queue wait, whole-sweep wall clock, pool
+  /// size). Purely observational — never affects the rows.
+  Metrics* metrics = nullptr;
+  /// Label stamped on the recorded SweepMetric (may stay empty).
+  std::string label;
 };
 
 /// Per-point evaluation context handed to the row function.
@@ -74,11 +88,33 @@ class Sweep {
   /// every point still runs and the lowest-index exception propagates.
   template <typename Fn>
   std::vector<Row> run(Pool& pool, Fn&& fn) const {
+    using Clock = std::chrono::steady_clock;
+    auto secs = [](Clock::duration d) {
+      return std::chrono::duration<double>(d).count();
+    };
     std::vector<std::optional<Row>> slots(points_.size());
+    // Per-point timings land in the point's own slot — point order by
+    // construction, like the result slots.
+    std::vector<PointMetric> timings(opt_.metrics ? points_.size() : 0);
+    const auto t_submit = Clock::now();
     pool.parallel_for(points_.size(), [&](std::size_t i) {
+      const auto t_start = Clock::now();
       SweepContext ctx{i, point_rng(opt_.seed, i), opt_.plans};
       slots[i].emplace(fn(points_[i], ctx));
+      if (opt_.metrics) {
+        timings[i] = {i, secs(t_start - t_submit),
+                      secs(Clock::now() - t_start)};
+      }
     });
+    if (opt_.metrics) {
+      SweepMetric sm;
+      sm.label = opt_.label;
+      sm.points = points_.size();
+      sm.pool_threads = pool.size();
+      sm.wall_s = secs(Clock::now() - t_submit);
+      sm.per_point = std::move(timings);
+      opt_.metrics->record(std::move(sm));
+    }
     std::vector<Row> rows;
     rows.reserve(slots.size());
     for (auto& s : slots) {

@@ -1,0 +1,48 @@
+// The engine-backed advisor calibration.
+//
+// analytic::Calibration is a pure model: it fits the three mechanism
+// constants from measured slowdowns but never runs a simulator. This
+// header is the canonical way to *produce* those measurements: the
+// training grid goes through engine::Sweep on the caller's Pool, with
+// guests and reference runs memoized in the PlanCache — the same
+// deterministic harness that produces the E-tables — so the
+// measured-constant table is a pure function of the grid, byte-
+// identical at any thread count (pinned by `ctest -L conformance`).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "analytic/advisor.hpp"
+#include "tables/emitters.hpp"
+
+namespace bsmp::tables {
+
+/// One calibration training point: simulate Md(n,n,m) on Md(n,p,m)
+/// with the Theorem-4 scheme at strip width feasible_s_star(n,m,p).
+struct CalibrationPoint {
+  std::int64_t n = 0;
+  std::int64_t m = 0;
+  std::int64_t p = 0;
+};
+
+/// The default training grid: an n sweep at (m=4, p=4) plus m
+/// variations at n=128 — enough spread for the three mechanism columns
+/// to be well-conditioned, small enough to run inside the conformance
+/// suite.
+std::vector<CalibrationPoint> default_calibration_grid();
+
+/// Measured slowdowns for `pts`, one engine sweep point per grid
+/// point: each builds (or shares) its guest and reference run through
+/// ctx.plans, runs the Theorem-4 simulator at the model's strip width,
+/// verifies the simulated values against the reference, and returns
+/// the measured slowdown. Order matches `pts`.
+std::vector<double> measure_calibration_points(
+    EngineCtx& ctx, const std::vector<CalibrationPoint>& pts);
+
+/// measure_calibration_points on `pts` fed into a fitted
+/// analytic::Calibration (requires pts.size() >= 3).
+analytic::Calibration run_calibration(EngineCtx& ctx,
+                                      const std::vector<CalibrationPoint>& pts);
+
+}  // namespace bsmp::tables

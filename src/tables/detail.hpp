@@ -2,6 +2,8 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
+#include <utility>
 
 #include "analytic/tradeoff.hpp"
 #include "core/expect.hpp"
@@ -48,11 +50,14 @@ inline std::int64_t pick_s(std::int64_t n, std::int64_t m, std::int64_t p) {
 }
 
 /// Sweep `points` into table rows on the context's pool and cache.
+/// `label` stamps the sweep's record in ctx.metrics (when attached).
 template <typename Point, typename Fn>
 std::vector<Row> sweep_rows(EngineCtx& ctx, const std::vector<Point>& points,
-                            Fn&& fn) {
+                            Fn&& fn, std::string label = {}) {
   engine::SweepOptions opt;
   opt.plans = ctx.plans;
+  opt.metrics = ctx.metrics;
+  opt.label = std::move(label);
   return engine::Sweep<Point, Row>(points, opt).run(*ctx.pool,
                                                     std::forward<Fn>(fn));
 }
@@ -61,9 +66,12 @@ std::vector<Row> sweep_rows(EngineCtx& ctx, const std::vector<Point>& points,
 /// post-process across the whole sweep before building rows).
 template <typename Value, typename Point, typename Fn>
 std::vector<Value> sweep_values(EngineCtx& ctx,
-                                const std::vector<Point>& points, Fn&& fn) {
+                                const std::vector<Point>& points, Fn&& fn,
+                                std::string label = {}) {
   engine::SweepOptions opt;
   opt.plans = ctx.plans;
+  opt.metrics = ctx.metrics;
+  opt.label = std::move(label);
   return engine::Sweep<Point, Value>(points, opt).run(*ctx.pool,
                                                       std::forward<Fn>(fn));
 }

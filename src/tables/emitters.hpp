@@ -1,5 +1,6 @@
-// The paper-artifact table emitters (E1–E10), extracted from the bench
-// mains into a library so the same code path serves three consumers:
+// The paper-artifact table emitters (E1–E10 plus the dense-E6 and
+// advisor-calibration artifacts), extracted from the bench mains into
+// a library so the same code path serves three consumers:
 //
 //   * bench/bench_e*.cpp — print the tables, then run the registered
 //     google-benchmark kernels;
@@ -12,7 +13,9 @@
 // caller-supplied Pool, shares guests / reference runs / Prop-2 plans
 // through the caller-supplied PlanCache, and merges rows in point
 // order — so its output is a pure function of the parameters, never of
-// the thread count.
+// the thread count. When EngineCtx::metrics is set, every sweep also
+// records per-point timing into it (engine/metrics.hpp) — the
+// observability side channel the benches serialize as metrics_*.json.
 #pragma once
 
 #include <string>
@@ -20,15 +23,19 @@
 #include <vector>
 
 #include "core/table.hpp"
+#include "engine/metrics.hpp"
 #include "engine/plan_cache.hpp"
 #include "engine/pool.hpp"
 
 namespace bsmp::tables {
 
-/// Execution context every emitter runs in.
+/// Execution context every emitter runs in. `pool` and `plans` are
+/// required; `metrics` is the optional observability sink — emitters
+/// never read it, they only report into it.
 struct EngineCtx {
   engine::Pool* pool = nullptr;
   engine::PlanCache* plans = nullptr;
+  engine::Metrics* metrics = nullptr;
 };
 
 /// One emitted artifact: the table plus the commentary printed after it.
@@ -48,17 +55,36 @@ std::vector<Emitted> e8_tables(EngineCtx& ctx);   ///< Thm 1 d=2
 std::vector<Emitted> e9_tables(EngineCtx& ctx);   ///< figures 1-4
 std::vector<Emitted> e10_tables(EngineCtx& ctx);  ///< baselines + Sec. 6
 
+/// Dense every-s A(s) ablation (Section 4.2): one point per feasible
+/// integer strip width, sharded across the pool with the guest and
+/// reference run PlanCache-shared, feeding the three-mechanism
+/// least-squares fit and a measured-vs-fitted argmin(s) comparison.
+/// Emits one dense table per m plus a fit-summary table (golden-
+/// digested by the conformance suite).
+std::vector<Emitted> e6_dense_tables(EngineCtx& ctx);
+
+/// Advisor calibration through the engine: the measured-constant
+/// table of analytic::Calibration with every training measurement
+/// produced by an engine sweep (see tables/calibration.hpp).
+std::vector<Emitted> calibration_tables(EngineCtx& ctx);
+
+/// One registry entry: a named table emitter.
 struct Emitter {
-  const char* name;  ///< "e1" … "e10"
+  const char* name;  ///< registry key: "e1" … "e10", "e6d", "cal"
   const char* what;  ///< one-line description
   std::vector<Emitted> (*fn)(EngineCtx&);
 };
 
-/// All ten emitters in order — the sweep surface the conformance suite
-/// iterates.
+/// The full emitter registry, in order: the ten paper artifacts
+/// E1–E10 followed by the derived artifacts ("e6d" dense ablation,
+/// "cal" advisor calibration). This is the sweep surface the tier-2
+/// conformance suite iterates — adding an emitter here automatically
+/// puts it under the threads=1 vs threads=N byte-identity check (see
+/// doc/ENGINE.md for the worked example).
 const std::vector<Emitter>& all_emitters();
 
-/// Lookup by name ("e5"); throws precondition_error when unknown.
+/// Lookup by registry name ("e5", "cal"); throws precondition_error
+/// when unknown.
 const Emitter& find_emitter(std::string_view name);
 
 }  // namespace bsmp::tables

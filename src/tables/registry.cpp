@@ -16,6 +16,11 @@ const std::vector<Emitter>& all_emitters() {
       {"e8", "Theorem 1 at d=2: multiprocessor mesh", &e8_tables},
       {"e9", "Figures 1-4: decomposition geometry", &e9_tables},
       {"e10", "baselines and Section-6 extensions", &e10_tables},
+      // Derived artifacts (after the ten paper artifacts, which keep
+      // their positional indices): the dense Section-4.2 ablation and
+      // the engine-backed advisor calibration.
+      {"e6d", "Section 4.2: dense every-s A(s) ablation + fit", &e6_dense_tables},
+      {"cal", "advisor calibration through the sweep engine", &calibration_tables},
   };
   return kEmitters;
 }

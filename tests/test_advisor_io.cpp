@@ -4,12 +4,15 @@
 #include <sstream>
 
 #include "analytic/advisor.hpp"
+#include "engine/plan_cache.hpp"
+#include "engine/pool.hpp"
 #include "sched/io.hpp"
 #include "sched/planner.hpp"
 #include "sched/runner.hpp"
 #include "sim/multiproc.hpp"
 #include "sim/observe.hpp"
 #include "sim/reference.hpp"
+#include "tables/calibration.hpp"
 #include "workload/rules.hpp"
 
 using namespace bsmp;
@@ -20,8 +23,48 @@ using analytic::Scheme;
 TEST(Advisor, Range4IsNaive) {
   auto rec = recommend(1, 1024, 2048, 4);
   EXPECT_EQ(rec.scheme, Scheme::kNaive);
+  EXPECT_EQ(rec.range, analytic::Range::k4);
+  // In Range 4 the paper's optimal strip is s* = n/p — one strip per
+  // processor, i.e. exactly the naive simulation — so the advisor
+  // reports kNaive and leaves Recommendation::s_star at 0 (the
+  // "strip width" is no longer a tunable).
+  EXPECT_DOUBLE_EQ(rec.s_star, 0.0);
+  EXPECT_DOUBLE_EQ(analytic::s_star(1024, 2048, 4), 1024.0 / 4.0);
   EXPECT_DOUBLE_EQ(rec.predicted_slowdown,
                    analytic::naive_bound(1, 1024, 2048, 4));
+}
+
+TEST(Advisor, BoundaryMEqualsNCoincidesWithNaive) {
+  // m = n^(1/d) is the top of Range 3 (classify_range's boundaries are
+  // inclusive): s* = m/p equals n/p, so the Theorem-1 scheme already
+  // degenerates to one strip per processor and its bound cannot beat
+  // the naive (n/p)^2. recommend() must therefore return kNaive here,
+  // not a "tuned" scheme whose tuning is vacuous.
+  const double n = 1024, p = 4;
+  EXPECT_EQ(analytic::classify_range(1, n, n, p), analytic::Range::k3);
+  EXPECT_DOUBLE_EQ(analytic::s_star(n, n, p), n / p);
+  EXPECT_DOUBLE_EQ(analytic::feasible_s_star(n, n, p), n / p);
+  auto rec = recommend(1, (std::int64_t)n, (std::int64_t)n, (std::int64_t)p);
+  EXPECT_EQ(rec.range, analytic::Range::k3);
+  EXPECT_EQ(rec.scheme, Scheme::kNaive);
+  EXPECT_DOUBLE_EQ(rec.s_star, 0.0);
+  EXPECT_DOUBLE_EQ(rec.predicted_slowdown,
+                   analytic::naive_bound(1, n, n, p));
+  // One past the boundary it is Range 4 proper — same outcome.
+  auto past = recommend(1, (std::int64_t)n, (std::int64_t)n + 1,
+                        (std::int64_t)p);
+  EXPECT_EQ(past.range, analytic::Range::k4);
+  EXPECT_EQ(past.scheme, Scheme::kNaive);
+}
+
+TEST(Advisor, FeasibleSStarClampsToOneStripPerProcessor) {
+  // feasible_s_star never exceeds n/p (the simulator cannot run more
+  // than one strip per processor) and never drops below 1.
+  EXPECT_GE(analytic::feasible_s_star(16, 8, 16), 1.0);
+  EXPECT_LE(analytic::feasible_s_star(1024, 4, 4) * 4, 1024.0);
+  // Where s* is already feasible it passes through untouched.
+  EXPECT_DOUBLE_EQ(analytic::feasible_s_star(65536, 4, 4),
+                   analytic::s_star(65536, 4, 4));
 }
 
 TEST(Advisor, SmallMPrefersTheTheorem1Scheme) {
@@ -41,27 +84,26 @@ TEST(Advisor, SchemeNamesAndD2) {
   EXPECT_GT(rec.predicted_slowdown, 0.0);
 }
 
-TEST(Calibration, FitsAndPredictsMeasuredSlowdowns) {
-  // Train on measured multiproc slowdowns at three sizes, predict a
-  // fourth within a modest relative error.
-  Calibration cal;
-  auto measure = [&](int64_t n, int64_t m, int64_t p) {
-    auto g = workload::make_mix_guest<1>({n}, n, m, 3);
-    sim::MultiprocConfig cfg;
-    cfg.s = std::max<int64_t>(
-        1, (int64_t)analytic::s_star((double)n, (double)m, (double)p));
-    while (cfg.s * p > n) cfg.s /= 2;
-    machine::MachineSpec host{1, n, p, m};
-    return sim::simulate_multiproc<1>(g, host, cfg).slowdown();
-  };
-  for (int64_t n : {64, 128, 256})
-    cal.add_measurement((double)n, 4, 4, measure(n, 4, 4));
-  cal.fit();
+TEST(Calibration, FitsAndPredictsEngineMeasuredSlowdowns) {
+  // The canonical feed: tables::run_calibration measures the default
+  // grid through engine::Sweep (reference runs memoized in the
+  // PlanCache) and returns a fitted Calibration. Predict a holdout
+  // size outside the training grid within a modest factor.
+  engine::Pool pool(2);
+  engine::PlanCache plans;
+  tables::EngineCtx ctx{&pool, &plans};
+  auto grid = tables::default_calibration_grid();
+  auto cal = tables::run_calibration(ctx, grid);
   EXPECT_TRUE(cal.fitted());
+  EXPECT_EQ(cal.num_measurements(), grid.size());
   EXPECT_LT(cal.training_error(), 0.5);
+  // The measurement sweep shares reference runs across grid points of
+  // the same (n, m): memoization must be visible in the cache stats.
+  EXPECT_GT(plans.stats().hits, 0u);
 
-  double actual = measure(512, 4, 4);
-  double predicted = cal.predict(512, 4, 4);
+  std::vector<tables::CalibrationPoint> holdout{{256, 4, 4}};
+  double actual = tables::measure_calibration_points(ctx, holdout)[0];
+  double predicted = cal.predict(256, 4, 4);
   EXPECT_GT(predicted / actual, 0.4);
   EXPECT_LT(predicted / actual, 2.5);
 }

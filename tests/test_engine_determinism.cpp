@@ -2,9 +2,13 @@
 // emitter must produce value- and byte-identical output at threads=1
 // and threads=N. This is the determinism contract of the sweep engine
 // — per-point result slots, per-point RNG streams, build-once plan
-// cache — pinned down end to end across all ten paper artifacts.
+// cache — pinned down end to end across all paper artifacts, the
+// dense E6 sweep, and the advisor calibration. The suite also checks
+// the structural invariants of the metrics layer and leaves
+// metrics_conformance_*.json on disk for CI to upload.
 #include <gtest/gtest.h>
 
+#include "engine/metrics.hpp"
 #include "engine/plan_cache.hpp"
 #include "engine/pool.hpp"
 #include "engine/sweep.hpp"
@@ -57,7 +61,8 @@ TEST_P(EmitterConformance, TablesIdenticalAtAnyThreadCount) {
 
 INSTANTIATE_TEST_SUITE_P(AllEmitters, EmitterConformance,
                          ::testing::Values("e1", "e2", "e3", "e4", "e5", "e6",
-                                           "e7", "e8", "e9", "e10"),
+                                           "e7", "e8", "e9", "e10", "e6d",
+                                           "cal"),
                          [](const auto& param_info) {
                            return std::string(param_info.param);
                          });
@@ -66,12 +71,13 @@ INSTANTIATE_TEST_SUITE_P(AllEmitters, EmitterConformance,
 // The emitter registry itself.
 // ---------------------------------------------------------------------
 
-TEST(EmitterRegistry, TenEmittersInOrder) {
+TEST(EmitterRegistry, TwelveEmittersInOrder) {
   const auto& all = tables::all_emitters();
-  ASSERT_EQ(all.size(), 10u);
+  ASSERT_EQ(all.size(), 12u);
   EXPECT_STREQ(all.front().name, "e1");
-  EXPECT_STREQ(all.back().name, "e10");
+  EXPECT_STREQ(all.back().name, "cal");
   EXPECT_EQ(&tables::find_emitter("e5"), &all[4]);
+  EXPECT_EQ(&tables::find_emitter("e6d"), &all[10]);
   EXPECT_THROW(tables::find_emitter("e11"), precondition_error);
 }
 
@@ -134,10 +140,94 @@ TEST(GoldenDigest, E5TableStable) {
 // ---------------------------------------------------------------------
 
 TEST(CacheConformance, SharedArtifactEmittersHitTheCache) {
-  for (const char* name : {"e5", "e6", "e10"}) {
+  for (const char* name : {"e5", "e6", "e10", "e6d", "cal"}) {
     engine::PlanCache::Stats stats;
     run_emitter(tables::find_emitter(name), parallel_threads(), &stats);
     EXPECT_GT(stats.hits, 0u) << name << " reported no cache hits";
     EXPECT_GT(stats.misses, 0u) << name << " reported no cache misses";
+    // Build-once: every miss runs the builder exactly once, and hits
+    // never do — so builds == misses on a fresh cache.
+    EXPECT_EQ(stats.builds, stats.misses)
+        << name << " builds != misses on a fresh cache";
   }
+}
+
+// ---------------------------------------------------------------------
+// Metrics conformance: the observability layer must never perturb the
+// tables (checked above — the emitters run without a sink there), and
+// its own structure must be stable across thread counts: same sweeps
+// in the same order, same point counts, one timing slot per point.
+// The reports written here (metrics_conformance_<name>.json) stay on
+// disk so CI can upload them as artifacts.
+// ---------------------------------------------------------------------
+
+TEST(MetricsConformance, StructureStableAcrossThreadCountsAndSerialized) {
+  for (const char* name : {"e6d", "cal"}) {
+    const auto& emitter = tables::find_emitter(name);
+    engine::MetricsReport report;
+    report.name = std::string("conformance_") + name;
+    std::vector<tables::Emitted> tables_by_pass[2];
+    int pass_threads[2] = {1, parallel_threads()};
+    for (int pass = 0; pass < 2; ++pass) {
+      engine::Pool pool(pass_threads[pass]);
+      engine::PlanCache plans;
+      engine::Metrics metrics;
+      tables::EngineCtx ctx{&pool, &plans, &metrics};
+      tables_by_pass[pass] = emitter.fn(ctx);
+      engine::MetricsPass mp;
+      mp.threads = pass_threads[pass];
+      mp.cache = plans.stats();
+      mp.sweeps = metrics.snapshot();
+      report.passes.push_back(std::move(mp));
+    }
+
+    // Attaching a sink must not change the tables.
+    auto bare = run_emitter(emitter, 1, nullptr);
+    ASSERT_EQ(bare.size(), tables_by_pass[0].size()) << name;
+    for (std::size_t i = 0; i < bare.size(); ++i)
+      EXPECT_EQ(bare[i].table.digest(), tables_by_pass[0][i].table.digest())
+          << name << " table " << i << " changed when metrics were attached";
+
+    const auto& seq = report.passes[0].sweeps;
+    const auto& par = report.passes[1].sweeps;
+    ASSERT_EQ(seq.size(), par.size()) << name << " sweep count diverged";
+    ASSERT_FALSE(seq.empty()) << name << " recorded no sweeps";
+    for (std::size_t i = 0; i < seq.size(); ++i) {
+      EXPECT_EQ(seq[i].label, par[i].label) << name << " sweep " << i;
+      EXPECT_EQ(seq[i].points, par[i].points) << name << " sweep " << i;
+      for (const auto* sm : {&seq[i], &par[i]}) {
+        EXPECT_FALSE(sm->label.empty()) << name << " sweep " << i;
+        ASSERT_EQ(sm->per_point.size(), sm->points) << name << " sweep " << i;
+        for (std::size_t j = 0; j < sm->per_point.size(); ++j) {
+          EXPECT_EQ(sm->per_point[j].index, j);
+          EXPECT_GE(sm->per_point[j].queue_wait_s, 0.0);
+          EXPECT_GE(sm->per_point[j].run_s, 0.0);
+        }
+      }
+    }
+    EXPECT_EQ(report.passes[0].cache.builds, report.passes[1].cache.builds)
+        << name << " built a different number of plans at threads=1 vs N";
+
+    const auto path = engine::metrics_filename(report.name);
+    EXPECT_TRUE(report.write_json_file(path)) << "could not write " << path;
+  }
+}
+
+// ---------------------------------------------------------------------
+// Golden digest of the dense-E6 fit summary ("E6d fit summary", the
+// last artifact of the e6d emitter): mechanism constants, mean
+// relative errors, and the measured-vs-fitted argmin verdicts for
+// every m. Pins the whole dense sweep + least-squares pipeline.
+// ---------------------------------------------------------------------
+
+TEST(GoldenDigest, E6DenseFitSummaryStable) {
+  auto artifacts = run_emitter(tables::find_emitter("e6d"), 1, nullptr);
+  ASSERT_EQ(artifacts.size(), 4u);
+  const auto& fit = artifacts.back().table;
+  EXPECT_NE(fit.title().find("fit summary"), std::string::npos);
+  constexpr std::uint64_t kE6dFitGolden = 0xf0e7f309f26f7179ULL;
+  EXPECT_EQ(fit.digest(), kE6dFitGolden)
+      << "E6d fit summary changed; new digest: 0x" << std::hex << fit.digest()
+      << "\nrendered:\n"
+      << fit.to_string();
 }

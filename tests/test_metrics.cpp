@@ -1,0 +1,210 @@
+// engine::Metrics — the observability layer: per-point timings
+// recorded by Sweep::run, PlanCache build accounting, and the
+// metrics_*.json serialization schema.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "engine/metrics.hpp"
+#include "engine/plan_cache.hpp"
+#include "engine/pool.hpp"
+#include "engine/sweep.hpp"
+
+using namespace bsmp;
+
+namespace {
+
+std::vector<int> iota_points(int n) {
+  std::vector<int> pts(n);
+  for (int i = 0; i < n; ++i) pts[i] = i;
+  return pts;
+}
+
+}  // namespace
+
+TEST(Metrics, SweepRecordsOneSweepMetricWithPerPointTimings) {
+  engine::Pool pool(2);
+  engine::Metrics metrics;
+  engine::SweepOptions opt;
+  opt.metrics = &metrics;
+  opt.label = "unit sweep";
+  auto points = iota_points(16);
+  auto rows = engine::sweep_map<int>(
+      pool, points, [](int v, engine::SweepContext&) { return v * v; }, opt);
+  ASSERT_EQ(rows.size(), 16u);
+
+  auto sweeps = metrics.snapshot();
+  ASSERT_EQ(sweeps.size(), 1u);
+  const auto& sm = sweeps[0];
+  EXPECT_EQ(sm.label, "unit sweep");
+  EXPECT_EQ(sm.points, 16u);
+  EXPECT_EQ(sm.pool_threads, 2);
+  EXPECT_GE(sm.wall_s, 0.0);
+  ASSERT_EQ(sm.per_point.size(), 16u);
+  for (std::size_t i = 0; i < sm.per_point.size(); ++i) {
+    // Slots are written at the point's index: point order regardless
+    // of which thread ran what.
+    EXPECT_EQ(sm.per_point[i].index, i);
+    EXPECT_GE(sm.per_point[i].queue_wait_s, 0.0);
+    EXPECT_GE(sm.per_point[i].run_s, 0.0);
+  }
+  EXPECT_GE(sm.busy_s(), 0.0);
+  EXPECT_GE(sm.occupancy(), 0.0);
+}
+
+TEST(Metrics, NoSinkMeansNoRecording) {
+  engine::Pool pool(1);
+  engine::SweepOptions opt;  // metrics == nullptr
+  auto rows = engine::sweep_map<int>(
+      pool, iota_points(4), [](int v, engine::SweepContext&) { return v; },
+      opt);
+  EXPECT_EQ(rows.size(), 4u);  // nothing to observe, nothing crashed
+}
+
+TEST(Metrics, SnapshotAccumulatesAndClearResets) {
+  engine::Pool pool(1);
+  engine::Metrics metrics;
+  engine::SweepOptions opt;
+  opt.metrics = &metrics;
+  for (int k = 0; k < 3; ++k) {
+    opt.label = "sweep " + std::to_string(k);
+    engine::sweep_map<int>(
+        pool, iota_points(2), [](int v, engine::SweepContext&) { return v; },
+        opt);
+  }
+  EXPECT_EQ(metrics.num_sweeps(), 3u);
+  auto sweeps = metrics.snapshot();
+  EXPECT_EQ(sweeps[0].label, "sweep 0");
+  EXPECT_EQ(sweeps[2].label, "sweep 2");
+  metrics.clear();
+  EXPECT_EQ(metrics.num_sweeps(), 0u);
+}
+
+TEST(Metrics, OccupancyIsBusyOverWallTimesThreads) {
+  engine::SweepMetric sm;
+  sm.pool_threads = 4;
+  sm.wall_s = 2.0;
+  sm.per_point = {{0, 0.0, 1.0}, {1, 0.0, 3.0}};
+  EXPECT_DOUBLE_EQ(sm.busy_s(), 4.0);
+  EXPECT_DOUBLE_EQ(sm.occupancy(), 0.5);  // 4 / (2 * 4)
+  sm.wall_s = 0.0;
+  EXPECT_DOUBLE_EQ(sm.occupancy(), 0.0);  // degenerate, not a NaN
+}
+
+TEST(Metrics, ReportSpeedupIsFirstOverLastPass) {
+  engine::MetricsReport report;
+  EXPECT_DOUBLE_EQ(report.speedup(), 1.0);  // no passes
+  report.passes.resize(1);
+  report.passes[0].seconds = 4.0;
+  EXPECT_DOUBLE_EQ(report.speedup(), 1.0);  // single pass
+  report.passes.resize(2);
+  report.passes[1].seconds = 2.0;
+  EXPECT_DOUBLE_EQ(report.speedup(), 2.0);
+}
+
+TEST(Metrics, JsonSchemaContainsEveryStableField) {
+  engine::MetricsReport report;
+  report.name = "unit";
+  engine::MetricsPass pass;
+  pass.threads = 2;
+  pass.seconds = 1.5;
+  pass.cache.hits = 7;
+  pass.cache.misses = 3;
+  pass.cache.builds = 3;
+  engine::SweepMetric sm;
+  sm.label = "sweep A";
+  sm.points = 2;
+  sm.pool_threads = 2;
+  sm.wall_s = 1.0;
+  sm.per_point = {{0, 0.0, 0.25}, {1, 0.125, 0.5}};
+  pass.sweeps.push_back(sm);
+  report.passes.push_back(pass);
+
+  std::ostringstream os;
+  report.write_json(os);
+  const std::string j = os.str();
+  for (const char* key :
+       {"\"schema\": \"bsmp-metrics-v1\"", "\"name\": \"unit\"",
+        "\"speedup\"", "\"threads\": 2", "\"seconds\"", "\"hits\": 7",
+        "\"misses\": 3", "\"builds\": 3", "\"hit_rate\"",
+        "\"label\": \"sweep A\"", "\"points\": 2", "\"pool_threads\": 2",
+        "\"wall_s\"", "\"busy_s\"", "\"occupancy\"", "\"per_point\"",
+        "\"queue_wait_s\"", "\"run_s\""}) {
+    EXPECT_NE(j.find(key), std::string::npos) << "missing " << key << "\n"
+                                              << j;
+  }
+}
+
+TEST(Metrics, JsonEscapesLabels) {
+  engine::MetricsReport report;
+  report.name = "quo\"te";
+  std::ostringstream os;
+  report.write_json(os);
+  EXPECT_NE(os.str().find("\"quo\\\"te\""), std::string::npos) << os.str();
+}
+
+TEST(Metrics, WriteJsonFileReportsFailureWithoutThrowing) {
+  engine::MetricsReport report;
+  report.name = "unit";
+  EXPECT_FALSE(report.write_json_file("/nonexistent-dir/metrics_unit.json"));
+}
+
+TEST(Metrics, CanonicalFilename) {
+  EXPECT_EQ(engine::metrics_filename("e6d"), "metrics_e6d.json");
+}
+
+TEST(PlanCacheBuilds, BuilderInvocationsAreCountedOncePerKey) {
+  engine::PlanCache cache;
+  engine::PlanKey key;
+  key.width = 7;
+  int built = 0;
+  auto build = [&] {
+    ++built;
+    return 42;
+  };
+  auto a = cache.get_or_build<int>(key, build);
+  auto b = cache.get_or_build<int>(key, build);
+  EXPECT_EQ(*a, 42);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(built, 1);
+  auto stats = cache.stats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.builds, 1u);
+}
+
+TEST(PlanCacheBuilds, LookupMissDoesNotBuildAndClearResets) {
+  engine::PlanCache cache;
+  engine::PlanKey key;
+  key.width = 9;
+  EXPECT_EQ(cache.lookup<int>(key), nullptr);
+  EXPECT_EQ(cache.stats().builds, 0u);
+  cache.get_or_build<int>(key, [] { return 1; });
+  EXPECT_EQ(cache.stats().builds, 1u);
+  cache.clear();
+  auto stats = cache.stats();
+  EXPECT_EQ(stats.builds, 0u);
+  EXPECT_EQ(stats.lookups(), 0u);
+}
+
+TEST(PlanCacheBuilds, FailedBuildIsRetriedAndCountedAgain) {
+  engine::PlanCache cache;
+  engine::PlanKey key;
+  key.width = 11;
+  int attempts = 0;
+  EXPECT_THROW(cache.get_or_build<int>(key,
+                                       [&]() -> int {
+                                         ++attempts;
+                                         throw std::runtime_error("boom");
+                                       }),
+               std::runtime_error);
+  auto v = cache.get_or_build<int>(key, [&] {
+    ++attempts;
+    return 5;
+  });
+  EXPECT_EQ(*v, 5);
+  EXPECT_EQ(attempts, 2);
+  // Both builder invocations ran: a failed build never poisons the
+  // key, and the retry is accounted as a second build.
+  EXPECT_EQ(cache.stats().builds, 2u);
+}
