@@ -66,6 +66,7 @@ inline EmitterPass run_pass(const tables::Emitter& emitter, int threads) {
                              .count();
   pass.metrics.cache = plans.stats();
   pass.metrics.sweeps = metrics.snapshot();
+  pass.metrics.hot = metrics.hot_snapshot();
   return pass;
 }
 

@@ -1,0 +1,74 @@
+// HOT — the executor hot-path microbench. Prints the "hot" artifact
+// (dense flat-staging executor vs the retained hash-map baseline, with
+// every deterministic field asserted equal), serializes the measured
+// throughputs as metrics_hot.json, then runs google-benchmark kernels
+// for the same four full-volume executions. A Release run's
+// --benchmark_out is committed as bench/BENCH_exec_hotpath.json — the
+// perf trajectory baseline; the acceptance bar for the flat-staging
+// rewrite is dense >= 3x hashmap vertices/sec on exec_d1_w512.
+#include "bench_common.hpp"
+#include "tables/hotpath.hpp"
+
+using namespace bsmp;
+
+namespace {
+
+template <int D>
+sep::Guest<D> hot_guest(std::array<std::int64_t, D> extent,
+                        std::int64_t horizon, std::int64_t m) {
+  return workload::make_mix_guest<D>(extent, horizon, m, 7);
+}
+
+template <int D>
+void bm_dense(benchmark::State& state, std::array<std::int64_t, D> extent,
+              std::int64_t horizon, std::int64_t m) {
+  auto g = hot_guest<D>(extent, horizon, m);
+  std::int64_t vertices = 0;
+  for (auto _ : state) {
+    sep::StagingStore<D> staging(&g.stencil);
+    auto s = tables::hotpath::run_dense<D>(g, staging);
+    vertices = s.vertices;
+    benchmark::DoNotOptimize(s.total_cost);
+  }
+  state.counters["vertices_per_sec"] =
+      benchmark::Counter(static_cast<double>(vertices),
+                         benchmark::Counter::kIsIterationInvariantRate);
+}
+
+template <int D>
+void bm_hashmap(benchmark::State& state, std::array<std::int64_t, D> extent,
+                std::int64_t horizon, std::int64_t m) {
+  auto g = hot_guest<D>(extent, horizon, m);
+  std::int64_t vertices = 0;
+  for (auto _ : state) {
+    sep::ValueMap<D> staging;
+    auto s = tables::hotpath::run_hashmap<D>(g, staging);
+    vertices = s.vertices;
+    benchmark::DoNotOptimize(s.total_cost);
+  }
+  state.counters["vertices_per_sec"] =
+      benchmark::Counter(static_cast<double>(vertices),
+                         benchmark::Counter::kIsIterationInvariantRate);
+}
+
+void BM_exec_d1_w512_dense(benchmark::State& state) {
+  bm_dense<1>(state, {512}, 512, 8);
+}
+void BM_exec_d1_w512_hashmap(benchmark::State& state) {
+  bm_hashmap<1>(state, {512}, 512, 8);
+}
+void BM_exec_d2_w48_dense(benchmark::State& state) {
+  bm_dense<2>(state, {48, 48}, 48, 4);
+}
+void BM_exec_d2_w48_hashmap(benchmark::State& state) {
+  bm_hashmap<2>(state, {48, 48}, 48, 4);
+}
+
+BENCHMARK(BM_exec_d1_w512_dense);
+BENCHMARK(BM_exec_d1_w512_hashmap);
+BENCHMARK(BM_exec_d2_w48_dense);
+BENCHMARK(BM_exec_d2_w48_hashmap);
+
+}  // namespace
+
+BSMP_BENCH_MAIN("hot")

@@ -11,6 +11,8 @@
 #include <cstdint>
 #include <string>
 
+#include "core/expect.hpp"
+
 namespace bsmp::core {
 
 /// Virtual time. Fractional values arise from the H-RAM access function
@@ -43,6 +45,34 @@ class CostLedger {
   /// Charge `cost` units of virtual time under `kind`, covering `events`
   /// primitive events (default one).
   void charge(CostKind kind, Cost cost, std::uint64_t events = 1);
+
+  /// Inline accumulation handle for hot loops. Each add_cost() performs
+  /// the same `slot += cost` addition a charge() call would, in the same
+  /// order — so streamed totals are bit-identical to per-call totals
+  /// (floating-point addition is order-sensitive; this preserves the
+  /// order) — but without the out-of-line call and precondition checks
+  /// per event. Event counts are integers, so they may be accumulated
+  /// locally and added once via add_events(). The handle is invalidated
+  /// by destroying the ledger.
+  class Stream {
+   public:
+    void add_cost(Cost cost) { *cost_ += cost; }
+    void add_events(std::uint64_t events) { *events_ += events; }
+
+   private:
+    friend class CostLedger;
+    Stream(Cost* cost, std::uint64_t* events)
+        : cost_(cost), events_(events) {}
+    Cost* cost_;
+    std::uint64_t* events_;
+  };
+
+  /// Accumulation handle for one kind (see Stream).
+  Stream stream(CostKind kind) {
+    BSMP_REQUIRE(kind != CostKind::kKindCount);
+    auto i = static_cast<std::size_t>(kind);
+    return Stream(&cost_[i], &events_[i]);
+  }
 
   /// Total charged virtual time across all kinds.
   Cost total() const;

@@ -32,9 +32,20 @@ std::size_t Metrics::num_sweeps() const {
   return sweeps_.size();
 }
 
+void Metrics::record_hot(HotPathMetric m) {
+  std::lock_guard<std::mutex> lk(mu_);
+  hot_.push_back(std::move(m));
+}
+
+std::vector<HotPathMetric> Metrics::hot_snapshot() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return hot_;
+}
+
 void Metrics::clear() {
   std::lock_guard<std::mutex> lk(mu_);
   sweeps_.clear();
+  hot_.clear();
 }
 
 double MetricsReport::speedup() const {
@@ -117,7 +128,22 @@ void MetricsReport::write_json(std::ostream& os) const {
       }
       os << "]\n        }";
     }
-    os << (pass.sweeps.empty() ? "]" : "\n      ]") << "\n    }";
+    os << (pass.sweeps.empty() ? "]" : "\n      ]");
+    os << ",\n      \"hot\": [";
+    for (std::size_t hi = 0; hi < pass.hot.size(); ++hi) {
+      const auto& h = pass.hot[hi];
+      os << (hi ? ",\n        {" : "\n        {");
+      os << "\n          \"label\": ";
+      json_string(os, h.label);
+      os << ",\n          \"vertices\": " << h.vertices
+         << ", \"seconds\": ";
+      json_real(os, h.seconds);
+      os << ", \"vertices_per_sec\": ";
+      json_real(os, h.vertices_per_sec());
+      os << ",\n          \"peak_staging_words\": " << h.peak_staging_words
+         << ", \"staging_allocs\": " << h.staging_allocs << "\n        }";
+    }
+    os << (pass.hot.empty() ? "]" : "\n      ]") << "\n    }";
   }
   os << (passes.empty() ? "]" : "\n  ]") << "\n}\n";
 }

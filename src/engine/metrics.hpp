@@ -46,10 +46,30 @@ struct SweepMetric {
   double occupancy() const;
 };
 
+/// One executor hot-path section: what a simulator's inner loop did —
+/// vertices and throughput, peak live staging words, staging slab
+/// allocations. Recorded by the simulators (sim/dc_uniproc,
+/// sim/multiproc, sim/naive) when handed a Metrics sink; timing fields
+/// are observational, the structural fields (label, vertices, words)
+/// are deterministic.
+struct HotPathMetric {
+  std::string label;               ///< caller-supplied section label
+  std::int64_t vertices = 0;       ///< dag vertices executed
+  double seconds = 0;              ///< wall clock of the section
+  std::size_t peak_staging_words = 0;  ///< high-water live staging words
+  std::size_t staging_allocs = 0;  ///< staging slab allocations
+
+  /// Throughput; 0 when the section was too fast to time.
+  double vertices_per_sec() const {
+    return seconds > 0 ? static_cast<double>(vertices) / seconds : 0.0;
+  }
+};
+
 /// Thread-safe sink the engine reports into. Hand one to
 /// SweepOptions::metrics (or tables::EngineCtx::metrics) and every
 /// sweep that runs appends one SweepMetric; snapshot() hands them back
-/// for serialization into a MetricsReport.
+/// for serialization into a MetricsReport. Simulators additionally
+/// append HotPathMetric records via record_hot.
 class Metrics {
  public:
   /// Append one sweep record (called by Sweep::run on completion).
@@ -61,11 +81,18 @@ class Metrics {
   /// Number of sweeps recorded so far.
   std::size_t num_sweeps() const;
 
+  /// Append one executor hot-path record (called by the simulators).
+  void record_hot(HotPathMetric m);
+
+  /// Copy of all hot-path records so far, in recording order.
+  std::vector<HotPathMetric> hot_snapshot() const;
+
   void clear();
 
  private:
   mutable std::mutex mu_;
   std::vector<SweepMetric> sweeps_;
+  std::vector<HotPathMetric> hot_;
 };
 
 /// One emitter pass (one thread count, one fresh PlanCache) inside a
@@ -75,6 +102,7 @@ struct MetricsPass {
   double seconds = 0;       ///< whole-pass wall clock
   PlanCache::Stats cache;   ///< hit/miss/build accounting of the pass
   std::vector<SweepMetric> sweeps;  ///< every sweep the pass ran
+  std::vector<HotPathMetric> hot;   ///< executor hot-path sections
 };
 
 /// The `metrics_<name>.json` artifact: a named sequence of passes
@@ -93,8 +121,16 @@ struct MetricsPass {
 ///         { "label": "e6d m=1", "points": 32, "pool_threads": 1,
 ///           "wall_s": 0.71, "busy_s": 0.70, "occupancy": 0.99,
 ///           "per_point": [ {"index": 0, "queue_wait_s": 0.0,
-///                           "run_s": 0.02}, ... ] } ] } ]
+///                           "run_s": 0.02}, ... ] } ],
+///       "hot": [
+///         { "label": "dense d=1 w=512", "vertices": 262144,
+///           "seconds": 0.05, "vertices_per_sec": 5242880,
+///           "peak_staging_words": 1536, "staging_allocs": 514 } ] } ]
 /// }
+///
+/// The "hot" array (additive to the v1 schema) carries the executor
+/// hot-path sections recorded via Metrics::record_hot; it is empty for
+/// passes that ran no simulator with a hot-metrics sink.
 struct MetricsReport {
   std::string name;                 ///< emitter / bench name ("e6d")
   std::vector<MetricsPass> passes;  ///< in run order

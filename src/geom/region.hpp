@@ -199,12 +199,14 @@ class Region {
     return out;
   }
 
-  /// The preboundary Γin(U): vertices outside U that are predecessors
-  /// of some vertex of U (Section 3). Exact, computed by scanning the
-  /// lower shell of depth reach() — O(surface * reach) work.
-  std::vector<Point<D>> preboundary() const {
+  /// Visit every point of the preboundary Γin(U): vertices outside U
+  /// that are predecessors of some vertex of U (Section 3). Exact,
+  /// computed by scanning the lower shell of depth reach() —
+  /// O(surface * reach) work, no allocation. Each point is visited
+  /// exactly once.
+  template <class F>
+  void preboundary_visit(F&& visit) const {
     const int64_t R = stencil_->reach();
-    std::vector<Point<D>> out;
     std::array<Point<D>, K + 1> succ;
     for (int k = 0; k < K; ++k) {
       // Slab k: coordinate k in [lo_k - R, lo_k); coordinates j < k
@@ -219,27 +221,61 @@ class Region {
         int ns = stencil_->succ_positions(q, succ);
         for (int s = 0; s < ns; ++s) {
           if (contains(succ[s])) {
-            out.push_back(q);
+            visit(q);
             return;
           }
         }
       });
     }
+  }
+
+  /// The preboundary as a vector (materializing form of
+  /// preboundary_visit).
+  std::vector<Point<D>> preboundary() const {
+    std::vector<Point<D>> out;
+    preboundary_visit([&](const Point<D>& q) { out.push_back(q); });
     return out;
   }
 
-  /// The out-set: vertices of U with a successor *position* outside U
-  /// (including positions past the time horizon, so the final rows of a
-  /// computation are always part of the out-set of its last domains).
-  std::vector<Point<D>> outset() const {
+  /// |Γin(U)| without materializing the vector: the same shell scan as
+  /// preboundary(), so equality with preboundary().size() is exact
+  /// (asserted by the region property tests and by the executor's
+  /// validation mode).
+  int64_t preboundary_count() const {
+    int64_t n = 0;
+    preboundary_visit([&](const Point<D>&) { ++n; });
+    return n;
+  }
+
+  /// O(1) out-set membership: q is in the out-set of U iff q is a
+  /// vertex of U and some successor *position* of q is not a vertex of
+  /// U (positions past the time horizon are not vertices, so the final
+  /// rows of a computation always qualify). Equivalent to scanning
+  /// outset() for q — every arc raises each monotone coordinate, so a
+  /// point all of whose successors stay in the box is never collected
+  /// by the shell scan either.
+  bool in_outset(const Point<D>& q) const {
+    if (!contains(q)) return false;
+    std::array<Point<D>, K + 1> succ;
+    int ns = stencil_->succ_positions(q, succ);
+    for (int s = 0; s < ns; ++s)
+      if (!contains(succ[s])) return true;
+    return false;
+  }
+
+  /// Visit every point of the out-set: vertices of U with a successor
+  /// *position* outside U (including positions past the time horizon).
+  /// Each point is visited exactly once, in slab-scan order (the order
+  /// outset() returns). No allocation.
+  template <class F>
+  void outset_visit(F&& visit) const {
     const int64_t R = stencil_->reach();
-    std::vector<Point<D>> out;
     std::array<Point<D>, K + 1> succ;
     auto consider = [&](const Point<D>& q) {
       int ns = stencil_->succ_positions(q, succ);
       for (int s = 0; s < ns; ++s) {
         if (!contains(succ[s])) {
-          out.push_back(q);
+          visit(q);
           return;
         }
       }
@@ -268,7 +304,21 @@ class Region {
         if (!in_upper_slab(q)) consider(q);
       });
     }
+  }
+
+  /// The out-set as a vector (materializing form of outset_visit).
+  std::vector<Point<D>> outset() const {
+    std::vector<Point<D>> out;
+    outset_visit([&](const Point<D>& q) { out.push_back(q); });
     return out;
+  }
+
+  /// Out-set size without materializing the vector — same scan as
+  /// outset(), so equality with outset().size() is exact.
+  int64_t outset_count() const {
+    int64_t n = 0;
+    outset_visit([&](const Point<D>&) { ++n; });
+    return n;
   }
 
   /// Visit every point of the region at one time level.

@@ -165,17 +165,45 @@ class ConcreteExecutor {
     const geom::Stencil<D>& st = guest_->stencil;
     // Values of this leaf are laid out from address 0 upward in
     // topological order; the preboundary stays where the caller parked
-    // it (inside [0, S)).
-    AddrMap local = pre;
-    std::size_t next = 0;
+    // it (inside [0, S)). Because for_each enumerates the leaf window
+    // densely, a leaf point's address is its window slot — computable
+    // in O(1) from the per-level prefix offsets, with no local index.
+    const auto [tmin, tmax] = U.time_range();
+    std::vector<std::size_t> offs;
+    std::size_t total = 0;
+    for (std::int64_t t = tmin; t <= tmax; ++t) {
+      offs.push_back(total);
+      std::size_t rows = 1;
+      for (int i = 0; i < D; ++i) {
+        auto [a, b] = U.x_range(i, t);
+        if (a > b) {
+          rows = 0;
+          break;
+        }
+        rows *= static_cast<std::size_t>(b - a + 1);
+      }
+      total += rows;
+    }
     const std::size_t top = S - pre.size();
 
+    auto slot = [&](const geom::Point<D>& q) -> std::size_t {
+      std::size_t idx = 0;
+      for (int i = 0; i < D; ++i) {
+        auto [a, b] = U.x_range(i, q.t);
+        idx = idx * static_cast<std::size_t>(b - a + 1) +
+              static_cast<std::size_t>(q.x[i] - a);
+      }
+      return offs[static_cast<std::size_t>(q.t - tmin)] + idx;
+    };
+
     auto load = [&](const geom::Point<D>& q) -> hram::Word {
-      auto it = local.find(q);
-      BSMP_ASSERT_MSG(it != local.end(), "operand missing (concrete leaf)");
+      if (q.t >= tmin && U.in_box(q)) return ram_->read(slot(q));
+      auto it = pre.find(q);
+      BSMP_ASSERT_MSG(it != pre.end(), "operand missing (concrete leaf)");
       return ram_->read(it->second);
     };
 
+    std::size_t next = 0;
     U.for_each([&](const geom::Point<D>& p) {
       hram::Word value;
       if (p.t == 0) {
@@ -201,18 +229,16 @@ class ConcreteExecutor {
         value = guest_->rule(p, self_prev, nbrs);
       }
       BSMP_ASSERT_MSG(next < top, "leaf window overflow");
+      BSMP_ASSERT_MSG(next == slot(p), "dense leaf layout out of order");
       ram_->write(next, value);
-      local[p] = next;
       ++next;
       ram_->ledger().charge(core::CostKind::kCompute, 1.0);
     });
 
     AddrMap out;
-    for (const auto& q : U.outset()) {
-      auto it = local.find(q);
-      BSMP_ASSERT_MSG(it != local.end(), "out-set point not executed");
-      out.emplace(q, it->second);
-    }
+    U.outset_visit([&](const geom::Point<D>& q) {
+      out.emplace(q, slot(q));
+    });
     return out;
   }
 

@@ -3,9 +3,10 @@
 //
 // execute(U, staging) runs every vertex of the convex domain U under
 // the contract:
-//   * on entry, `staging` holds the values of Γin(U) (asserted — this
-//     assertion *is* the topological-partition property of Definition 4
-//     checked at run time on every recursion level);
+//   * on entry, `staging` holds the values of Γin(U) (the topological-
+//     partition property of Definition 4; asserted per point when
+//     validation mode is on, and caught by the leaf operand check
+//     otherwise);
 //   * on return, `staging` additionally holds the values of the
 //     out-set of U, and U's interior values have been removed.
 //
@@ -20,6 +21,17 @@
 // Setting leaf_width = m realizes Theorem 3's "executable diamonds"
 // D(m) executed by naive simulation at cost Θ(m^3); leaf_width = 1 is
 // the pure divide-and-conquer of Theorems 2 and 5.
+//
+// Hot path (see doc/ENGINE.md "Hot path"): recursion levels charge
+// from Region::preboundary_count()/outset_count() without
+// materializing point vectors; leaves run in a dense window addressed
+// by (time-level prefix offset, x offset) instead of a hash map, with
+// per-leaf batched kCompute and a bit-exact kLocalAccess charge
+// stream; staging is any store providing the accessors of
+// sep/staging.hpp — StagingStore<D> for O(1) dense addressing, or the
+// original ValueMap<D>. All charged totals are bit-identical to the
+// materializing implementation; ExecutorConfig::validate re-enables
+// the per-level materialization and asserts it changes nothing.
 #pragma once
 
 #include <algorithm>
@@ -32,6 +44,7 @@
 #include "geom/region.hpp"
 #include "hram/access_fn.hpp"
 #include "sep/guest.hpp"
+#include "sep/staging.hpp"
 
 namespace bsmp::sep {
 
@@ -51,6 +64,11 @@ struct ExecutorConfig {
   /// no recursion-path staging — so its accesses are charged at a
   /// tighter address scale than the recursion levels'.
   double leaf_space_const = 2.0;
+  /// Re-materialize preboundary / out-set vectors at every recursion
+  /// level and assert the topological-partition property and the
+  /// count == size equalities. Defaults from sep::validation_mode()
+  /// (the BSMP_VALIDATE environment variable).
+  bool validate = validation_mode();
 };
 
 template <int D>
@@ -92,91 +110,171 @@ class Executor {
     return s + 8.0;
   }
 
-  /// Execute domain U (see the contract above). Returns the points of
-  /// the out-set of U, whose values are now in `staging`.
-  std::vector<geom::Point<D>> execute(const geom::Region<D>& U,
-                                      ValueMap<D>& staging) {
+  /// Execute domain U (see the contract above): afterwards the out-set
+  /// values of U are in `staging` (enumerable via U.outset() /
+  /// U.outset_visit()). `Store` is ValueMap<D> or StagingStore<D>.
+  template <class Store>
+  void execute(const geom::Region<D>& U, Store& staging) {
+    execute_with_rule(U, staging, guest_->rule);
+  }
+
+  /// Fast path: identical to execute(), with the leaf loop specialized
+  /// for a concrete `rule` callable (no std::function dispatch per
+  /// vertex). `rule` must compute the same function as guest->rule.
+  template <class Store, class RuleFn>
+  void execute_with_rule(const geom::Region<D>& U, Store& staging,
+                         const RuleFn& rule) {
     BSMP_REQUIRE(ledger_ != nullptr);
-    std::vector<geom::Point<D>> out;
-    if (U.width() <= cfg_.leaf_width) {
-      execute_leaf(U, staging, out);
-      note_staging(staging);
-      return out;
-    }
-
-    const core::Cost fS =
-        cfg_.f(static_cast<std::uint64_t>(space_bound(U.width())));
-    std::vector<geom::Point<D>> produced;  // out-sets of all children
-    for (const geom::Region<D>& child : U.split()) {
-      // Proposition 2, step 1: bring the child's preboundary into the
-      // child's working space. Presence in staging is exactly the
-      // topological-partition property.
-      std::vector<geom::Point<D>> gin = child.preboundary();
-      for (const auto& q : gin) {
-        BSMP_ASSERT_MSG(staging.contains(q),
-                        "preboundary value missing: topological partition "
-                        "violated at width "
-                            << U.width());
-      }
-      ledger_->charge(core::CostKind::kBlockMove,
-                      2.0 * fS * static_cast<core::Cost>(gin.size()),
-                      gin.size());
-
-      // Step 2: execute the child.
-      std::vector<geom::Point<D>> child_out = execute(child, staging);
-
-      // Step 3: save the child's out-set for later children / parent.
-      ledger_->charge(core::CostKind::kBlockMove,
-                      2.0 * fS * static_cast<core::Cost>(child_out.size()),
-                      child_out.size());
-      produced.insert(produced.end(), child_out.begin(), child_out.end());
-    }
-
-    // Retain only U's out-set; everything else produced inside U is
-    // dead (its successors are all inside U and already executed).
-    out = U.outset();
-    ValueMap<D> keep;  // membership filter
-    keep.reserve(out.size() * 2);
-    for (const auto& q : out) keep.emplace(q, 0);
-    for (const auto& q : produced) {
-      if (!keep.contains(q)) staging.erase(q);
-    }
-#ifndef NDEBUG
-    for (const auto& q : out)
-      BSMP_ASSERT_MSG(staging.contains(q), "out-set value missing");
-#endif
-    note_staging(staging);
-    return out;
+    exec_rec(U, staging, rule);
   }
 
   /// Total dag vertices executed so far.
   std::int64_t vertices_executed() const { return vertices_; }
 
-  /// High-water mark of the staging map (live values), in words — the
+  /// High-water mark of the staging store (live values), in words — the
   /// concrete footprint compared against space_bound in tests.
   std::size_t peak_staging() const { return peak_staging_; }
 
  private:
-  void note_staging(const ValueMap<D>& staging) {
-    if (staging.size() > peak_staging_) peak_staging_ = staging.size();
+  template <class Store, class RuleFn>
+  void exec_rec(const geom::Region<D>& U, Store& staging,
+                const RuleFn& rule) {
+    if (U.width() <= cfg_.leaf_width) {
+      execute_leaf(U, staging, rule);
+      note_staging(staging.size());
+      return;
+    }
+
+    const core::Cost fS =
+        cfg_.f(static_cast<std::uint64_t>(space_bound(U.width())));
+    std::vector<geom::Region<D>> children = U.split();
+    for (const geom::Region<D>& child : children) {
+      // Proposition 2, step 1: bring the child's preboundary into the
+      // child's working space. Presence in staging is exactly the
+      // topological-partition property.
+      const std::int64_t gin = child.preboundary_count();
+      if (cfg_.validate) validate_preboundary(child, staging, U.width(), gin);
+      ledger_->charge(core::CostKind::kBlockMove,
+                      2.0 * fS * static_cast<core::Cost>(gin),
+                      static_cast<std::uint64_t>(gin));
+
+      // Step 2: execute the child.
+      exec_rec(child, staging, rule);
+
+      // Step 3: save the child's out-set for later children / parent.
+      const std::int64_t child_out = child.outset_count();
+      if (cfg_.validate) validate_child_outset(child, child_out);
+      ledger_->charge(core::CostKind::kBlockMove,
+                      2.0 * fS * static_cast<core::Cost>(child_out),
+                      static_cast<std::uint64_t>(child_out));
+    }
+
+    // Retain only U's out-set; everything else produced inside U is
+    // dead (its successors are all inside U and already executed).
+    // The produced set is exactly the union of the children's
+    // out-sets, and in_outset(q) is the O(1) membership filter the
+    // old code materialized a throwaway map for.
+    for (const geom::Region<D>& child : children) {
+      child.outset_visit([&](const geom::Point<D>& q) {
+        if (!U.in_outset(q)) staging.erase(q);
+      });
+    }
+    if (cfg_.validate) validate_outset(U, staging);
+    note_staging(staging.size());
   }
 
-  void execute_leaf(const geom::Region<D>& U, ValueMap<D>& staging,
-                    std::vector<geom::Point<D>>& out) {
+  template <class Store>
+  void validate_preboundary(const geom::Region<D>& child,
+                            const Store& staging, std::int64_t width,
+                            std::int64_t count) {
+    std::vector<geom::Point<D>> gin = child.preboundary();
+    BSMP_ASSERT_MSG(static_cast<std::int64_t>(gin.size()) == count,
+                    "preboundary_count != |preboundary()|");
+    for (const auto& q : gin) {
+      BSMP_ASSERT_MSG(store_find(staging, q) != nullptr,
+                      "preboundary value missing: topological partition "
+                      "violated at width "
+                          << width);
+    }
+  }
+
+  void validate_child_outset(const geom::Region<D>& child,
+                             std::int64_t count) {
+    BSMP_ASSERT_MSG(
+        static_cast<std::int64_t>(child.outset().size()) == count,
+        "outset_count != |outset()|");
+  }
+
+  template <class Store>
+  void validate_outset(const geom::Region<D>& U, const Store& staging) {
+    std::vector<geom::Point<D>> out = U.outset();
+    for (const auto& q : out) {
+      BSMP_ASSERT_MSG(U.in_outset(q), "in_outset rejects an outset() point");
+      BSMP_ASSERT_MSG(store_find(staging, q) != nullptr,
+                      "out-set value missing");
+    }
+  }
+
+  void note_staging(std::size_t live) {
+    if (live > peak_staging_) peak_staging_ = live;
+  }
+
+  /// Points of U at one time level (product of its x-ranges).
+  static std::size_t level_size(const geom::Region<D>& U, std::int64_t t) {
+    std::size_t n = 1;
+    for (int i = 0; i < D; ++i) {
+      auto [a, b] = U.x_range(i, t);
+      if (a > b) return 0;
+      n *= static_cast<std::size_t>(b - a + 1);
+    }
+    return n;
+  }
+
+  /// Dense window slot of q inside leaf U: per-level prefix offset (in
+  /// leaf_off_) plus the row-major x offset — the position for_each
+  /// visits q at, so sequential execution writes slots 0, 1, 2, ...
+  std::size_t leaf_slot(const geom::Region<D>& U, std::int64_t tmin,
+                        const geom::Point<D>& q) const {
+    std::size_t idx = 0;
+    for (int i = 0; i < D; ++i) {
+      auto [a, b] = U.x_range(i, q.t);
+      idx = idx * static_cast<std::size_t>(b - a + 1) +
+            static_cast<std::size_t>(q.x[i] - a);
+    }
+    return leaf_off_[static_cast<std::size_t>(q.t - tmin)] + idx;
+  }
+
+  template <class Store, class RuleFn>
+  void execute_leaf(const geom::Region<D>& U, Store& staging,
+                    const RuleFn& rule) {
     const geom::Stencil<D>& st = guest_->stencil;
     const core::Cost f_leaf =
         cfg_.f(static_cast<std::uint64_t>(leaf_space_bound(U.width())));
-    ValueMap<D> local;
+
+    const auto [tmin, tmax] = U.time_range();
+    leaf_off_.clear();
+    std::size_t total = 0;
+    for (std::int64_t t = tmin; t <= tmax; ++t) {
+      leaf_off_.push_back(total);
+      total += level_size(U, t);
+    }
+    if (leaf_vals_.size() < total) leaf_vals_.resize(total);
 
     auto lookup = [&](const geom::Point<D>& q) -> Word {
-      auto it = local.find(q);
-      if (it != local.end()) return it->second;
-      auto is = staging.find(q);
-      BSMP_ASSERT_MSG(is != staging.end(),
+      // q is a vertex; inside the leaf box it was already executed
+      // (topological order), so its value sits in the dense window.
+      if (q.t >= tmin && U.in_box(q)) return leaf_vals_[leaf_slot(U, tmin, q)];
+      const Word* v = store_find(staging, q);
+      BSMP_ASSERT_MSG(v != nullptr,
                       "operand missing at leaf: topological partition or "
                       "out-set computation is wrong");
-      return is->second;
+      return *v;
     };
+
+    auto la = ledger_->stream(core::CostKind::kLocalAccess);
+    std::uint64_t la_events = 0;
+    std::int64_t executed = 0;
+    std::size_t w = 0;
 
     U.for_each([&](const geom::Point<D>& p) {
       Word value;
@@ -206,22 +304,28 @@ class Executor {
           }
         }
         ++operands;  // self operand
-        value = guest_->rule(p, self_prev, nbrs);
+        value = rule(p, self_prev, nbrs);
       }
-      local.emplace(p, value);
-      ++vertices_;
-      ledger_->charge(core::CostKind::kCompute, 1.0);
-      ledger_->charge(core::CostKind::kLocalAccess,
-                      static_cast<core::Cost>(operands + 1) * f_leaf,
-                      static_cast<std::uint64_t>(operands + 1));
+      leaf_vals_[w++] = value;
+      ++executed;
+      // One read per operand plus one result write, each f(S(leaf)):
+      // streamed so the per-vertex addition order (and hence the
+      // floating-point total) matches a charge() call per vertex.
+      la.add_cost(static_cast<core::Cost>(operands + 1) * f_leaf);
+      la_events += static_cast<std::uint64_t>(operands + 1);
     });
+    la.add_events(la_events);
+    // Unit compute per vertex: integer-valued, so one batched charge is
+    // bit-identical to `executed` unit charges.
+    ledger_->charge(core::CostKind::kCompute,
+                    static_cast<core::Cost>(executed),
+                    static_cast<std::uint64_t>(executed));
+    vertices_ += executed;
 
-    out = U.outset();
-    for (const auto& q : out) {
-      auto it = local.find(q);
-      BSMP_ASSERT_MSG(it != local.end(), "out-set point not executed");
-      staging.emplace(q, it->second);
-    }
+    U.outset_visit([&](const geom::Point<D>& q) {
+      store_insert(staging, q, leaf_vals_[leaf_slot(U, tmin, q)]);
+    });
+    if (cfg_.validate) validate_outset(U, staging);
   }
 
   const Guest<D>* guest_;
@@ -229,6 +333,10 @@ class Executor {
   core::CostLedger* ledger_ = nullptr;
   std::int64_t vertices_ = 0;
   std::size_t peak_staging_ = 0;
+  // Leaf scratch, reused across leaves so a steady-state execution
+  // performs no per-leaf allocation.
+  std::vector<Word> leaf_vals_;
+  std::vector<std::size_t> leaf_off_;
 };
 
 }  // namespace bsmp::sep

@@ -1,0 +1,29 @@
+#include "sep/staging.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+namespace bsmp::sep {
+
+namespace {
+
+std::atomic<bool>& validation_flag() {
+  static std::atomic<bool> flag = [] {
+    const char* env = std::getenv("BSMP_VALIDATE");
+    return env != nullptr && std::strcmp(env, "0") != 0;
+  }();
+  return flag;
+}
+
+}  // namespace
+
+bool validation_mode() {
+  return validation_flag().load(std::memory_order_relaxed);
+}
+
+void set_validation_mode(bool on) {
+  validation_flag().store(on, std::memory_order_relaxed);
+}
+
+}  // namespace bsmp::sep

@@ -1,0 +1,228 @@
+// Dense, window-addressed staging for the separator executor.
+//
+// The staging medium between domains is keyed by lattice points. The
+// original medium was ValueMap<D> (an unordered_map), which pays a
+// hash + probe per touch and rehash churn as tiles come and go. A
+// point's address is in fact computable in O(1): the stencil's spatial
+// grid is fixed, so (x, t) maps to (node_index(x), t) — a slot in a
+// per-time-level slab of num_nodes words. StagingStore<D> stores
+// values that way:
+//
+//   * one lazily-allocated slab per time level (values + liveness
+//     bytes), freed again when the level is pruned — so the resident
+//     footprint follows the executor's wavefront, not the volume;
+//   * size() is the number of *live* words, maintained incrementally —
+//     identical semantics to the map's size(), which peak_staging()
+//     and the space-bound tests rely on;
+//   * level_allocs() counts slab allocations for the hot-path metrics.
+//
+// The generic accessors at the bottom (store_find / store_insert) give
+// Executor one staging interface over both StagingStore and the
+// original ValueMap (kept as a supported staging type: existing tests
+// use it, and the hot-path bench measures it as the same-run baseline).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/expect.hpp"
+#include "geom/lattice.hpp"
+#include "sep/guest.hpp"
+
+namespace bsmp::sep {
+
+template <int D>
+class StagingStore {
+ public:
+  /// The stencil fixes the address layout; it must outlive the store.
+  explicit StagingStore(const geom::Stencil<D>* stencil)
+      : st_(stencil) {
+    BSMP_REQUIRE(stencil != nullptr);
+    nodes_ = st_->num_nodes();
+    levels_.resize(static_cast<std::size_t>(st_->horizon));
+  }
+
+  bool contains(const geom::Point<D>& q) const {
+    return find(q) != nullptr;
+  }
+
+  /// Pointer to the live value at q, or nullptr when q is absent (or
+  /// not a vertex position at all).
+  const Word* find(const geom::Point<D>& q) const {
+    if (q.t < 0 || q.t >= st_->horizon) return nullptr;
+    const Level* lv = levels_[static_cast<std::size_t>(q.t)].get();
+    if (lv == nullptr || !st_->in_space(q.x)) return nullptr;
+    std::size_t s = slot(q.x);
+    return lv->live[s] ? &lv->vals[s] : nullptr;
+  }
+
+  /// Mutable value at q; asserts q is live (mirrors map::at).
+  Word& at(const geom::Point<D>& q) {
+    BSMP_REQUIRE(q.t >= 0 && q.t < st_->horizon && st_->in_space(q.x));
+    Level* lv = levels_[static_cast<std::size_t>(q.t)].get();
+    BSMP_REQUIRE_MSG(lv != nullptr, "StagingStore::at on absent point");
+    std::size_t s = slot(q.x);
+    BSMP_REQUIRE_MSG(lv->live[s], "StagingStore::at on absent point");
+    return lv->vals[s];
+  }
+
+  /// Set the value at q (insert-or-overwrite).
+  void insert(const geom::Point<D>& q, Word v) {
+    BSMP_REQUIRE(q.t >= 0 && q.t < st_->horizon && st_->in_space(q.x));
+    Level& lv = level(q.t);
+    std::size_t s = slot(q.x);
+    if (!lv.live[s]) {
+      lv.live[s] = 1;
+      ++lv.nlive;
+      ++live_;
+    }
+    lv.vals[s] = v;
+  }
+
+  /// Remove q if live (no-op otherwise, like map::erase).
+  void erase(const geom::Point<D>& q) {
+    if (q.t < 0 || q.t >= st_->horizon || !st_->in_space(q.x)) return;
+    Level* lv = levels_[static_cast<std::size_t>(q.t)].get();
+    if (lv == nullptr) return;
+    std::size_t s = slot(q.x);
+    if (lv->live[s]) {
+      lv->live[s] = 0;
+      --lv->nlive;
+      --live_;
+    }
+  }
+
+  /// Number of live words — the same quantity ValueMap::size() reports,
+  /// so peak-staging accounting is unchanged by the dense layout.
+  std::size_t size() const { return live_; }
+
+  /// Drop every level with t < dead_below and t < keep_from, releasing
+  /// its slab. Levels are all-or-nothing here because staleness is a
+  /// pure function of t (see sim::detail::prune_staging).
+  void prune_below(std::int64_t dead_below, std::int64_t keep_from) {
+    std::int64_t top = std::min(dead_below, keep_from);
+    top = std::min(top, st_->horizon);
+    for (std::int64_t t = 0; t < top; ++t) {
+      auto& lv = levels_[static_cast<std::size_t>(t)];
+      if (lv != nullptr) {
+        live_ -= static_cast<std::size_t>(lv->nlive);
+        lv.reset();
+      }
+    }
+  }
+
+  /// Slab allocations performed so far (hot-path metric: a steady
+  /// state allocates one slab per newly-touched time level and nothing
+  /// else).
+  std::size_t level_allocs() const { return allocs_; }
+
+  /// Visit every live (point, value) pair, t ascending then node order.
+  template <class F>
+  void for_each(F&& visit) const {
+    for (std::int64_t t = 0; t < st_->horizon; ++t) {
+      const Level* lv = levels_[static_cast<std::size_t>(t)].get();
+      if (lv == nullptr || lv->nlive == 0) continue;
+      geom::Point<D> p;
+      p.t = t;
+      for (std::size_t s = 0; s < lv->live.size(); ++s) {
+        if (!lv->live[s]) continue;
+        unslot(s, p.x);
+        visit(p, lv->vals[s]);
+      }
+    }
+  }
+
+ private:
+  struct Level {
+    std::vector<Word> vals;
+    std::vector<std::uint8_t> live;
+    std::int64_t nlive = 0;
+  };
+
+  Level& level(std::int64_t t) {
+    auto& lv = levels_[static_cast<std::size_t>(t)];
+    if (lv == nullptr) {
+      lv = std::make_unique<Level>();
+      lv->vals.assign(static_cast<std::size_t>(nodes_), 0);
+      lv->live.assign(static_cast<std::size_t>(nodes_), 0);
+      ++allocs_;
+    }
+    return *lv;
+  }
+
+  std::size_t slot(const std::array<std::int64_t, D>& x) const {
+    std::int64_t s = 0;
+    for (int i = 0; i < D; ++i) s = s * st_->extent[i] + x[i];
+    return static_cast<std::size_t>(s);
+  }
+
+  void unslot(std::size_t s, std::array<std::int64_t, D>& x) const {
+    auto r = static_cast<std::int64_t>(s);
+    for (int i = D - 1; i >= 0; --i) {
+      x[i] = r % st_->extent[i];
+      r /= st_->extent[i];
+    }
+  }
+
+  const geom::Stencil<D>* st_;
+  std::int64_t nodes_ = 0;
+  std::vector<std::unique_ptr<Level>> levels_;
+  std::size_t live_ = 0;
+  std::size_t allocs_ = 0;
+};
+
+// ---------------------------------------------------------------------
+// Uniform staging accessors: the executor is templated on its staging
+// store, and these overloads bridge the two supported types.
+// ---------------------------------------------------------------------
+
+template <int D>
+inline const Word* store_find(const ValueMap<D>& m, const geom::Point<D>& q) {
+  auto it = m.find(q);
+  return it == m.end() ? nullptr : &it->second;
+}
+
+template <int D>
+inline const Word* store_find(const StagingStore<D>& s,
+                              const geom::Point<D>& q) {
+  return s.find(q);
+}
+
+template <int D>
+inline void store_insert(ValueMap<D>& m, const geom::Point<D>& q, Word v) {
+  m.emplace(q, v);
+}
+
+template <int D>
+inline void store_insert(StagingStore<D>& s, const geom::Point<D>& q,
+                         Word v) {
+  s.insert(q, v);
+}
+
+/// Slab allocations of a store, when it tracks them (0 for ValueMap —
+/// the hash map's internal rehashes are exactly what it cannot see).
+template <int D>
+inline std::size_t store_level_allocs(const ValueMap<D>&) { return 0; }
+
+template <int D>
+inline std::size_t store_level_allocs(const StagingStore<D>& s) {
+  return s.level_allocs();
+}
+
+// ---------------------------------------------------------------------
+// Validation mode: when on, the executor re-materializes the
+// preboundary / out-set vectors at every recursion level and asserts
+// the topological-partition property (the pre-flat-staging behavior),
+// and cross-checks every count against its materialized size. Defaults
+// from the BSMP_VALIDATE environment variable at process start;
+// settable per run, and per executor via ExecutorConfig::validate.
+// ---------------------------------------------------------------------
+
+/// Process-wide default for ExecutorConfig::validate.
+bool validation_mode();
+
+/// Override the process-wide default (tests; conformance suite).
+void set_validation_mode(bool on);
+
+}  // namespace bsmp::sep

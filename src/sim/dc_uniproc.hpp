@@ -9,12 +9,16 @@
 #pragma once
 
 #include <algorithm>
+#include <chrono>
+#include <string>
 #include <vector>
 
 #include "core/expect.hpp"
+#include "engine/metrics.hpp"
 #include "geom/tiling.hpp"
 #include "machine/spec.hpp"
 #include "sep/executor.hpp"
+#include "sep/staging.hpp"
 #include "sim/observe.hpp"
 #include "sim/result.hpp"
 
@@ -24,6 +28,11 @@ struct DcConfig {
   std::int64_t tile_width = 0;  ///< 0: use the guest's node side
   std::int64_t leaf_width = 0;  ///< 0: use m (Theorem 3's executable diamonds)
   double space_const = 6.0;
+  /// Opt-in hot-path observability: when set, the simulator appends
+  /// one HotPathMetric (vertices/sec, peak staging words, staging slab
+  /// allocations) per run. Never affects charges or values.
+  engine::Metrics* metrics = nullptr;
+  std::string hot_label;  ///< label of the recorded section
 };
 
 namespace detail {
@@ -41,6 +50,14 @@ void prune_staging(const geom::Stencil<D>& st, sep::ValueMap<D>& staging,
     else
       ++it;
   }
+}
+
+/// Dense-staging form: staleness is a pure function of t, so whole
+/// levels are dropped (and their slabs released).
+template <int D>
+void prune_staging(const geom::Stencil<D>& st, sep::StagingStore<D>& staging,
+                   std::int64_t min_unexecuted_t) {
+  staging.prune_below(min_unexecuted_t - st.reach(), st.horizon - st.m);
 }
 
 }  // namespace detail
@@ -89,21 +106,34 @@ SimResult<D> simulate_dc_uniproc(const sep::Guest<D>& guest,
     suffix_tmin[k] = mn;
   }
 
-  sep::ValueMap<D> staging;
+  sep::StagingStore<D> staging(&st);
+  const auto hot_t0 = std::chrono::steady_clock::now();
   for (std::size_t k = 0; k < waves.size(); ++k) {
     for (const auto& tile : waves[k]) {
       // Tile preboundary comes from machine-scale memory (Prop. 2 at
       // the top level of the recursion).
-      std::vector<geom::Point<D>> gin = tile.preboundary();
+      const std::int64_t gin = tile.preboundary_count();
       res.ledger.charge(core::CostKind::kBlockMove,
-                        2.0 * f_top * static_cast<core::Cost>(gin.size()),
-                        gin.size());
-      auto out = exec.execute(tile, staging);
+                        2.0 * f_top * static_cast<core::Cost>(gin),
+                        static_cast<std::uint64_t>(gin));
+      exec.execute(tile, staging);
+      const std::int64_t out = tile.outset_count();
       res.ledger.charge(core::CostKind::kBlockMove,
-                        2.0 * f_top * static_cast<core::Cost>(out.size()),
-                        out.size());
+                        2.0 * f_top * static_cast<core::Cost>(out),
+                        static_cast<std::uint64_t>(out));
     }
     detail::prune_staging<D>(st, staging, suffix_tmin[k + 1]);
+  }
+  if (cfg.metrics != nullptr) {
+    engine::HotPathMetric h;
+    h.label = cfg.hot_label.empty() ? "dc_uniproc" : cfg.hot_label;
+    h.vertices = exec.vertices_executed();
+    h.seconds = std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - hot_t0)
+                    .count();
+    h.peak_staging_words = exec.peak_staging();
+    h.staging_allocs = staging.level_allocs();
+    cfg.metrics->record_hot(std::move(h));
   }
 
   res.vertices = exec.vertices_executed();

@@ -22,8 +22,10 @@
 #pragma once
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "core/expect.hpp"
@@ -45,6 +47,9 @@ struct MultiprocConfig {
   std::int64_t leaf_width = 0;  ///< 0: min(m, s)
   double space_const = 6.0;
   bool charge_rearrangement = true;
+  /// Opt-in hot-path observability (see DcConfig::metrics).
+  engine::Metrics* metrics = nullptr;
+  std::string hot_label;
 };
 
 template <int D>
@@ -52,7 +57,11 @@ class MultiprocSimulator {
  public:
   MultiprocSimulator(const sep::Guest<D>* guest,
                      const machine::MachineSpec& host, MultiprocConfig cfg)
-      : guest_(guest), host_(host), cfg_(cfg), clocks_(host.p) {
+      : guest_(guest),
+        host_(host),
+        cfg_(cfg),
+        clocks_(host.p),
+        staging_(&guest->stencil) {
     guest_->validate();
     host_.validate();
     const geom::Stencil<D>& st = guest_->stencil;
@@ -127,12 +136,25 @@ class MultiprocSimulator {
     }
 
     const double rdist = relocation_distance(node_side_);
+    const auto hot_t0 = std::chrono::steady_clock::now();
     for (std::size_t k = 0; k < waves.size(); ++k) {
       for (const auto& tile : waves[k]) {
-        charge_relocation(tile.preboundary().size(), rdist);
+        charge_relocation(
+            static_cast<std::size_t>(tile.preboundary_count()), rdist);
         relocate_rec(tile);
       }
       detail::prune_staging<D>(st, staging_, suffix_tmin[k + 1]);
+    }
+    if (cfg_.metrics != nullptr) {
+      engine::HotPathMetric h;
+      h.label = cfg_.hot_label.empty() ? "multiproc" : cfg_.hot_label;
+      h.vertices = exec_->vertices_executed();
+      h.seconds = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - hot_t0)
+                      .count();
+      h.peak_staging_words = exec_->peak_staging();
+      h.staging_allocs = staging_.level_allocs();
+      cfg_.metrics->record_hot(std::move(h));
     }
 
     for (auto& l : ledgers_) res.ledger += l;
@@ -177,9 +199,11 @@ class MultiprocSimulator {
     }
     for (const geom::Region<D>& child : r.split()) {
       double dist = relocation_distance(child.width());
-      charge_relocation(child.preboundary().size(), dist);
+      charge_relocation(static_cast<std::size_t>(child.preboundary_count()),
+                        dist);
       relocate_rec(child);
-      charge_relocation(child.outset().size(), dist);
+      charge_relocation(static_cast<std::size_t>(child.outset_count()),
+                        dist);
     }
   }
 
@@ -248,12 +272,15 @@ class MultiprocSimulator {
         auto home = strip_of(fp->x);
         std::int64_t pr = proc_of_strip(home);
 
-        // Root preboundary: resident words vs strip-crossing words.
-        std::vector<geom::Point<D>> gin = sub.preboundary();
-        std::size_t cross = 0;
-        for (const auto& q : gin)
-          if (strip_of(q.x) != home) ++cross;
-        std::size_t resident = gin.size() - cross;
+        // Root preboundary: resident words vs strip-crossing words
+        // (counting visitor — no materialized vector).
+        std::size_t cross = 0, resident = 0;
+        sub.preboundary_visit([&](const geom::Point<D>& q) {
+          if (strip_of(q.x) != home)
+            ++cross;
+          else
+            ++resident;
+        });
 
         core::Cost cost = 0;
         cost += 2.0 * f_rest * static_cast<core::Cost>(resident);
@@ -319,7 +346,7 @@ class MultiprocSimulator {
   std::optional<sep::Executor<D>> exec_;
   std::optional<sched::Planner<D>> planner_;
   sched::ParallelSchedule<D>* emit_ = nullptr;
-  sep::ValueMap<D> staging_;
+  sep::StagingStore<D> staging_;
   std::int64_t proc_side_ = 1;
   std::int64_t node_side_ = 1;
   std::int64_t macro_w_ = 1;

@@ -14,9 +14,12 @@
 //    slowdown entirely.
 #pragma once
 
+#include <chrono>
+#include <string>
 #include <vector>
 
 #include "core/expect.hpp"
+#include "engine/metrics.hpp"
 #include "machine/clocks.hpp"
 #include "machine/spec.hpp"
 #include "sep/guest.hpp"
@@ -29,6 +32,11 @@ namespace bsmp::sim {
 struct NaiveConfig {
   bool instantaneous = false;
   bool pipelined = false;
+  /// Opt-in hot-path observability (see DcConfig::metrics). The naive
+  /// simulator stages values in an (m+1)-buffer ring, so its "staging"
+  /// footprint is the fixed (m+1)*n ring+scratch words.
+  engine::Metrics* metrics = nullptr;
+  std::string hot_label;
 };
 
 namespace detail {
@@ -94,6 +102,7 @@ SimResult<D> simulate_naive(const sep::Guest<D>& guest,
       std::vector<sep::Word>(static_cast<std::size_t>(n), 0));
   std::vector<sep::Word> scratch(static_cast<std::size_t>(n), 0);
 
+  const auto hot_t0 = std::chrono::steady_clock::now();
   for (std::int64_t t = 0; t < T; ++t) {
     if (cfg.pipelined) {
       // One pipelined sweep per processor: latency to the far end of
@@ -159,6 +168,17 @@ SimResult<D> simulate_naive(const sep::Guest<D>& guest,
     }
     ring[t % m].swap(scratch);
     clocks.barrier();
+  }
+  if (cfg.metrics != nullptr) {
+    engine::HotPathMetric h;
+    h.label = cfg.hot_label.empty() ? "naive" : cfg.hot_label;
+    h.vertices = res.vertices;
+    h.seconds = std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - hot_t0)
+                    .count();
+    h.peak_staging_words = static_cast<std::size_t>((m + 1) * n);
+    h.staging_allocs = static_cast<std::size_t>(m + 1);
+    cfg.metrics->record_hot(std::move(h));
   }
 
   res.time = clocks.makespan();

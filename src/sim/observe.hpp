@@ -63,17 +63,17 @@ std::vector<geom::Point<D>> final_points(const geom::Stencil<D>& st) {
   return out;
 }
 
-/// Extract the final points from a staging map into a fresh map;
-/// asserts every final point is present.
-template <int D>
+/// Extract the final points from a staging store (ValueMap or
+/// StagingStore) into a fresh map; asserts every final point is
+/// present.
+template <int D, class Store>
 sep::ValueMap<D> extract_final(const geom::Stencil<D>& st,
-                               const sep::ValueMap<D>& staging) {
+                               const Store& staging) {
   sep::ValueMap<D> out;
   for (const auto& q : final_points<D>(st)) {
-    auto it = staging.find(q);
-    BSMP_ASSERT_MSG(it != staging.end(),
-                    "final value missing at t=" << q.t);
-    out.emplace(q, it->second);
+    const sep::Word* v = sep::store_find(staging, q);
+    BSMP_ASSERT_MSG(v != nullptr, "final value missing at t=" << q.t);
+    out.emplace(q, *v);
   }
   return out;
 }

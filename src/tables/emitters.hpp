@@ -68,16 +68,26 @@ std::vector<Emitted> e6_dense_tables(EngineCtx& ctx);
 /// produced by an engine sweep (see tables/calibration.hpp).
 std::vector<Emitted> calibration_tables(EngineCtx& ctx);
 
+/// Executor hot-path artifact: the flat-staging executor vs the
+/// retained hash-map baseline over identical full volumes (d=1
+/// diamond, d=2 octahedron). The table holds the deterministic
+/// agreement fields (vertices, peak staging, charged totals); the
+/// wall-clock throughput of each run is reported into ctx.metrics as
+/// HotPathMetric records (serialized by bench_exec_hotpath as
+/// metrics_hot.json). See tables/hotpath.hpp.
+std::vector<Emitted> hot_tables(EngineCtx& ctx);
+
 /// One registry entry: a named table emitter.
 struct Emitter {
-  const char* name;  ///< registry key: "e1" … "e10", "e6d", "cal"
+  const char* name;  ///< registry key: "e1" … "e10", "e6d", "cal", "hot"
   const char* what;  ///< one-line description
   std::vector<Emitted> (*fn)(EngineCtx&);
 };
 
 /// The full emitter registry, in order: the ten paper artifacts
 /// E1–E10 followed by the derived artifacts ("e6d" dense ablation,
-/// "cal" advisor calibration). This is the sweep surface the tier-2
+/// "cal" advisor calibration, "hot" executor hot path). This is the
+/// sweep surface the tier-2
 /// conformance suite iterates — adding an emitter here automatically
 /// puts it under the threads=1 vs threads=N byte-identity check (see
 /// doc/ENGINE.md for the worked example).

@@ -1,0 +1,80 @@
+// "hot" — the executor hot-path artifact: dense flat-staging executor
+// vs the retained hash-map baseline over the same full volumes. The
+// emitted table carries only run-to-run deterministic fields (and is
+// therefore under the tier-2 byte-identity check like every other
+// emitter); wall-clock throughput goes to EngineCtx::metrics, which
+// bench_exec_hotpath serializes as metrics_hot.json.
+#include <string>
+#include <utility>
+
+#include "sim/observe.hpp"
+#include "tables/detail.hpp"
+#include "tables/emitters.hpp"
+#include "tables/hotpath.hpp"
+#include "workload/rules.hpp"
+
+namespace bsmp::tables {
+
+namespace {
+
+template <int D>
+void hot_config(EngineCtx& ctx, core::Table& t, const std::string& label,
+                std::array<std::int64_t, D> extent, std::int64_t horizon,
+                std::int64_t m) {
+  auto guest = workload::make_mix_guest<D>(extent, horizon, m, 7);
+
+  sep::StagingStore<D> dense_staging(&guest.stencil);
+  hotpath::ExecStats dense = hotpath::run_dense<D>(guest, dense_staging);
+  sep::ValueMap<D> hash_staging;
+  hotpath::ExecStats hash = hotpath::run_hashmap<D>(guest, hash_staging);
+
+  // The whole point of the flat-staging rewrite: everything but the
+  // wall clock is identical to the hash-map implementation.
+  BSMP_REQUIRE_MSG(dense.vertices == hash.vertices,
+                   label << ": dense and hashmap executed different "
+                            "vertex counts");
+  BSMP_REQUIRE_MSG(dense.total_cost == hash.total_cost,
+                   label << ": dense and hashmap charged different totals "
+                            "— charge batching is not bit-exact");
+  BSMP_REQUIRE_MSG(dense.peak_staging_words == hash.peak_staging_words,
+                   label << ": dense and hashmap disagree on peak staging");
+  BSMP_REQUIRE_MSG(
+      sim::same_values<D>(sim::extract_final<D>(guest.stencil, dense_staging),
+                          sim::extract_final<D>(guest.stencil, hash_staging)),
+      label << ": dense and hashmap computed different guest values");
+
+  for (const auto* run : {&dense, &hash}) {
+    const bool is_dense = run == &dense;
+    t.add_row({label, std::string(is_dense ? "dense" : "hashmap"),
+               static_cast<long long>(run->vertices),
+               static_cast<long long>(run->peak_staging_words),
+               static_cast<long long>(run->staging_allocs), run->total_cost});
+    if (ctx.metrics != nullptr) {
+      engine::HotPathMetric h;
+      h.label = label + (is_dense ? "/dense" : "/hashmap");
+      h.vertices = run->vertices;
+      h.seconds = run->seconds;
+      h.peak_staging_words = run->peak_staging_words;
+      h.staging_allocs = run->staging_allocs;
+      ctx.metrics->record_hot(std::move(h));
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<Emitted> hot_tables(EngineCtx& ctx) {
+  core::Table t("HOT: executor hot path, dense flat staging vs hash-map "
+                "baseline (same run)",
+                {"config", "store", "vertices", "peak staging", "slab allocs",
+                 "cost total"});
+  hot_config<1>(ctx, t, "exec_d1_w512", {512}, 512, 8);
+  hot_config<2>(ctx, t, "exec_d2_w48", {48, 48}, 48, 4);
+  return {{std::move(t),
+           "# Both stores must agree on every deterministic field above\n"
+           "# (asserted): only throughput may differ. Wall-clock numbers\n"
+           "# are recorded via engine::Metrics — see metrics_hot.json\n"
+           "# (\"hot\" array) and BENCH_exec_hotpath.json.\n"}};
+}
+
+}  // namespace bsmp::tables

@@ -12,6 +12,7 @@
 #include "engine/plan_cache.hpp"
 #include "engine/pool.hpp"
 #include "engine/sweep.hpp"
+#include "sep/staging.hpp"
 #include "tables/emitters.hpp"
 
 using namespace bsmp;
@@ -62,7 +63,7 @@ TEST_P(EmitterConformance, TablesIdenticalAtAnyThreadCount) {
 INSTANTIATE_TEST_SUITE_P(AllEmitters, EmitterConformance,
                          ::testing::Values("e1", "e2", "e3", "e4", "e5", "e6",
                                            "e7", "e8", "e9", "e10", "e6d",
-                                           "cal"),
+                                           "cal", "hot"),
                          [](const auto& param_info) {
                            return std::string(param_info.param);
                          });
@@ -71,11 +72,11 @@ INSTANTIATE_TEST_SUITE_P(AllEmitters, EmitterConformance,
 // The emitter registry itself.
 // ---------------------------------------------------------------------
 
-TEST(EmitterRegistry, TwelveEmittersInOrder) {
+TEST(EmitterRegistry, ThirteenEmittersInOrder) {
   const auto& all = tables::all_emitters();
-  ASSERT_EQ(all.size(), 12u);
+  ASSERT_EQ(all.size(), 13u);
   EXPECT_STREQ(all.front().name, "e1");
-  EXPECT_STREQ(all.back().name, "cal");
+  EXPECT_STREQ(all.back().name, "hot");
   EXPECT_EQ(&tables::find_emitter("e5"), &all[4]);
   EXPECT_EQ(&tables::find_emitter("e6d"), &all[10]);
   EXPECT_THROW(tables::find_emitter("e11"), precondition_error);
@@ -132,6 +133,61 @@ TEST(GoldenDigest, E5TableStable) {
       << "E5a table changed; new digest: 0x" << std::hex
       << artifacts[0].table.digest() << "\nrendered:\n"
       << artifacts[0].table.to_string();
+}
+
+// ---------------------------------------------------------------------
+// Golden digests of the first E3 (Theorem 2, d=1 D&C) and E7
+// (Theorem 5, d=2 D&C) tables — the two emitters whose every charge
+// flows through the separator executor's leaf and recursion hot path.
+// Recorded from the pre-flat-staging seed: the rewrite must keep these
+// bytes (and therefore the entire charge stream) unchanged.
+// ---------------------------------------------------------------------
+
+TEST(GoldenDigest, E3TableStable) {
+  auto artifacts = run_emitter(tables::find_emitter("e3"), 1, nullptr);
+  ASSERT_FALSE(artifacts.empty());
+  constexpr std::uint64_t kE3aGolden = 0x002043532995f039ULL;
+  EXPECT_EQ(artifacts[0].table.digest(), kE3aGolden)
+      << "E3a table changed; new digest: 0x" << std::hex
+      << artifacts[0].table.digest() << "\nrendered:\n"
+      << artifacts[0].table.to_string();
+}
+
+TEST(GoldenDigest, E7TableStable) {
+  auto artifacts = run_emitter(tables::find_emitter("e7"), 1, nullptr);
+  ASSERT_FALSE(artifacts.empty());
+  constexpr std::uint64_t kE7aGolden = 0x111a254f5489d56eULL;
+  EXPECT_EQ(artifacts[0].table.digest(), kE7aGolden)
+      << "E7a table changed; new digest: 0x" << std::hex
+      << artifacts[0].table.digest() << "\nrendered:\n"
+      << artifacts[0].table.to_string();
+}
+
+// ---------------------------------------------------------------------
+// Validation mode (BSMP_VALIDATE / sep::set_validation_mode) flips the
+// executor back to materializing preboundary / out-set vectors and
+// asserting the topological-partition property at every recursion
+// level. It must be purely diagnostic: the asserting path and the fast
+// path emit byte-identical tables.
+// ---------------------------------------------------------------------
+
+TEST(ValidationMode, AssertingPathEmitsIdenticalBytes) {
+  const bool saved = sep::validation_mode();
+  for (const char* name : {"e3", "hot"}) {
+    sep::set_validation_mode(false);
+    auto fast = run_emitter(tables::find_emitter(name), 1, nullptr);
+    sep::set_validation_mode(true);
+    auto checked = run_emitter(tables::find_emitter(name), 1, nullptr);
+    sep::set_validation_mode(saved);
+    ASSERT_EQ(fast.size(), checked.size()) << name;
+    for (std::size_t i = 0; i < fast.size(); ++i) {
+      EXPECT_TRUE(fast[i].table == checked[i].table)
+          << name << " table " << i << " differs under validation mode";
+      EXPECT_EQ(fast[i].table.digest(), checked[i].table.digest())
+          << name << " table " << i
+          << " rendered bytes differ under validation mode";
+    }
+  }
 }
 
 // ---------------------------------------------------------------------

@@ -9,6 +9,10 @@
 #include "engine/plan_cache.hpp"
 #include "engine/pool.hpp"
 #include "engine/sweep.hpp"
+#include "sim/dc_uniproc.hpp"
+#include "sim/multiproc.hpp"
+#include "sim/naive.hpp"
+#include "workload/rules.hpp"
 
 using namespace bsmp;
 
@@ -118,6 +122,13 @@ TEST(Metrics, JsonSchemaContainsEveryStableField) {
   sm.wall_s = 1.0;
   sm.per_point = {{0, 0.0, 0.25}, {1, 0.125, 0.5}};
   pass.sweeps.push_back(sm);
+  engine::HotPathMetric hm;
+  hm.label = "hot A";
+  hm.vertices = 1000;
+  hm.seconds = 0.5;
+  hm.peak_staging_words = 64;
+  hm.staging_allocs = 4;
+  pass.hot.push_back(hm);
   report.passes.push_back(pass);
 
   std::ostringstream os;
@@ -129,10 +140,32 @@ TEST(Metrics, JsonSchemaContainsEveryStableField) {
         "\"misses\": 3", "\"builds\": 3", "\"hit_rate\"",
         "\"label\": \"sweep A\"", "\"points\": 2", "\"pool_threads\": 2",
         "\"wall_s\"", "\"busy_s\"", "\"occupancy\"", "\"per_point\"",
-        "\"queue_wait_s\"", "\"run_s\""}) {
+        "\"queue_wait_s\"", "\"run_s\"", "\"label\": \"hot A\"",
+        "\"vertices\": 1000", "\"vertices_per_sec\": 2000",
+        "\"peak_staging_words\": 64", "\"staging_allocs\": 4"}) {
     EXPECT_NE(j.find(key), std::string::npos) << "missing " << key << "\n"
                                               << j;
   }
+}
+
+TEST(Metrics, HotPathRecordsAccumulateAndClear) {
+  engine::Metrics metrics;
+  engine::HotPathMetric h;
+  h.label = "dc";
+  h.vertices = 100;
+  h.seconds = 0.25;
+  metrics.record_hot(h);
+  metrics.record_hot(h);
+  auto snap = metrics.hot_snapshot();
+  ASSERT_EQ(snap.size(), 2u);
+  EXPECT_EQ(snap[0].label, "dc");
+  EXPECT_DOUBLE_EQ(snap[0].vertices_per_sec(), 400.0);
+  metrics.clear();
+  EXPECT_TRUE(metrics.hot_snapshot().empty());
+  // Too fast to time: throughput degrades to 0, never divides by zero.
+  engine::HotPathMetric z;
+  z.vertices = 5;
+  EXPECT_DOUBLE_EQ(z.vertices_per_sec(), 0.0);
 }
 
 TEST(Metrics, JsonEscapesLabels) {
@@ -151,6 +184,49 @@ TEST(Metrics, WriteJsonFileReportsFailureWithoutThrowing) {
 
 TEST(Metrics, CanonicalFilename) {
   EXPECT_EQ(engine::metrics_filename("e6d"), "metrics_e6d.json");
+}
+
+// Every simulator's opt-in hot-path section: one HotPathMetric per
+// run, covering all executed vertices, and no recording (or change in
+// results) when no sink is attached.
+TEST(Metrics, SimulatorsRecordOneHotSectionPerRun) {
+  constexpr std::int64_t n = 16, T = 16, m = 2;
+  auto g = workload::make_mix_guest<1>({n}, T, m, 3);
+  machine::MachineSpec uni;
+  uni.d = 1, uni.n = n, uni.p = 1, uni.m = m;
+  machine::MachineSpec multi = uni;
+  multi.p = 4;
+
+  engine::Metrics metrics;
+  sim::DcConfig dcfg;
+  dcfg.metrics = &metrics;
+  auto dc = sim::simulate_dc_uniproc<1>(g, uni, dcfg);
+  sim::MultiprocConfig mcfg;
+  mcfg.metrics = &metrics;
+  mcfg.hot_label = "mp16";
+  auto mp = sim::simulate_multiproc<1>(g, multi, mcfg);
+  sim::NaiveConfig ncfg;
+  ncfg.metrics = &metrics;
+  auto nv = sim::simulate_naive<1>(g, uni, ncfg);
+
+  auto hot = metrics.hot_snapshot();
+  ASSERT_EQ(hot.size(), 3u);
+  EXPECT_EQ(hot[0].label, "dc_uniproc");
+  EXPECT_EQ(hot[1].label, "mp16");  // hot_label overrides the default
+  EXPECT_EQ(hot[2].label, "naive");
+  for (const auto& h : hot) {
+    EXPECT_EQ(h.vertices, n * T) << h.label;
+    EXPECT_GE(h.seconds, 0.0) << h.label;
+    EXPECT_GT(h.peak_staging_words, 0u) << h.label;
+    EXPECT_GT(h.staging_allocs, 0u) << h.label;
+  }
+
+  // The sink is write-only observability: identical results without it.
+  auto dc0 = sim::simulate_dc_uniproc<1>(g, uni);
+  EXPECT_EQ(dc.time, dc0.time);
+  EXPECT_TRUE(sim::same_values<1>(dc.final_values, dc0.final_values));
+  EXPECT_TRUE(sim::same_values<1>(dc.final_values, mp.final_values));
+  EXPECT_TRUE(sim::same_values<1>(dc.final_values, nv.final_values));
 }
 
 TEST(PlanCacheBuilds, BuilderInvocationsAreCountedOncePerKey) {

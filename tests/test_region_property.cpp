@@ -87,6 +87,26 @@ void check_region_invariants(const Stencil<D>& st, const Region<D>& r) {
   EXPECT_EQ(fast_out_set.size(), fast_out.size()) << "duplicate outset";
   EXPECT_EQ(fast_out_set, brute_out);
 
+  // The allocation-free counting forms agree exactly with the
+  // materializing forms (the executor's count-based charging depends
+  // on this equality being bit-for-bit, not approximate).
+  EXPECT_EQ(r.preboundary_count(), static_cast<int64_t>(fast_pre.size()));
+  EXPECT_EQ(r.outset_count(), static_cast<int64_t>(fast_out.size()));
+
+  // The visitors enumerate the same sequences as the vectors.
+  std::vector<Point<D>> visited_pre, visited_out;
+  r.preboundary_visit([&](const Point<D>& q) { visited_pre.push_back(q); });
+  r.outset_visit([&](const Point<D>& q) { visited_out.push_back(q); });
+  EXPECT_EQ(visited_pre, fast_pre);
+  EXPECT_EQ(visited_out, fast_out);
+
+  // in_outset is a pointwise oracle for outset membership: true on
+  // exactly the out-set, false on interior points and non-members.
+  for (const auto& p : set)
+    EXPECT_EQ(r.in_outset(p), brute_out.contains(p)) << p.t;
+  for (const auto& q : fast_pre)
+    EXPECT_FALSE(r.in_outset(q)) << "preboundary point claimed in out-set";
+
   // Convexity (Definition 5).
   EXPECT_TRUE(g.is_convex(set));
 
@@ -164,6 +184,8 @@ TEST(RegionEdge, ParityEmptyBox) {
   EXPECT_EQ(r.count(), 0);
   EXPECT_TRUE(r.preboundary().empty());
   EXPECT_TRUE(r.outset().empty());
+  EXPECT_EQ(r.preboundary_count(), 0);
+  EXPECT_EQ(r.outset_count(), 0);
 }
 
 TEST(RegionEdge, BoxOutsideSpaceIsEmpty) {
