@@ -67,6 +67,7 @@ inline EmitterPass run_pass(const tables::Emitter& emitter, int threads) {
   pass.metrics.cache = plans.stats();
   pass.metrics.sweeps = metrics.snapshot();
   pass.metrics.hot = metrics.hot_snapshot();
+  pass.metrics.tasks = pool.task_stats();
   return pass;
 }
 

@@ -102,6 +102,11 @@ void MetricsReport::write_json(std::ostream& os) const {
        << ", \"misses\": " << pass.cache.misses
        << ", \"builds\": " << pass.cache.builds << ", \"hit_rate\": ";
     json_real(os, pass.cache.hit_rate());
+    os << "},\n      \"tasks\": {\"spawned\": " << pass.tasks.spawned
+       << ", \"inlined\": " << pass.tasks.inlined
+       << ", \"stolen\": " << pass.tasks.stolen
+       << ", \"steal_ops\": " << pass.tasks.steal_ops
+       << ", \"join_waits\": " << pass.tasks.join_waits;
     os << "},\n      \"sweeps\": [";
     for (std::size_t si = 0; si < pass.sweeps.size(); ++si) {
       const auto& sw = pass.sweeps[si];

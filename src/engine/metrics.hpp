@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "engine/plan_cache.hpp"
+#include "engine/task.hpp"
 
 namespace bsmp::engine {
 
@@ -101,6 +102,7 @@ struct MetricsPass {
   int threads = 1;          ///< pool size of the pass
   double seconds = 0;       ///< whole-pass wall clock
   PlanCache::Stats cache;   ///< hit/miss/build accounting of the pass
+  TaskStats tasks;          ///< fork-join scheduler counters of the pass
   std::vector<SweepMetric> sweeps;  ///< every sweep the pass ran
   std::vector<HotPathMetric> hot;   ///< executor hot-path sections
 };
@@ -117,6 +119,8 @@ struct MetricsPass {
 ///     { "threads": 1, "seconds": 2.31,
 ///       "cache": {"hits": 93, "misses": 3, "builds": 3,
 ///                 "hit_rate": 0.968},
+///       "tasks": {"spawned": 96, "inlined": 32, "stolen": 41,
+///                 "steal_ops": 12, "join_waits": 7},
 ///       "sweeps": [
 ///         { "label": "e6d m=1", "points": 32, "pool_threads": 1,
 ///           "wall_s": 0.71, "busy_s": 0.70, "occupancy": 0.99,
@@ -130,7 +134,12 @@ struct MetricsPass {
 ///
 /// The "hot" array (additive to the v1 schema) carries the executor
 /// hot-path sections recorded via Metrics::record_hot; it is empty for
-/// passes that ran no simulator with a hot-metrics sink.
+/// passes that ran no simulator with a hot-metrics sink. The "tasks"
+/// object (additive as well) carries the pass's fork-join scheduler
+/// counters (engine::TaskStats): tasks pushed to worker deques,
+/// tasks executed inline, tasks taken by steals, steal batches, and
+/// joins that had to sleep. All zero when nothing forked — the
+/// counters are observational, like the timing fields.
 struct MetricsReport {
   std::string name;                 ///< emitter / bench name ("e6d")
   std::vector<MetricsPass> passes;  ///< in run order

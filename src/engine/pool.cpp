@@ -1,6 +1,7 @@
 #include "engine/pool.hpp"
 
 #include <algorithm>
+#include <optional>
 
 #include "core/expect.hpp"
 
@@ -11,11 +12,17 @@ int Pool::hardware_threads() {
   return hc == 0 ? 1 : static_cast<int>(hc);
 }
 
-Pool::Pool(int threads) {
-  size_ = threads <= 0 ? hardware_threads() : threads;
+Pool::Pool(int threads)
+    : size_(threads <= 0 ? hardware_threads() : threads), sched_(size_) {
+  sched_.set_wake([this] {
+    // Lock-then-notify so a worker between its predicate check and the
+    // wait cannot miss the task that was just enqueued.
+    { std::lock_guard<std::mutex> lk(mu_); }
+    cv_work_.notify_all();
+  });
   workers_.reserve(static_cast<std::size_t>(size_ - 1));
   for (int i = 1; i < size_; ++i)
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] { worker_loop(i); });
 }
 
 Pool::~Pool() {
@@ -51,13 +58,25 @@ void Pool::drain() {
   }
 }
 
-void Pool::worker_loop() {
+void Pool::worker_loop(int slot) {
+  // Workers keep their deque slot for their whole lifetime, so tasks
+  // forked from sweep bodies (or from other tasks) land on — and are
+  // stolen between — the pool's own threads.
+  TaskScheduler::Bind bind(&sched_, slot);
   std::uint64_t seen = 0;
   for (;;) {
     {
       std::unique_lock<std::mutex> lk(mu_);
-      cv_work_.wait(lk, [&] { return stop_ || generation_ != seen; });
+      cv_work_.wait(lk, [&] {
+        return stop_ || generation_ != seen || sched_.has_pending();
+      });
       if (stop_) return;
+      if (generation_ == seen) {
+        // No new parallel_for job — woken for queued fork-join tasks.
+        lk.unlock();
+        sched_.run_pending(slot);
+        continue;
+      }
       seen = generation_;
       ++draining_;
     }
@@ -73,10 +92,25 @@ void Pool::worker_loop() {
 void Pool::parallel_for(std::size_t n,
                         const std::function<void(std::size_t)>& body) {
   if (n == 0) return;
+  if (TaskScheduler::current() == &sched_) {
+    // Nested call: this thread is already executing pool work (a
+    // parallel_for body or a task). The generation handoff below would
+    // deadlock — the old header said "must not be nested" — so route
+    // the indices through the fork-join layer instead. Same contract:
+    // every index runs, the lowest-index exception is rethrown.
+    TaskScope scope;
+    for (std::size_t i = 0; i < n; ++i)
+      scope.fork([&body, i] { body(i); });
+    scope.join();
+    return;
+  }
   if (size_ == 1 || n == 1) {
     // Sequential reference path: no handoff, body runs on the caller.
     // Same exception contract as the parallel path: every index runs,
-    // the lowest-index failure is rethrown.
+    // the lowest-index failure is rethrown. With workers available the
+    // caller still takes a scheduler slot so the body may fork.
+    std::optional<TaskScheduler::Bind> bind;
+    if (size_ > 1) bind.emplace(&sched_, 0);
     std::exception_ptr first;
     for (std::size_t i = 0; i < n; ++i) {
       try {
@@ -104,7 +138,11 @@ void Pool::parallel_for(std::size_t n,
     ++generation_;
   }
   cv_work_.notify_all();
-  drain();  // the caller is an executor too
+  {
+    // The caller is an executor too, on the parallel_for caller's slot.
+    TaskScheduler::Bind bind(&sched_, 0);
+    drain();
+  }
   {
     std::unique_lock<std::mutex> lk(mu_);
     cv_done_.wait(lk, [&] {

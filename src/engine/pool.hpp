@@ -12,9 +12,19 @@
 // exception of the *lowest-index* failing point is rethrown, so error
 // reporting is deterministic regardless of thread interleaving.
 //
-// parallel_for calls must not be nested on the same Pool (a body must
-// not call back into its own pool); sweeps over sweeps should flatten
-// their point sets instead.
+// The pool also hosts a work-stealing fork-join layer (engine/task.hpp):
+// every pool thread owns one TaskScheduler deque slot, and idle workers
+// drain queued tasks between (and during) parallel_for jobs. That makes
+// parallelism nestable:
+//   * code running on a pool thread may open an engine::TaskScope and
+//     fork subtasks into the same worker set (the separator executor
+//     does this per recursion node);
+//   * a *nested* parallel_for on the same pool — a body calling back
+//     into its own pool, which formerly deadlocked — is detected via
+//     the thread's scheduler binding and routed through a TaskScope,
+//     preserving the run-all / lowest-index-exception contract;
+//   * bind_caller() hands the calling thread a slot so fork-join work
+//     can be driven without a surrounding parallel_for.
 #pragma once
 
 #include <atomic>
@@ -25,6 +35,8 @@
 #include <mutex>
 #include <thread>
 #include <vector>
+
+#include "engine/task.hpp"
 
 namespace bsmp::engine {
 
@@ -44,18 +56,33 @@ class Pool {
   void parallel_for(std::size_t n,
                     const std::function<void(std::size_t)>& body);
 
+  /// Bind the calling thread to the pool's task scheduler (slot 0, the
+  /// parallel_for caller's slot) so TaskScope forks made on this thread
+  /// are executed by the pool's workers. Intended for driving fork-join
+  /// work directly, without a parallel_for; at most one thread may hold
+  /// the binding at a time.
+  [[nodiscard]] TaskScheduler::Bind bind_caller() {
+    return TaskScheduler::Bind(&sched_, 0);
+  }
+
+  /// Counters of the pool's fork-join layer (tasks spawned / inlined,
+  /// steals, join waits) — the `tasks` block of the metrics artifact.
+  TaskStats task_stats() const { return sched_.stats(); }
+  void reset_task_stats() { sched_.reset_stats(); }
+
   /// std::thread::hardware_concurrency, never less than 1.
   static int hardware_threads();
 
  private:
-  void worker_loop();
+  void worker_loop(int slot);
   void drain();
   void record_error(std::size_t index);
 
   int size_ = 1;
+  TaskScheduler sched_;
 
   std::mutex mu_;
-  std::condition_variable cv_work_;   // workers wait for a new job
+  std::condition_variable cv_work_;   // workers wait for a job or tasks
   std::condition_variable cv_done_;   // caller waits for completion
   std::uint64_t generation_ = 0;      // bumped per parallel_for
   bool stop_ = false;

@@ -1,0 +1,213 @@
+#include "engine/task.hpp"
+
+#include <utility>
+
+#include "core/expect.hpp"
+
+namespace bsmp::engine {
+
+namespace {
+
+thread_local TaskScheduler* tl_sched = nullptr;
+thread_local int tl_slot = -1;
+
+}  // namespace
+
+TaskScheduler* TaskScheduler::current() { return tl_sched; }
+int TaskScheduler::current_slot() { return tl_slot; }
+
+TaskScheduler::Bind::Bind(TaskScheduler* sched, int slot)
+    : prev_sched_(tl_sched), prev_slot_(tl_slot) {
+  BSMP_REQUIRE(sched != nullptr);
+  BSMP_REQUIRE(slot >= 0 && slot < sched->slots());
+  tl_sched = sched;
+  tl_slot = slot;
+}
+
+TaskScheduler::Bind::~Bind() {
+  tl_sched = prev_sched_;
+  tl_slot = prev_slot_;
+}
+
+TaskScheduler::TaskScheduler(int slots) : nslots_(slots) {
+  BSMP_REQUIRE(slots >= 1);
+  slots_.reserve(static_cast<std::size_t>(slots));
+  for (int i = 0; i < slots; ++i) slots_.push_back(std::make_unique<Slot>());
+}
+
+void TaskScheduler::push(int slot, Task t) {
+  pending_.fetch_add(1, std::memory_order_release);
+  {
+    Slot& s = *slots_[static_cast<std::size_t>(slot)];
+    std::lock_guard<std::mutex> lk(s.mu);
+    s.q.push_back(std::move(t));
+  }
+  notify_progress();
+  if (wake_) wake_();
+}
+
+bool TaskScheduler::try_acquire(int slot, Task& out) {
+  {
+    // Own deque, newest first: depth-first on the forking thread.
+    Slot& own = *slots_[static_cast<std::size_t>(slot)];
+    std::lock_guard<std::mutex> lk(own.mu);
+    if (!own.q.empty()) {
+      out = std::move(own.q.back());
+      own.q.pop_back();
+      pending_.fetch_sub(1, std::memory_order_release);
+      return true;
+    }
+  }
+  // Steal sweep: take the older half of the first non-empty victim.
+  for (int k = 1; k < nslots_; ++k) {
+    int v = (slot + k) % nslots_;
+    std::vector<Task> batch;
+    {
+      Slot& victim = *slots_[static_cast<std::size_t>(v)];
+      std::lock_guard<std::mutex> lk(victim.mu);
+      std::size_t n = victim.q.size();
+      if (n == 0) continue;
+      std::size_t take = (n + 1) / 2;
+      batch.reserve(take);
+      for (std::size_t i = 0; i < take; ++i) {
+        batch.push_back(std::move(victim.q.front()));
+        victim.q.pop_front();
+      }
+    }
+    steal_ops_.fetch_add(1, std::memory_order_relaxed);
+    stolen_.fetch_add(batch.size(), std::memory_order_relaxed);
+    // Execute the oldest; the rest go to the thief's own deque. Their
+    // pending_ count carries over — only the executed task leaves the
+    // queued state here.
+    out = std::move(batch.front());
+    pending_.fetch_sub(1, std::memory_order_release);
+    if (batch.size() > 1) {
+      Slot& own = *slots_[static_cast<std::size_t>(slot)];
+      std::lock_guard<std::mutex> lk(own.mu);
+      for (std::size_t i = 1; i < batch.size(); ++i)
+        own.q.push_back(std::move(batch[i]));
+    }
+    return true;
+  }
+  return false;
+}
+
+void TaskScheduler::run(Task& t) {
+  try {
+    t.fn();
+  } catch (...) {
+    t.scope->record_error(t.index);
+  }
+  t.scope->finished();
+}
+
+void TaskScheduler::run_pending(int slot) {
+  Task t;
+  while (try_acquire(slot, t)) run(t);
+}
+
+void TaskScheduler::notify_progress() {
+  // Empty critical section: any joiner between its predicate check and
+  // the wait is forced to observe the state change.
+  { std::lock_guard<std::mutex> lk(sleep_mu_); }
+  sleep_cv_.notify_all();
+}
+
+TaskStats TaskScheduler::stats() const {
+  TaskStats s;
+  s.spawned = spawned_.load(std::memory_order_relaxed);
+  s.inlined = inlined_.load(std::memory_order_relaxed);
+  s.stolen = stolen_.load(std::memory_order_relaxed);
+  s.steal_ops = steal_ops_.load(std::memory_order_relaxed);
+  s.join_waits = join_waits_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void TaskScheduler::reset_stats() {
+  spawned_.store(0, std::memory_order_relaxed);
+  inlined_.store(0, std::memory_order_relaxed);
+  stolen_.store(0, std::memory_order_relaxed);
+  steal_ops_.store(0, std::memory_order_relaxed);
+  join_waits_.store(0, std::memory_order_relaxed);
+}
+
+TaskScope::TaskScope()
+    : sched_(TaskScheduler::current()), slot_(TaskScheduler::current_slot()) {}
+
+TaskScope::~TaskScope() {
+  if (!joined_) {
+    try {
+      join();
+    } catch (...) {
+      // The caller skipped join(); its error contract is already void.
+    }
+  }
+}
+
+void TaskScope::record_error(std::size_t index) {
+  std::lock_guard<std::mutex> lk(emu_);
+  if (!error_ || index < error_index_) {
+    error_ = std::current_exception();
+    error_index_ = index;
+  }
+}
+
+void TaskScope::finished() {
+  if (outstanding_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    if (sched_ != nullptr) sched_->notify_progress();
+  }
+}
+
+void TaskScope::fork(std::function<void()> fn) {
+  std::size_t index = next_index_++;
+  joined_ = false;
+  if (sched_ == nullptr || !sched_->parallel()) {
+    // Sequential reference path: inline, immediately, in fork order.
+    if (sched_ != nullptr)
+      sched_->inlined_.fetch_add(1, std::memory_order_relaxed);
+    try {
+      fn();
+    } catch (...) {
+      record_error(index);
+    }
+    return;
+  }
+  outstanding_.fetch_add(1, std::memory_order_acq_rel);
+  sched_->spawned_.fetch_add(1, std::memory_order_relaxed);
+  sched_->push(slot_, TaskScheduler::Task{std::move(fn), this, index});
+}
+
+void TaskScope::join() {
+  if (sched_ != nullptr) {
+    bool waited = false;
+    TaskScheduler::Task t;
+    while (outstanding_.load(std::memory_order_acquire) != 0) {
+      if (sched_->try_acquire(slot_, t)) {
+        TaskScheduler::run(t);  // help: ours or anyone's
+        continue;
+      }
+      // No runnable work anywhere: the remaining forks are executing on
+      // other threads. Park until one finishes or new work appears
+      // (a running task may fork).
+      std::unique_lock<std::mutex> lk(sched_->sleep_mu_);
+      if (outstanding_.load(std::memory_order_acquire) == 0) break;
+      if (!sched_->has_pending()) {
+        waited = true;
+        sched_->sleep_cv_.wait(lk, [&] {
+          return outstanding_.load(std::memory_order_acquire) == 0 ||
+                 sched_->has_pending();
+        });
+      }
+    }
+    if (waited) sched_->join_waits_.fetch_add(1, std::memory_order_relaxed);
+  }
+  joined_ = true;
+  std::lock_guard<std::mutex> lk(emu_);
+  if (error_) {
+    std::exception_ptr e = error_;
+    error_ = nullptr;
+    std::rethrow_exception(e);
+  }
+}
+
+}  // namespace bsmp::engine

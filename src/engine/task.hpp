@@ -1,0 +1,207 @@
+// Work-stealing fork-join layer under the sweep engine.
+//
+// Pool::parallel_for distributes *sweep points*; this layer lets work
+// nest *inside* a point: any code running on a pool thread (a sweep
+// body, or a task itself) can open a TaskScope, fork subtasks into the
+// same worker set, and join them — no second pool, no dedicated
+// threads. The separator executor uses it to run sibling subregions of
+// one recursion node concurrently (doc/ENGINE.md "Task layer").
+//
+// Scheduling model:
+//   * every pool thread (workers and the parallel_for caller) owns one
+//     deque slot of the pool's TaskScheduler;
+//   * fork() pushes onto the forking thread's deque (LIFO for the
+//     owner — depth-first, cache-friendly);
+//   * an idle thread steals the *older half* of a victim's deque
+//     (breadth-first for thieves — big subtrees migrate, not leaves);
+//   * join() helps: it runs queued tasks (its own first, then steals)
+//     until the scope's forks have all completed, so a joining thread
+//     is never parked while runnable work exists.
+//
+// Determinism contract: fork() with no ambient scheduler — or a
+// single-thread one — runs the task inline, immediately, on the
+// calling thread, in exact fork order. That path is the sequential
+// reference the conformance suite compares against; it performs no
+// queuing and no synchronization.
+//
+// Exceptions: a task's exception is captured in its scope; join()
+// rethrows the exception of the *lowest fork index* that failed, after
+// every fork has completed — the same deterministic-error contract as
+// Pool::parallel_for.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace bsmp::engine {
+
+class TaskScope;
+
+/// Task-layer counters of one scheduler (serialized into the `tasks`
+/// block of the bsmp-metrics-v1 artifact). All monotone; reset per
+/// measurement pass via Pool::reset_task_stats().
+struct TaskStats {
+  std::uint64_t spawned = 0;     ///< tasks pushed onto a deque
+  std::uint64_t inlined = 0;     ///< forks executed inline (serial path)
+  std::uint64_t stolen = 0;      ///< tasks migrated by steal operations
+  std::uint64_t steal_ops = 0;   ///< successful steal-half operations
+  std::uint64_t join_waits = 0;  ///< joins that parked (no runnable work)
+};
+
+/// Per-worker task deques plus the steal protocol. One per Pool; the
+/// pool's threads each bind one slot (TaskScheduler::Bind) so TaskScope
+/// can find the ambient scheduler through a thread-local.
+class TaskScheduler {
+ public:
+  /// One deque slot per pool thread (workers + the parallel_for caller).
+  explicit TaskScheduler(int slots);
+
+  TaskScheduler(const TaskScheduler&) = delete;
+  TaskScheduler& operator=(const TaskScheduler&) = delete;
+
+  /// Number of deque slots (== the owning pool's size()).
+  int slots() const { return nslots_; }
+
+  /// Whether forked tasks can actually run concurrently. False for a
+  /// single-slot scheduler: TaskScope then runs forks inline, in fork
+  /// order — the sequential reference execution.
+  bool parallel() const { return nslots_ > 1; }
+
+  /// Scheduler the calling thread is bound to, or nullptr. TaskScope
+  /// captures this at construction.
+  static TaskScheduler* current();
+  /// Slot of the calling thread (meaningful when current() != nullptr).
+  static int current_slot();
+
+  /// RAII binding of the calling thread to a deque slot. Pool binds its
+  /// workers for their lifetime and the parallel_for caller for the
+  /// duration of the job; Pool::bind_caller() exposes the same binding
+  /// for code that drives fork-join work without a surrounding
+  /// parallel_for. Saves and restores the previous binding.
+  class Bind {
+   public:
+    Bind(TaskScheduler* sched, int slot);
+    ~Bind();
+    Bind(const Bind&) = delete;
+    Bind& operator=(const Bind&) = delete;
+
+   private:
+    TaskScheduler* prev_sched_;
+    int prev_slot_;
+  };
+
+  /// Hook invoked after a task is enqueued; the Pool uses it to wake
+  /// idle workers so they start draining the deques.
+  void set_wake(std::function<void()> wake) { wake_ = std::move(wake); }
+
+  /// True while any task sits in a deque.
+  bool has_pending() const {
+    return pending_.load(std::memory_order_acquire) != 0;
+  }
+
+  /// Run queued tasks until none are pending (idle pool workers).
+  void run_pending(int slot);
+
+  /// Snapshot of the counters (relaxed reads; exact once quiescent).
+  TaskStats stats() const;
+  void reset_stats();
+
+ private:
+  friend class TaskScope;
+
+  struct Task {
+    std::function<void()> fn;
+    TaskScope* scope = nullptr;
+    std::size_t index = 0;
+  };
+
+  struct Slot {
+    std::mutex mu;
+    std::deque<Task> q;
+  };
+
+  /// Enqueue onto `slot`'s deque and wake sleepers.
+  void push(int slot, Task t);
+
+  /// Pop the newest task of the own deque, else steal the older half of
+  /// some victim's deque (executing the first, depositing the rest on
+  /// the own deque). False when every deque is empty.
+  bool try_acquire(int slot, Task& out);
+
+  /// Execute a task: capture its exception into the scope, then mark it
+  /// finished (waking joiners).
+  static void run(Task& t);
+
+  /// Wake joiners parked in TaskScope::join (task finished or enqueued).
+  void notify_progress();
+
+  int nslots_;
+  std::vector<std::unique_ptr<Slot>> slots_;
+  std::atomic<std::size_t> pending_{0};
+  std::function<void()> wake_;
+
+  // Parking lot for joiners that found no runnable work.
+  std::mutex sleep_mu_;
+  std::condition_variable sleep_cv_;
+
+  std::atomic<std::uint64_t> spawned_{0};
+  std::atomic<std::uint64_t> inlined_{0};
+  std::atomic<std::uint64_t> stolen_{0};
+  std::atomic<std::uint64_t> steal_ops_{0};
+  std::atomic<std::uint64_t> join_waits_{0};
+};
+
+/// A fork-join region. fork() schedules (or inlines) a task; join()
+/// blocks until every fork has completed, helping with queued work
+/// meanwhile, and rethrows the lowest-fork-index exception. Scopes
+/// nest freely: a task may open its own TaskScope on the same
+/// scheduler, and nested Pool::parallel_for calls are routed through
+/// one (pool.hpp).
+class TaskScope {
+ public:
+  /// Captures the calling thread's ambient scheduler (may be none).
+  TaskScope();
+  /// Joins (discarding any not-yet-rethrown exception) if the caller
+  /// did not; prefer an explicit join().
+  ~TaskScope();
+
+  TaskScope(const TaskScope&) = delete;
+  TaskScope& operator=(const TaskScope&) = delete;
+
+  /// Whether forks may run concurrently (ambient multi-slot scheduler).
+  /// When false every fork runs inline, in fork order.
+  bool parallel() const { return sched_ != nullptr && sched_->parallel(); }
+
+  /// Schedule fn; runs inline immediately when !parallel().
+  void fork(std::function<void()> fn);
+
+  /// Wait for all forks, helping with queued tasks; rethrows the
+  /// exception of the lowest-index failed fork, if any.
+  void join();
+
+ private:
+  friend class TaskScheduler;
+
+  void record_error(std::size_t index);
+  void finished();
+
+  TaskScheduler* sched_;
+  int slot_;
+  std::size_t next_index_ = 0;
+  std::atomic<std::size_t> outstanding_{0};
+  bool joined_ = false;
+
+  std::mutex emu_;
+  std::exception_ptr error_;
+  std::size_t error_index_ = 0;
+};
+
+}  // namespace bsmp::engine

@@ -32,15 +32,33 @@
 // original ValueMap<D>. All charged totals are bit-identical to the
 // materializing implementation; ExecutorConfig::validate re-enables
 // the per-level materialization and asserts it changes nothing.
+//
+// Parallel recursion (see doc/ENGINE.md "Task layer"): when
+// ExecutorConfig::parallel_grain > 0 and an engine::TaskScheduler with
+// more than one slot is ambient on the calling thread, recursion nodes
+// of monotone width above the grain fork their *equal-uppers* runs of
+// children — Region::split() stable-sorts children by how many of
+// their monotone coordinates take the upper half, and within one such
+// run no child can feed another (each has a coordinate where it is
+// upper and the sibling lower, and monotone arcs only decrease
+// coordinates), so the run is an antichain of the recursion and its
+// order is semantically irrelevant. Each forked child runs against a
+// private StagingShard (reads fall through to the parent store) and a
+// core::ChargeLog; the join merges shards and replays logs in
+// canonical child order, so every charged double, the peak-staging
+// high-water mark, slab-allocation counts, and all final values are
+// bit-identical to the serial execution at any thread count.
 #pragma once
 
 #include <algorithm>
 #include <cstdint>
+#include <optional>
 #include <unordered_map>
 #include <vector>
 
 #include "core/cost.hpp"
 #include "core/expect.hpp"
+#include "engine/task.hpp"
 #include "geom/region.hpp"
 #include "hram/access_fn.hpp"
 #include "sep/guest.hpp"
@@ -69,6 +87,13 @@ struct ExecutorConfig {
   /// count == size equalities. Defaults from sep::validation_mode()
   /// (the BSMP_VALIDATE environment variable).
   bool validate = validation_mode();
+  /// Monotone width above which recursion nodes fork their equal-uppers
+  /// child runs into the ambient engine::TaskScheduler (see the header
+  /// comment). 0 disables forking; domains at or below the grain — and
+  /// all leaves — run serially on the calling thread. Execution is
+  /// bit-identical either way. Defaults from
+  /// sep::default_parallel_grain() (BSMP_PARALLEL_GRAIN).
+  int64_t parallel_grain = default_parallel_grain();
 };
 
 template <int D>
@@ -80,6 +105,16 @@ class Executor {
     guest_->validate();
     BSMP_REQUIRE(cfg_.leaf_width >= 1);
   }
+
+  /// Vertex and staging-footprint deltas of one execution, relative to
+  /// the staging store's state on entry: `net` is the change in live
+  /// values, `peak` the high-water mark of that change. Returned by
+  /// execute_delta() for the caller to absorb() after a parallel join.
+  struct ExecDelta {
+    std::int64_t vertices = 0;
+    std::int64_t net = 0;
+    std::int64_t peak = 0;
+  };
 
   /// Rebind the ledger charges are recorded into (per-processor ledgers
   /// in the multiprocessor simulators).
@@ -125,7 +160,50 @@ class Executor {
   void execute_with_rule(const geom::Region<D>& U, Store& staging,
                          const RuleFn& rule) {
     BSMP_REQUIRE(ledger_ != nullptr);
-    exec_rec(U, staging, rule);
+    const std::size_t base = staging.size();
+    Ctx<Store, core::CostLedger> cx;
+    cx.staging = &staging;
+    cx.ledger = ledger_;
+    // Hand the executor's persistent leaf scratch to the root context
+    // so steady-state serial execution stays allocation-free.
+    cx.vals.swap(leaf_vals_);
+    cx.off.swap(leaf_off_);
+    exec_rec(U, cx, rule);
+    cx.vals.swap(leaf_vals_);
+    cx.off.swap(leaf_off_);
+    absorb(ExecDelta{cx.vertices, cx.cur, cx.peak}, base);
+  }
+
+  /// Concurrency-safe execution for forked callers: run U with charges
+  /// recorded into `log` (instead of the bound ledger) and return the
+  /// deltas for the caller to absorb() after joining. Mutates only
+  /// `staging` and `log` — never the executor — so concurrent calls on
+  /// one Executor are safe provided their stores are disjoint (e.g.
+  /// per-fork StagingShards over a common base).
+  template <class Store, class RuleFn>
+  ExecDelta execute_delta(const geom::Region<D>& U, Store& staging,
+                          core::ChargeLog& log, const RuleFn& rule) const {
+    Ctx<Store, core::ChargeLog> cx;
+    cx.staging = &staging;
+    cx.ledger = &log;
+    exec_rec(U, cx, rule);
+    return ExecDelta{cx.vertices, cx.cur, cx.peak};
+  }
+
+  template <class Store>
+  ExecDelta execute_delta(const geom::Region<D>& U, Store& staging,
+                          core::ChargeLog& log) const {
+    return execute_delta(U, staging, log, guest_->rule);
+  }
+
+  /// Fold an execute_delta() result into the executor's counters.
+  /// `base` is the live size the delta's execution started from (in
+  /// serial-equivalent order), so base + peak is the absolute
+  /// high-water mark the serial execution would have observed.
+  void absorb(const ExecDelta& d, std::size_t base) {
+    vertices_ += d.vertices;
+    const std::size_t abs_peak = base + static_cast<std::size_t>(d.peak);
+    if (abs_peak > peak_staging_) peak_staging_ = abs_peak;
   }
 
   /// Total dag vertices executed so far.
@@ -136,37 +214,55 @@ class Executor {
   std::size_t peak_staging() const { return peak_staging_; }
 
  private:
-  template <class Store, class RuleFn>
-  void exec_rec(const geom::Region<D>& U, Store& staging,
-                const RuleFn& rule) {
+  /// Per-execution mutable state. The recursion never touches executor
+  /// members directly; everything it mutates lives here, so forked
+  /// subtrees get private contexts and the executor itself stays
+  /// read-only during execution. Staging-footprint accounting is
+  /// *relative* (cur = net live delta since context entry, peak = its
+  /// high-water mark at the serial code's sample points), which makes
+  /// it exact under sharding: a join adds the parent's cur to the
+  /// child's peak, reproducing the absolute sizes a serial execution
+  /// would have sampled.
+  template <class Store, class Ledger>
+  struct Ctx {
+    Store* staging = nullptr;
+    Ledger* ledger = nullptr;
+    std::int64_t vertices = 0;
+    std::int64_t cur = 0;
+    std::int64_t peak = 0;
+    // Leaf scratch (dense window values + per-level prefix offsets),
+    // reused across this context's leaves.
+    std::vector<Word> vals;
+    std::vector<std::size_t> off;
+
+    void note() {
+      if (cur > peak) peak = cur;
+    }
+    void insert(const geom::Point<D>& q, Word v) {
+      if (store_insert(*staging, q, v)) ++cur;
+    }
+    void erase(const geom::Point<D>& q) {
+      if (store_erase(*staging, q)) --cur;
+    }
+  };
+
+  template <class Store, class Ledger, class RuleFn>
+  void exec_rec(const geom::Region<D>& U, Ctx<Store, Ledger>& cx,
+                const RuleFn& rule) const {
     if (U.width() <= cfg_.leaf_width) {
-      execute_leaf(U, staging, rule);
-      note_staging(staging.size());
+      execute_leaf(U, cx, rule);
+      cx.note();
       return;
     }
 
     const core::Cost fS =
         cfg_.f(static_cast<std::uint64_t>(space_bound(U.width())));
     std::vector<geom::Region<D>> children = U.split();
-    for (const geom::Region<D>& child : children) {
-      // Proposition 2, step 1: bring the child's preboundary into the
-      // child's working space. Presence in staging is exactly the
-      // topological-partition property.
-      const std::int64_t gin = child.preboundary_count();
-      if (cfg_.validate) validate_preboundary(child, staging, U.width(), gin);
-      ledger_->charge(core::CostKind::kBlockMove,
-                      2.0 * fS * static_cast<core::Cost>(gin),
-                      static_cast<std::uint64_t>(gin));
-
-      // Step 2: execute the child.
-      exec_rec(child, staging, rule);
-
-      // Step 3: save the child's out-set for later children / parent.
-      const std::int64_t child_out = child.outset_count();
-      if (cfg_.validate) validate_child_outset(child, child_out);
-      ledger_->charge(core::CostKind::kBlockMove,
-                      2.0 * fS * static_cast<core::Cost>(child_out),
-                      static_cast<std::uint64_t>(child_out));
+    if (should_fork(U)) {
+      exec_children_forked(U, children, fS, cx, rule);
+    } else {
+      for (const geom::Region<D>& child : children)
+        exec_child(U, child, fS, cx, rule);
     }
 
     // Retain only U's out-set; everything else produced inside U is
@@ -176,17 +272,120 @@ class Executor {
     // old code materialized a throwaway map for.
     for (const geom::Region<D>& child : children) {
       child.outset_visit([&](const geom::Point<D>& q) {
-        if (!U.in_outset(q)) staging.erase(q);
+        if (!U.in_outset(q)) cx.erase(q);
       });
     }
-    if (cfg_.validate) validate_outset(U, staging);
-    note_staging(staging.size());
+    if (cfg_.validate) validate_outset(U, *cx.staging);
+    cx.note();
+  }
+
+  /// One child of a recursion node: Proposition 2's three steps.
+  template <class Store, class Ledger, class RuleFn>
+  void exec_child(const geom::Region<D>& U, const geom::Region<D>& child,
+                  core::Cost fS, Ctx<Store, Ledger>& cx,
+                  const RuleFn& rule) const {
+    // Step 1: bring the child's preboundary into the child's working
+    // space. Presence in staging is exactly the topological-partition
+    // property.
+    const std::int64_t gin = child.preboundary_count();
+    if (cfg_.validate)
+      validate_preboundary(child, *cx.staging, U.width(), gin);
+    cx.ledger->charge(core::CostKind::kBlockMove,
+                      2.0 * fS * static_cast<core::Cost>(gin),
+                      static_cast<std::uint64_t>(gin));
+
+    // Step 2: execute the child.
+    exec_rec(child, cx, rule);
+
+    // Step 3: save the child's out-set for later children / parent.
+    const std::int64_t child_out = child.outset_count();
+    if (cfg_.validate) validate_child_outset(child, child_out);
+    cx.ledger->charge(core::CostKind::kBlockMove,
+                      2.0 * fS * static_cast<core::Cost>(child_out),
+                      static_cast<std::uint64_t>(child_out));
+  }
+
+  /// Fork when this node is above the grain and a multi-slot scheduler
+  /// is ambient on this thread (a worker or a bound caller of
+  /// engine::Pool). Without one, forks would run inline anyway — so
+  /// skipping the shard machinery entirely is pure savings.
+  bool should_fork(const geom::Region<D>& U) const {
+    if (cfg_.parallel_grain <= 0 || U.width() <= cfg_.parallel_grain)
+      return false;
+    engine::TaskScheduler* s = engine::TaskScheduler::current();
+    return s != nullptr && s->parallel();
+  }
+
+  /// Execute the children of one recursion node, forking runs of
+  /// consecutive equal-uppers children. split() orders children by the
+  /// number of monotone coordinates taking the upper half ("uppers",
+  /// recomputed here from the lo corners); within an equal-uppers run,
+  /// any two children have a coordinate where one is upper and the
+  /// other lower, and monotone arcs only decrease coordinates — so
+  /// neither can feed the other and the run is an antichain. Each fork
+  /// gets a StagingShard over cx's store and a private ChargeLog; the
+  /// join then merges in canonical child order, reproducing the serial
+  /// store state and charge sequence bit for bit.
+  template <class Store, class Ledger, class RuleFn>
+  void exec_children_forked(const geom::Region<D>& U,
+                            const std::vector<geom::Region<D>>& children,
+                            core::Cost fS, Ctx<Store, Ledger>& cx,
+                            const RuleFn& rule) const {
+    using Shard = typename ShardOf<D, Store>::type;
+    struct Forked {
+      core::ChargeLog log;
+      ExecDelta delta;
+      std::optional<Shard> shard;
+    };
+    auto uppers = [&U](const geom::Region<D>& child) {
+      int u = 0;
+      for (int k = 0; k < geom::Region<D>::K; ++k)
+        if (child.lo()[k] != U.lo()[k]) ++u;
+      return u;
+    };
+    std::size_t i = 0;
+    while (i < children.size()) {
+      std::size_t j = i + 1;
+      while (j < children.size() &&
+             uppers(children[j]) == uppers(children[i]))
+        ++j;
+      if (j - i == 1) {
+        // Singleton run: possibly a predecessor of later children —
+        // execute in place so they see its out-set in cx's store.
+        exec_child(U, children[i], fS, cx, rule);
+      } else {
+        std::vector<Forked> forks(j - i);
+        for (Forked& fk : forks) fk.shard.emplace(*cx.staging);
+        engine::TaskScope scope;
+        for (std::size_t k = i; k < j; ++k) {
+          Forked& fk = forks[k - i];
+          const geom::Region<D>& child = children[k];
+          scope.fork([this, &fk, &U, &child, fS, &rule] {
+            Ctx<Shard, core::ChargeLog> sub;
+            sub.staging = &*fk.shard;
+            sub.ledger = &fk.log;
+            exec_child(U, child, fS, sub, rule);
+            fk.delta = ExecDelta{sub.vertices, sub.cur, sub.peak};
+          });
+        }
+        scope.join();
+        for (Forked& fk : forks) {
+          fk.log.replay_into(*cx.ledger);
+          fk.shard->merge_into(*cx.staging);
+          if (cx.cur + fk.delta.peak > cx.peak)
+            cx.peak = cx.cur + fk.delta.peak;
+          cx.cur += fk.delta.net;
+          cx.vertices += fk.delta.vertices;
+        }
+      }
+      i = j;
+    }
   }
 
   template <class Store>
   void validate_preboundary(const geom::Region<D>& child,
                             const Store& staging, std::int64_t width,
-                            std::int64_t count) {
+                            std::int64_t count) const {
     std::vector<geom::Point<D>> gin = child.preboundary();
     BSMP_ASSERT_MSG(static_cast<std::int64_t>(gin.size()) == count,
                     "preboundary_count != |preboundary()|");
@@ -199,24 +398,20 @@ class Executor {
   }
 
   void validate_child_outset(const geom::Region<D>& child,
-                             std::int64_t count) {
+                             std::int64_t count) const {
     BSMP_ASSERT_MSG(
         static_cast<std::int64_t>(child.outset().size()) == count,
         "outset_count != |outset()|");
   }
 
   template <class Store>
-  void validate_outset(const geom::Region<D>& U, const Store& staging) {
+  void validate_outset(const geom::Region<D>& U, const Store& staging) const {
     std::vector<geom::Point<D>> out = U.outset();
     for (const auto& q : out) {
       BSMP_ASSERT_MSG(U.in_outset(q), "in_outset rejects an outset() point");
       BSMP_ASSERT_MSG(store_find(staging, q) != nullptr,
                       "out-set value missing");
     }
-  }
-
-  void note_staging(std::size_t live) {
-    if (live > peak_staging_) peak_staging_ = live;
   }
 
   /// Points of U at one time level (product of its x-ranges).
@@ -231,47 +426,49 @@ class Executor {
   }
 
   /// Dense window slot of q inside leaf U: per-level prefix offset (in
-  /// leaf_off_) plus the row-major x offset — the position for_each
-  /// visits q at, so sequential execution writes slots 0, 1, 2, ...
-  std::size_t leaf_slot(const geom::Region<D>& U, std::int64_t tmin,
-                        const geom::Point<D>& q) const {
+  /// `off`) plus the row-major x offset — the position for_each visits
+  /// q at, so sequential execution writes slots 0, 1, 2, ...
+  static std::size_t leaf_slot(const geom::Region<D>& U, std::int64_t tmin,
+                               const std::vector<std::size_t>& off,
+                               const geom::Point<D>& q) {
     std::size_t idx = 0;
     for (int i = 0; i < D; ++i) {
       auto [a, b] = U.x_range(i, q.t);
       idx = idx * static_cast<std::size_t>(b - a + 1) +
             static_cast<std::size_t>(q.x[i] - a);
     }
-    return leaf_off_[static_cast<std::size_t>(q.t - tmin)] + idx;
+    return off[static_cast<std::size_t>(q.t - tmin)] + idx;
   }
 
-  template <class Store, class RuleFn>
-  void execute_leaf(const geom::Region<D>& U, Store& staging,
-                    const RuleFn& rule) {
+  template <class Store, class Ledger, class RuleFn>
+  void execute_leaf(const geom::Region<D>& U, Ctx<Store, Ledger>& cx,
+                    const RuleFn& rule) const {
     const geom::Stencil<D>& st = guest_->stencil;
     const core::Cost f_leaf =
         cfg_.f(static_cast<std::uint64_t>(leaf_space_bound(U.width())));
 
     const auto [tmin, tmax] = U.time_range();
-    leaf_off_.clear();
+    cx.off.clear();
     std::size_t total = 0;
     for (std::int64_t t = tmin; t <= tmax; ++t) {
-      leaf_off_.push_back(total);
+      cx.off.push_back(total);
       total += level_size(U, t);
     }
-    if (leaf_vals_.size() < total) leaf_vals_.resize(total);
+    if (cx.vals.size() < total) cx.vals.resize(total);
 
     auto lookup = [&](const geom::Point<D>& q) -> Word {
       // q is a vertex; inside the leaf box it was already executed
       // (topological order), so its value sits in the dense window.
-      if (q.t >= tmin && U.in_box(q)) return leaf_vals_[leaf_slot(U, tmin, q)];
-      const Word* v = store_find(staging, q);
+      if (q.t >= tmin && U.in_box(q))
+        return cx.vals[leaf_slot(U, tmin, cx.off, q)];
+      const Word* v = store_find(*cx.staging, q);
       BSMP_ASSERT_MSG(v != nullptr,
                       "operand missing at leaf: topological partition or "
                       "out-set computation is wrong");
       return *v;
     };
 
-    auto la = ledger_->stream(core::CostKind::kLocalAccess);
+    auto la = cx.ledger->stream(core::CostKind::kLocalAccess);
     std::uint64_t la_events = 0;
     std::int64_t executed = 0;
     std::size_t w = 0;
@@ -306,7 +503,7 @@ class Executor {
         ++operands;  // self operand
         value = rule(p, self_prev, nbrs);
       }
-      leaf_vals_[w++] = value;
+      cx.vals[w++] = value;
       ++executed;
       // One read per operand plus one result write, each f(S(leaf)):
       // streamed so the per-vertex addition order (and hence the
@@ -317,15 +514,15 @@ class Executor {
     la.add_events(la_events);
     // Unit compute per vertex: integer-valued, so one batched charge is
     // bit-identical to `executed` unit charges.
-    ledger_->charge(core::CostKind::kCompute,
-                    static_cast<core::Cost>(executed),
-                    static_cast<std::uint64_t>(executed));
-    vertices_ += executed;
+    cx.ledger->charge(core::CostKind::kCompute,
+                      static_cast<core::Cost>(executed),
+                      static_cast<std::uint64_t>(executed));
+    cx.vertices += executed;
 
     U.outset_visit([&](const geom::Point<D>& q) {
-      store_insert(staging, q, leaf_vals_[leaf_slot(U, tmin, q)]);
+      cx.insert(q, cx.vals[leaf_slot(U, tmin, cx.off, q)]);
     });
-    if (cfg_.validate) validate_outset(U, staging);
+    if (cfg_.validate) validate_outset(U, *cx.staging);
   }
 
   const Guest<D>* guest_;
@@ -333,8 +530,8 @@ class Executor {
   core::CostLedger* ledger_ = nullptr;
   std::int64_t vertices_ = 0;
   std::size_t peak_staging_ = 0;
-  // Leaf scratch, reused across leaves so a steady-state execution
-  // performs no per-leaf allocation.
+  // Leaf scratch, lent to the root context of each execute() call so a
+  // steady-state serial execution performs no per-leaf allocation.
   std::vector<Word> leaf_vals_;
   std::vector<std::size_t> leaf_off_;
 };

@@ -16,7 +16,27 @@ std::atomic<bool>& validation_flag() {
   return flag;
 }
 
+std::atomic<std::int64_t>& grain_flag() {
+  static std::atomic<std::int64_t> flag = [] {
+    const char* env = std::getenv("BSMP_PARALLEL_GRAIN");
+    if (env == nullptr || *env == '\0') return std::int64_t{0};
+    char* end = nullptr;
+    long long v = std::strtoll(env, &end, 10);
+    if (end == env || v < 0) return std::int64_t{0};
+    return static_cast<std::int64_t>(v);
+  }();
+  return flag;
+}
+
 }  // namespace
+
+std::int64_t default_parallel_grain() {
+  return grain_flag().load(std::memory_order_relaxed);
+}
+
+void set_default_parallel_grain(std::int64_t grain) {
+  grain_flag().store(grain < 0 ? 0 : grain, std::memory_order_relaxed);
+}
 
 bool validation_mode() {
   return validation_flag().load(std::memory_order_relaxed);

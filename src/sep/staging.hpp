@@ -22,6 +22,7 @@
 // use it, and the hot-path bench measures it as the same-run baseline).
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <memory>
 #include <vector>
@@ -67,31 +68,45 @@ class StagingStore {
     return lv->vals[s];
   }
 
-  /// Set the value at q (insert-or-overwrite).
-  void insert(const geom::Point<D>& q, Word v) {
+  /// Set the value at q (insert-or-overwrite); true when q was absent.
+  bool insert(const geom::Point<D>& q, Word v) {
     BSMP_REQUIRE(q.t >= 0 && q.t < st_->horizon && st_->in_space(q.x));
     Level& lv = level(q.t);
     std::size_t s = slot(q.x);
-    if (!lv.live[s]) {
+    bool added = !lv.live[s];
+    if (added) {
       lv.live[s] = 1;
       ++lv.nlive;
       ++live_;
     }
     lv.vals[s] = v;
+    return added;
   }
 
-  /// Remove q if live (no-op otherwise, like map::erase).
-  void erase(const geom::Point<D>& q) {
-    if (q.t < 0 || q.t >= st_->horizon || !st_->in_space(q.x)) return;
+  /// Remove q if live (no-op otherwise, like map::erase); true when a
+  /// value was actually removed.
+  bool erase(const geom::Point<D>& q) {
+    if (q.t < 0 || q.t >= st_->horizon || !st_->in_space(q.x)) return false;
     Level* lv = levels_[static_cast<std::size_t>(q.t)].get();
-    if (lv == nullptr) return;
+    if (lv == nullptr) return false;
     std::size_t s = slot(q.x);
-    if (lv->live[s]) {
-      lv->live[s] = 0;
-      --lv->nlive;
-      --live_;
-    }
+    if (!lv->live[s]) return false;
+    lv->live[s] = 0;
+    --lv->nlive;
+    --live_;
+    return true;
   }
+
+  /// Ensure level t's slab is allocated (counted by level_allocs), as
+  /// inserting into t would. Used when merging a StagingShard so the
+  /// slab-allocation metric matches a serial execution that touched a
+  /// level only with values erased again before the merge.
+  void touch_level(std::int64_t t) {
+    if (t >= 0 && t < st_->horizon) level(t);
+  }
+
+  /// The stencil fixing this store's address layout.
+  const geom::Stencil<D>* stencil() const { return st_; }
 
   /// Number of live words — the same quantity ValueMap::size() reports,
   /// so peak-staging accounting is unchanged by the dense layout.
@@ -189,15 +204,52 @@ inline const Word* store_find(const StagingStore<D>& s,
   return s.find(q);
 }
 
+/// Insert q -> v; returns whether q was newly added (both stores keep
+/// the first value on a duplicate insert attempt via executor paths —
+/// every dag vertex is produced exactly once, so duplicates never
+/// carry a different value).
 template <int D>
-inline void store_insert(ValueMap<D>& m, const geom::Point<D>& q, Word v) {
-  m.emplace(q, v);
+inline bool store_insert(ValueMap<D>& m, const geom::Point<D>& q, Word v) {
+  return m.emplace(q, v).second;
 }
 
 template <int D>
-inline void store_insert(StagingStore<D>& s, const geom::Point<D>& q,
+inline bool store_insert(StagingStore<D>& s, const geom::Point<D>& q,
                          Word v) {
-  s.insert(q, v);
+  return s.insert(q, v);
+}
+
+/// Erase q; returns whether a value was actually removed.
+template <int D>
+inline bool store_erase(ValueMap<D>& m, const geom::Point<D>& q) {
+  return m.erase(q) != 0;
+}
+
+template <int D>
+inline bool store_erase(StagingStore<D>& s, const geom::Point<D>& q) {
+  return s.erase(q);
+}
+
+/// Pre-allocate the slab of time level t, where the store has slabs.
+template <int D>
+inline void store_touch_level(ValueMap<D>&, std::int64_t) {}
+
+template <int D>
+inline void store_touch_level(StagingStore<D>& s, std::int64_t t) {
+  s.touch_level(t);
+}
+
+/// Visit every live (point, value) pair. Order is the store's own
+/// (unspecified for ValueMap); callers needing determinism must not
+/// depend on it.
+template <int D, class F>
+inline void store_for_each(const ValueMap<D>& m, F&& visit) {
+  for (const auto& [p, v] : m) visit(p, v);
+}
+
+template <int D, class F>
+inline void store_for_each(const StagingStore<D>& s, F&& visit) {
+  s.for_each(visit);
 }
 
 /// Slab allocations of a store, when it tracks them (0 for ValueMap —
@@ -209,6 +261,158 @@ template <int D>
 inline std::size_t store_level_allocs(const StagingStore<D>& s) {
   return s.level_allocs();
 }
+
+// ---------------------------------------------------------------------
+// StagingShard: a private overlay a forked subtree of the executor
+// writes into while sibling subtrees run concurrently.
+//
+// Reads fall through: local shard -> enclosing shards (nested forks)
+// -> the base store, so a forked child sees everything staged before
+// its group started (its preboundary) without synchronization. Writes
+// and erasures are purely local — sound because a subtree only ever
+// erases values it produced itself (an inner node's erasure targets
+// its children's out-sets, all produced within the node; see
+// sep/executor.hpp). After join, merge_into() folds the shard into the
+// enclosing store *in canonical child order*, reproducing the serial
+// store state bit for bit.
+//
+// The shard also records which time levels it inserted into (even if
+// every value there was erased again) so merge_into can pre-touch the
+// matching slabs of a dense base: StagingStore::level_allocs() then
+// counts exactly the slabs a serial execution would have allocated.
+//
+// `Base` is the root store type (ValueMap or StagingStore); a shard
+// over a shard shares the same Base, so template nesting is bounded.
+// ---------------------------------------------------------------------
+
+namespace detail {
+
+template <int D>
+inline ValueMap<D> shard_local(const ValueMap<D>&) {
+  return ValueMap<D>{};
+}
+
+template <int D>
+inline StagingStore<D> shard_local(const StagingStore<D>& s) {
+  return StagingStore<D>(s.stencil());
+}
+
+}  // namespace detail
+
+template <int D, class Base>
+class StagingShard {
+ public:
+  using base_type = Base;
+
+  /// Overlay directly on the base store.
+  explicit StagingShard(const Base& base)
+      : base_(&base), parent_(nullptr), local_(detail::shard_local<D>(base)) {}
+
+  /// Overlay on another shard (a fork within a fork).
+  explicit StagingShard(const StagingShard& parent)
+      : base_(parent.base_),
+        parent_(&parent),
+        local_(detail::shard_local<D>(*parent.base_)) {}
+
+  const Word* find(const geom::Point<D>& q) const {
+    if (const Word* v = store_find(local_, q)) return v;
+    for (const StagingShard* s = parent_; s != nullptr; s = s->parent_)
+      if (const Word* v = store_find(s->local_, q)) return v;
+    return store_find(*base_, q);
+  }
+
+  bool insert(const geom::Point<D>& q, Word v) {
+    note_level(q.t);
+    return store_insert(local_, q, v);
+  }
+
+  bool erase(const geom::Point<D>& q) { return store_erase(local_, q); }
+
+  /// Live values written locally (not the fall-through total): the
+  /// executor tracks staging peaks via relative deltas, not sizes.
+  std::size_t size() const { return local_.size(); }
+
+  void note_level(std::int64_t t) {
+    auto it = std::lower_bound(touched_.begin(), touched_.end(), t);
+    if (it == touched_.end() || *it != t) touched_.insert(it, t);
+  }
+
+  /// Fold this shard into the enclosing store (the base store, or the
+  /// enclosing shard for nested forks): pre-touch every level the
+  /// shard ever wrote, then insert the surviving values.
+  template <class Dst>
+  void merge_into(Dst& dst) const {
+    for (std::int64_t t : touched_) store_touch_level(dst, t);
+    store_for_each<D>(local_, [&dst](const geom::Point<D>& p, Word v) {
+      store_insert(dst, p, v);
+    });
+  }
+
+ private:
+  const Base* base_;
+  const StagingShard* parent_;
+  Base local_;
+  std::vector<std::int64_t> touched_;  // sorted distinct inserted levels
+};
+
+/// Accessor overloads so the executor can treat a shard as a store.
+template <int D, class Base>
+inline const Word* store_find(const StagingShard<D, Base>& s,
+                              const geom::Point<D>& q) {
+  return s.find(q);
+}
+
+template <int D, class Base>
+inline bool store_insert(StagingShard<D, Base>& s, const geom::Point<D>& q,
+                         Word v) {
+  return s.insert(q, v);
+}
+
+template <int D, class Base>
+inline bool store_erase(StagingShard<D, Base>& s, const geom::Point<D>& q) {
+  return s.erase(q);
+}
+
+template <int D, class Base>
+inline void store_touch_level(StagingShard<D, Base>& s, std::int64_t t) {
+  s.note_level(t);
+}
+
+template <int D, class Base>
+inline std::size_t store_level_allocs(const StagingShard<D, Base>&) {
+  return 0;  // shard slabs are scratch; only base-store slabs count
+}
+
+/// Maps a store type to the shard type that overlays it: shards of a
+/// base store and shards of such shards are the *same* type, so the
+/// executor's template recursion over fork depth is bounded.
+template <int D, class Store>
+struct ShardOf {
+  using type = StagingShard<D, Store>;
+};
+
+template <int D, class Base>
+struct ShardOf<D, StagingShard<D, Base>> {
+  using type = StagingShard<D, Base>;
+};
+
+// ---------------------------------------------------------------------
+// Parallel grain: process-wide default for
+// ExecutorConfig::parallel_grain — the monotone width above which the
+// executor forks sibling child regions into the ambient
+// engine::TaskScheduler (0 disables forking). Defaults from the
+// BSMP_PARALLEL_GRAIN environment variable at process start (unset,
+// empty, or unparsable means 0); settable per run, and per executor
+// via ExecutorConfig::parallel_grain. Forked execution is bit-identical
+// to serial execution by construction, so flipping this knob never
+// changes an emitted byte — only wall clock and task metrics.
+// ---------------------------------------------------------------------
+
+/// Process-wide default for ExecutorConfig::parallel_grain.
+std::int64_t default_parallel_grain();
+
+/// Override the process-wide default (tests; benches).
+void set_default_parallel_grain(std::int64_t grain);
 
 // ---------------------------------------------------------------------
 // Validation mode: when on, the executor re-materializes the

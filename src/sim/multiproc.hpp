@@ -87,11 +87,10 @@ class MultiprocSimulator {
                                         1, std::min(st.m, cfg_.s));
     leaf_w_ = std::min(leaf_w_, cfg_.s);
 
-    sep::ExecutorConfig ecfg;
-    ecfg.leaf_width = leaf_w_;
-    ecfg.f = host_.access_fn();
-    ecfg.space_const = cfg_.space_const;
-    exec_.emplace(guest_, ecfg);
+    exec_cfg_.leaf_width = leaf_w_;
+    exec_cfg_.f = host_.access_fn();
+    exec_cfg_.space_const = cfg_.space_const;
+    exec_.emplace(guest_, exec_cfg_);
     ledgers_.resize(static_cast<std::size_t>(host_.p));
 
     sched::PlannerConfig<D> pcfg;
@@ -266,68 +265,11 @@ class MultiprocSimulator {
     }
 
     for (const auto& wave : waves) {
-      for (const geom::Region<D>& sub : wave) {
-        auto fp = sub.first_point();
-        BSMP_ASSERT(fp.has_value());
-        auto home = strip_of(fp->x);
-        std::int64_t pr = proc_of_strip(home);
-
-        // Root preboundary: resident words vs strip-crossing words
-        // (counting visitor — no materialized vector).
-        std::size_t cross = 0, resident = 0;
-        sub.preboundary_visit([&](const geom::Point<D>& q) {
-          if (strip_of(q.x) != home)
-            ++cross;
-          else
-            ++resident;
-        });
-
-        core::Cost cost = 0;
-        cost += 2.0 * f_rest * static_cast<core::Cost>(resident);
-        ledgers_[static_cast<std::size_t>(pr)].charge(
-            core::CostKind::kBlockMove,
-            2.0 * f_rest * static_cast<core::Cost>(resident), resident);
-        if (cross > 0) {
-          core::Cost c = link * static_cast<core::Cost>(cross);
-          cost += c;
-          ledgers_[static_cast<std::size_t>(pr)].charge(core::CostKind::kComm,
-                                                        c, cross);
-        }
-
-        // Subtile body via the separator executor, charged to pr.
-        exec_->set_ledger(&ledgers_[static_cast<std::size_t>(pr)]);
-        core::Cost before = ledgers_[static_cast<std::size_t>(pr)].total();
-        exec_->execute(sub, staging_);
-        cost += ledgers_[static_cast<std::size_t>(pr)].total() - before;
-
-        clocks_.advance(pr, cost);
-
-        if (emit_ != nullptr) {
-          if (resident > 0) {
-            sched::Op<D> in;
-            in.kind = sched::OpKind::kCopyIn;
-            in.proc = pr;
-            in.words = static_cast<std::int64_t>(resident);
-            in.addr_scale = s_rest;
-            emit_->push(in);
-          }
-          if (cross > 0) {
-            sched::Op<D> cm;
-            cm.kind = sched::OpKind::kComm;
-            cm.proc = pr;
-            cm.words = static_cast<std::int64_t>(cross);
-            cm.distance = link;
-            emit_->push(cm);
-          }
-          // The subtile body: the serial planner emits exactly the op
-          // stream the executor charges; annotate it with pr.
-          sched::Schedule<D> body;
-          planner_->plan_region(body, sub);
-          for (sched::Op<D> op : body.ops()) {
-            op.proc = pr;
-            emit_->push(op);
-          }
-        }
+      if (wave_parallel(wave)) {
+        exec_wave_forked(wave, f_rest, link);
+      } else {
+        for (const geom::Region<D>& sub : wave)
+          exec_subtile(sub, f_rest, s_rest, link);
       }
       clocks_.barrier();
       if (emit_ != nullptr) {
@@ -338,9 +280,151 @@ class MultiprocSimulator {
     }
   }
 
+  /// One subtile of a Regime-2 wave, serially (the reference path).
+  void exec_subtile(const geom::Region<D>& sub, core::Cost f_rest,
+                    double s_rest, core::Cost link) {
+    auto fp = sub.first_point();
+    BSMP_ASSERT(fp.has_value());
+    auto home = strip_of(fp->x);
+    std::int64_t pr = proc_of_strip(home);
+
+    // Root preboundary: resident words vs strip-crossing words
+    // (counting visitor — no materialized vector).
+    std::size_t cross = 0, resident = 0;
+    sub.preboundary_visit([&](const geom::Point<D>& q) {
+      if (strip_of(q.x) != home)
+        ++cross;
+      else
+        ++resident;
+    });
+
+    core::Cost cost = 0;
+    cost += 2.0 * f_rest * static_cast<core::Cost>(resident);
+    ledgers_[static_cast<std::size_t>(pr)].charge(
+        core::CostKind::kBlockMove,
+        2.0 * f_rest * static_cast<core::Cost>(resident), resident);
+    if (cross > 0) {
+      core::Cost c = link * static_cast<core::Cost>(cross);
+      cost += c;
+      ledgers_[static_cast<std::size_t>(pr)].charge(core::CostKind::kComm,
+                                                    c, cross);
+    }
+
+    // Subtile body via the separator executor, charged to pr.
+    exec_->set_ledger(&ledgers_[static_cast<std::size_t>(pr)]);
+    core::Cost before = ledgers_[static_cast<std::size_t>(pr)].total();
+    exec_->execute(sub, staging_);
+    cost += ledgers_[static_cast<std::size_t>(pr)].total() - before;
+
+    clocks_.advance(pr, cost);
+
+    if (emit_ != nullptr) {
+      if (resident > 0) {
+        sched::Op<D> in;
+        in.kind = sched::OpKind::kCopyIn;
+        in.proc = pr;
+        in.words = static_cast<std::int64_t>(resident);
+        in.addr_scale = s_rest;
+        emit_->push(in);
+      }
+      if (cross > 0) {
+        sched::Op<D> cm;
+        cm.kind = sched::OpKind::kComm;
+        cm.proc = pr;
+        cm.words = static_cast<std::int64_t>(cross);
+        cm.distance = link;
+        emit_->push(cm);
+      }
+      // The subtile body: the serial planner emits exactly the op
+      // stream the executor charges; annotate it with pr.
+      sched::Schedule<D> body;
+      planner_->plan_region(body, sub);
+      for (sched::Op<D> op : body.ops()) {
+        op.proc = pr;
+        emit_->push(op);
+      }
+    }
+  }
+
+  /// Fork a wave when its subtiles can actually run concurrently:
+  /// parallelism is on, a multi-slot scheduler is ambient, and no op
+  /// stream is being emitted (the emit path runs the planner per
+  /// subtile against shared caches; the serial path keeps it exact).
+  bool wave_parallel(const std::vector<geom::Region<D>>& wave) const {
+    if (emit_ != nullptr || wave.size() < 2 || exec_cfg_.parallel_grain <= 0)
+      return false;
+    engine::TaskScheduler* s = engine::TaskScheduler::current();
+    return s != nullptr && s->parallel();
+  }
+
+  /// One Regime-2 wave with its subtiles forked. Subtiles of a wave
+  /// are mutually independent (anti-diagonal wavefronts), so each runs
+  /// against a private StagingShard over staging_ with private
+  /// ChargeLogs; the join merges in canonical subtile order, charging
+  /// each processor's ledger and clock with the exact floating-point
+  /// sequence the serial path produces.
+  void exec_wave_forked(const std::vector<geom::Region<D>>& wave,
+                        core::Cost f_rest, core::Cost link) {
+    using Delta = typename sep::Executor<D>::ExecDelta;
+    struct Sub {
+      std::size_t resident = 0, cross = 0;
+      std::int64_t pr = 0;
+      core::ChargeLog pre, body;
+      Delta delta;
+      std::optional<sep::StagingShard<D, sep::StagingStore<D>>> shard;
+    };
+    const std::size_t base = staging_.size();
+    std::vector<Sub> subs(wave.size());
+    for (Sub& sb : subs) sb.shard.emplace(staging_);
+    engine::TaskScope scope;
+    for (std::size_t i = 0; i < wave.size(); ++i) {
+      Sub& sb = subs[i];
+      const geom::Region<D>& sub = wave[i];
+      scope.fork([this, &sb, &sub, f_rest, link] {
+        auto fp = sub.first_point();
+        BSMP_ASSERT(fp.has_value());
+        auto home = strip_of(fp->x);
+        sb.pr = proc_of_strip(home);
+        sub.preboundary_visit([&](const geom::Point<D>& q) {
+          if (strip_of(q.x) != home)
+            ++sb.cross;
+          else
+            ++sb.resident;
+        });
+        sb.pre.charge(core::CostKind::kBlockMove,
+                      2.0 * f_rest * static_cast<core::Cost>(sb.resident),
+                      sb.resident);
+        if (sb.cross > 0)
+          sb.pre.charge(core::CostKind::kComm,
+                        link * static_cast<core::Cost>(sb.cross), sb.cross);
+        sb.delta = exec_->execute_delta(sub, *sb.shard, sb.body);
+      });
+    }
+    scope.join();
+    std::int64_t cum = 0;
+    for (Sub& sb : subs) {
+      core::CostLedger& lg = ledgers_[static_cast<std::size_t>(sb.pr)];
+      sb.pre.replay_into(lg);
+      // The serial path's exact cost expression, with the executor's
+      // contribution recovered through the same total()-before read.
+      core::Cost cost = 0;
+      cost += 2.0 * f_rest * static_cast<core::Cost>(sb.resident);
+      if (sb.cross > 0)
+        cost += link * static_cast<core::Cost>(sb.cross);
+      core::Cost before = lg.total();
+      sb.body.replay_into(lg);
+      cost += lg.total() - before;
+      clocks_.advance(sb.pr, cost);
+      sb.shard->merge_into(staging_);
+      exec_->absorb(sb.delta, base + static_cast<std::size_t>(cum));
+      cum += sb.delta.net;
+    }
+  }
+
   const sep::Guest<D>* guest_;
   machine::MachineSpec host_;
   MultiprocConfig cfg_;
+  sep::ExecutorConfig exec_cfg_;
   machine::ProcClocks clocks_;
   std::vector<core::CostLedger> ledgers_;
   std::optional<sep::Executor<D>> exec_;

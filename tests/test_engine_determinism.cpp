@@ -19,6 +19,22 @@ using namespace bsmp;
 
 namespace {
 
+// The whole conformance suite runs with the fork-join recursion armed:
+// every executor constructed in this binary defaults to
+// parallel_grain = 8, so the threads=N passes below exercise the
+// nested path (forked child regions, staging shards, charge-log
+// replay) while the threads=1 passes stay the serial reference — the
+// byte-identity assertions are exactly the determinism contract of
+// the task layer. The golden digests must not move either way.
+class ParallelGrainEnvironment : public ::testing::Environment {
+ public:
+  void SetUp() override { sep::set_default_parallel_grain(8); }
+  void TearDown() override { sep::set_default_parallel_grain(0); }
+};
+
+const auto* const kGrainEnv = ::testing::AddGlobalTestEnvironment(
+    new ParallelGrainEnvironment);
+
 int parallel_threads() { return std::max(4, engine::Pool::hardware_threads()); }
 
 std::vector<tables::Emitted> run_emitter(const tables::Emitter& e,
@@ -191,6 +207,35 @@ TEST(ValidationMode, AssertingPathEmitsIdenticalBytes) {
 }
 
 // ---------------------------------------------------------------------
+// Parallel grain (BSMP_PARALLEL_GRAIN / sep::set_default_parallel_grain)
+// arms the executor's fork-join recursion. Like validation mode it
+// must be purely operational: grain off and grain on (under a
+// multi-thread pool, so forking really happens) emit byte-identical
+// tables.
+// ---------------------------------------------------------------------
+
+TEST(ParallelGrain, ForkedPathEmitsIdenticalBytes) {
+  const std::int64_t saved = sep::default_parallel_grain();
+  for (const char* name : {"e3", "hot"}) {
+    sep::set_default_parallel_grain(0);
+    auto serial = run_emitter(tables::find_emitter(name), parallel_threads(),
+                              nullptr);
+    sep::set_default_parallel_grain(8);
+    auto forked = run_emitter(tables::find_emitter(name), parallel_threads(),
+                              nullptr);
+    sep::set_default_parallel_grain(saved);
+    ASSERT_EQ(serial.size(), forked.size()) << name;
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+      EXPECT_TRUE(serial[i].table == forked[i].table)
+          << name << " table " << i << " differs with parallel grain on";
+      EXPECT_EQ(serial[i].table.digest(), forked[i].table.digest())
+          << name << " table " << i
+          << " rendered bytes differ with parallel grain on";
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
 // PlanCache sharing is observable: the emitters with shared guests
 // and reference runs must report cache hits on every pass.
 // ---------------------------------------------------------------------
@@ -286,4 +331,23 @@ TEST(GoldenDigest, E6DenseFitSummaryStable) {
       << "E6d fit summary changed; new digest: 0x" << std::hex << fit.digest()
       << "\nrendered:\n"
       << fit.to_string();
+}
+
+// ---------------------------------------------------------------------
+// Golden digest of the calibration training table (CAL-a): pins the
+// training grid itself (rows = grid points, in order) along with every
+// measured slowdown and fitted prediction — so a grid change is a
+// deliberate act that re-records this constant (and the holdout note
+// in EXPERIMENTS.md).
+// ---------------------------------------------------------------------
+
+TEST(GoldenDigest, CalibrationTrainingTableStable) {
+  auto artifacts = run_emitter(tables::find_emitter("cal"), 1, nullptr);
+  ASSERT_EQ(artifacts.size(), 3u);
+  const auto& train = artifacts[0].table;
+  constexpr std::uint64_t kCalAGolden = 0xb8883e89112d030fULL;
+  EXPECT_EQ(train.digest(), kCalAGolden)
+      << "CAL-a table changed; new digest: 0x" << std::hex << train.digest()
+      << "\nrendered:\n"
+      << train.to_string();
 }

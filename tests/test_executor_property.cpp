@@ -5,7 +5,11 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <array>
+#include <cstring>
+#include <string>
 
+#include "engine/pool.hpp"
 #include "geom/tiling.hpp"
 #include "sep/executor.hpp"
 #include "sim/dc_uniproc.hpp"
@@ -409,6 +413,142 @@ TEST(FailureInjection, CorruptedStagingValuePropagatesToOutputs) {
   auto fin = sim::extract_final<1>(g.stencil, staging);
   EXPECT_FALSE(sim::same_values<1>(fin, ref.final_values))
       << "a corrupted operand must corrupt the outputs";
+}
+
+// ---------------------------------------------------------------------
+// Parallel-grain bit-identity: the fork-join recursion must be
+// indistinguishable from the serial one — per-kind charged costs
+// (bitwise, doubles), event counts, vertex totals, peak staging, slab
+// allocations, and every final value identical across parallel_grain
+// ∈ {off, small, huge} × pool sizes {1, 2, 4}, for d=1 and d=2
+// volumes driven through the same wavefront loop the simulators use.
+// ---------------------------------------------------------------------
+
+namespace {
+
+template <int D>
+struct DriveOutcome {
+  std::array<std::uint64_t, core::CostLedger::kNumKinds> cost_bits{};
+  std::array<std::uint64_t, core::CostLedger::kNumKinds> events{};
+  std::int64_t vertices = 0;
+  std::size_t peak = 0;
+  std::size_t allocs = 0;
+  sep::ValueMap<D> fin;
+
+  void expect_eq(const DriveOutcome& other, const std::string& what) const {
+    for (std::size_t i = 0; i < core::CostLedger::kNumKinds; ++i) {
+      EXPECT_EQ(cost_bits[i], other.cost_bits[i])
+          << what << ": cost kind " << i << " not bit-identical";
+      EXPECT_EQ(events[i], other.events[i]) << what << ": events kind " << i;
+    }
+    EXPECT_EQ(vertices, other.vertices) << what;
+    EXPECT_EQ(peak, other.peak) << what << ": peak staging";
+    EXPECT_EQ(allocs, other.allocs) << what << ": slab allocs";
+    EXPECT_TRUE(sim::same_values<D>(fin, other.fin)) << what;
+  }
+};
+
+/// Run the guest through the wavefront driver with the given grain and
+/// return everything the determinism contract pins. `Store` selects
+/// the staging type (dense StagingStore or ValueMap).
+template <int D, class Store>
+DriveOutcome<D> drive_with_grain(const sep::Guest<D>& g, Store& staging,
+                                 int64_t tile, int64_t leaf, int64_t grain) {
+  sep::ExecutorConfig cfg;
+  cfg.leaf_width = leaf;
+  cfg.f = hram::AccessFn::hierarchical(D, 4.0);
+  cfg.parallel_grain = grain;
+  sep::Executor<D> exec(&g, cfg);
+  core::CostLedger ledger;
+  exec.set_ledger(&ledger);
+  geom::TileGrid<D> grid(&g.stencil, tile);
+  for (const auto& wave : grid.wavefronts())
+    for (const auto& t : wave) exec.execute(t, staging);
+
+  DriveOutcome<D> out;
+  for (std::size_t i = 0; i < core::CostLedger::kNumKinds; ++i) {
+    auto kind = static_cast<core::CostKind>(i);
+    double c = ledger.cost(kind);
+    static_assert(sizeof c == sizeof out.cost_bits[i]);
+    std::memcpy(&out.cost_bits[i], &c, sizeof c);
+    out.events[i] = ledger.events(kind);
+  }
+  out.vertices = exec.vertices_executed();
+  out.peak = exec.peak_staging();
+  out.allocs = sep::store_level_allocs<D>(staging);
+  out.fin = sim::extract_final<D>(g.stencil, staging);
+  return out;
+}
+
+}  // namespace
+
+template <int D>
+void grain_pool_matrix(const sep::Guest<D>& g, int64_t tile, int64_t leaf) {
+  sep::StagingStore<D> ref_staging(&g.stencil);
+  auto ref = drive_with_grain<D>(g, ref_staging, tile, leaf, /*grain=*/0);
+
+  for (int64_t grain : {int64_t{2}, int64_t{1} << 30}) {
+    for (int threads : {1, 2, 4}) {
+      engine::Pool pool(threads);
+      auto bind = pool.bind_caller();
+      sep::StagingStore<D> staging(&g.stencil);
+      auto got = drive_with_grain<D>(g, staging, tile, leaf, grain);
+      ref.expect_eq(got, "dense d=" + std::to_string(D) + " grain=" +
+                             std::to_string(grain) + " threads=" +
+                             std::to_string(threads));
+    }
+  }
+
+  // ValueMap staging through the same matrix: the shard fall-through
+  // and merge must be store-agnostic (allocs are 0 on both sides).
+  sep::ValueMap<D> ref_map;
+  auto refm = drive_with_grain<D>(g, ref_map, tile, leaf, /*grain=*/0);
+  for (int threads : {2, 4}) {
+    engine::Pool pool(threads);
+    auto bind = pool.bind_caller();
+    sep::ValueMap<D> staging;
+    auto got = drive_with_grain<D>(g, staging, tile, leaf, /*grain=*/2);
+    refm.expect_eq(got, "map d=" + std::to_string(D) + " threads=" +
+                            std::to_string(threads));
+  }
+  // And the two staging types agree with each other.
+  for (std::size_t i = 0; i < core::CostLedger::kNumKinds; ++i)
+    EXPECT_EQ(ref.cost_bits[i], refm.cost_bits[i]) << "store-type drift";
+  EXPECT_TRUE(sim::same_values<D>(ref.fin, refm.fin));
+}
+
+TEST(ParallelGrainIdentity, D1VolumeBitIdenticalAcrossGrainAndPool) {
+  auto g = workload::make_mix_guest<1>({32}, 32, 2, 1234);
+  grain_pool_matrix<1>(g, /*tile=*/16, /*leaf=*/2);
+}
+
+TEST(ParallelGrainIdentity, D2VolumeBitIdenticalAcrossGrainAndPool) {
+  auto g = workload::make_mix_guest<2>({12, 12}, 12, 1, 4321);
+  grain_pool_matrix<2>(g, /*tile=*/6, /*leaf=*/2);
+}
+
+TEST(ParallelGrainIdentity, MultiprocWaveForkingBitIdentical) {
+  // The multiproc driver forks whole Regime-2 subtiles; totals, final
+  // values, virtual time, and utilization must not move.
+  auto g = workload::make_mix_guest<1>({32}, 32, 2, 9);
+  sim::MultiprocConfig cfg;
+  cfg.s = 4;
+  auto ref = sim::simulate_multiproc<1>(g, spec(1, 32, 4, 2), cfg);
+  const int64_t saved = sep::default_parallel_grain();
+  sep::set_default_parallel_grain(2);
+  for (int threads : {1, 2, 4}) {
+    engine::Pool pool(threads);
+    auto bind = pool.bind_caller();
+    auto got = sim::simulate_multiproc<1>(g, spec(1, 32, 4, 2), cfg);
+    EXPECT_EQ(got.time, ref.time) << "threads=" << threads;
+    EXPECT_EQ(got.utilization, ref.utilization) << "threads=" << threads;
+    EXPECT_EQ(got.vertices, ref.vertices) << "threads=" << threads;
+    EXPECT_EQ(got.ledger.total(), ref.ledger.total())
+        << "threads=" << threads;
+    EXPECT_TRUE(sim::same_values<1>(got.final_values, ref.final_values))
+        << "threads=" << threads;
+  }
+  sep::set_default_parallel_grain(saved);
 }
 
 TEST(FailureInjection, WrongRuleIsDetected) {

@@ -1,0 +1,220 @@
+// Unit tests for the fork-join task layer (engine/task.hpp) and its
+// integration with Pool: nested parallel_for routing (the former
+// "must not be nested" deadlock), empty ranges, single-thread inline
+// ordering (the sequential reference execution), exception contracts,
+// and the TaskStats counters.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "engine/pool.hpp"
+#include "engine/task.hpp"
+
+using namespace bsmp;
+
+// ---------------------------------------------------------------------
+// parallel_for edge cases.
+// ---------------------------------------------------------------------
+
+TEST(PoolEdgeCases, EmptyRangeRunsNothingAndReturns) {
+  for (int threads : {1, 4}) {
+    engine::Pool pool(threads);
+    std::atomic<int> calls{0};
+    pool.parallel_for(0, [&](std::size_t) { ++calls; });
+    EXPECT_EQ(calls.load(), 0) << "threads=" << threads;
+    // The pool must stay usable afterwards.
+    pool.parallel_for(3, [&](std::size_t) { ++calls; });
+    EXPECT_EQ(calls.load(), 3) << "threads=" << threads;
+  }
+}
+
+TEST(PoolEdgeCases, NestedParallelForNoDeadlock) {
+  engine::Pool pool(4);
+  std::atomic<int> calls{0};
+  pool.parallel_for(8, [&](std::size_t) {
+    pool.parallel_for(8, [&](std::size_t) { ++calls; });
+  });
+  EXPECT_EQ(calls.load(), 64);
+}
+
+TEST(PoolEdgeCases, TriplyNestedParallelForNoDeadlock) {
+  engine::Pool pool(3);
+  std::atomic<int> calls{0};
+  pool.parallel_for(4, [&](std::size_t) {
+    pool.parallel_for(4, [&](std::size_t) {
+      pool.parallel_for(4, [&](std::size_t) { ++calls; });
+    });
+  });
+  EXPECT_EQ(calls.load(), 64);
+}
+
+TEST(PoolEdgeCases, NestedParallelForOnSingleThreadPool) {
+  engine::Pool pool(1);
+  std::atomic<int> calls{0};
+  pool.parallel_for(4, [&](std::size_t) {
+    pool.parallel_for(4, [&](std::size_t) { ++calls; });
+  });
+  EXPECT_EQ(calls.load(), 16);
+}
+
+TEST(PoolEdgeCases, NestedParallelForRethrowsLowestIndex) {
+  engine::Pool pool(4);
+  std::atomic<int> calls{0};
+  auto inner = [&](std::size_t i) {
+    ++calls;
+    if (i == 2 || i == 5)
+      throw std::runtime_error("inner " + std::to_string(i));
+  };
+  pool.parallel_for(2, [&](std::size_t outer) {
+    if (outer == 0) {
+      EXPECT_THROW(
+          {
+            try {
+              pool.parallel_for(8, inner);
+            } catch (const std::runtime_error& e) {
+              EXPECT_STREQ(e.what(), "inner 2");
+              throw;
+            }
+          },
+          std::runtime_error);
+    } else {
+      pool.parallel_for(8, [&](std::size_t) { ++calls; });
+    }
+  });
+  // Every inner index ran despite the failures (same contract as the
+  // top-level parallel_for).
+  EXPECT_EQ(calls.load(), 16);
+}
+
+// ---------------------------------------------------------------------
+// TaskScope: the sequential reference path.
+// ---------------------------------------------------------------------
+
+TEST(TaskScope, UnboundForksRunInlineInForkOrder) {
+  ASSERT_EQ(engine::TaskScheduler::current(), nullptr);
+  std::vector<int> order;
+  engine::TaskScope scope;
+  EXPECT_FALSE(scope.parallel());
+  for (int i = 0; i < 10; ++i) {
+    scope.fork([&order, i] { order.push_back(i); });
+    // Inline means *immediately*: the task has already run.
+    ASSERT_EQ(static_cast<int>(order.size()), i + 1);
+  }
+  scope.join();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(TaskScope, SingleThreadPoolForksRunInlineInForkOrder) {
+  // Pool(1) with fork-join active: the scheduler exists but has one
+  // slot, so forks still run inline in exact fork order — the
+  // subtree-order guarantee the conformance contract leans on.
+  engine::Pool pool(1);
+  auto bind = pool.bind_caller();
+  ASSERT_NE(engine::TaskScheduler::current(), nullptr);
+  std::vector<int> order;
+  engine::TaskScope scope;
+  EXPECT_FALSE(scope.parallel());
+  for (int i = 0; i < 10; ++i) scope.fork([&order, i] { order.push_back(i); });
+  scope.join();
+  ASSERT_EQ(order.size(), 10u);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+  EXPECT_EQ(pool.task_stats().spawned, 0u);
+  EXPECT_EQ(pool.task_stats().inlined, 10u);
+}
+
+// ---------------------------------------------------------------------
+// TaskScope: the parallel path.
+// ---------------------------------------------------------------------
+
+TEST(TaskScope, ParallelForksAllExecute) {
+  engine::Pool pool(4);
+  auto bind = pool.bind_caller();
+  std::atomic<int> calls{0};
+  engine::TaskScope scope;
+  EXPECT_TRUE(scope.parallel());
+  for (int i = 0; i < 100; ++i) scope.fork([&calls] { ++calls; });
+  scope.join();
+  EXPECT_EQ(calls.load(), 100);
+  EXPECT_EQ(pool.task_stats().spawned, 100u);
+}
+
+TEST(TaskScope, NestedScopesOnSameScheduler) {
+  engine::Pool pool(4);
+  auto bind = pool.bind_caller();
+  std::atomic<int> calls{0};
+  engine::TaskScope outer;
+  for (int i = 0; i < 4; ++i) {
+    outer.fork([&calls] {
+      engine::TaskScope inner;
+      for (int j = 0; j < 4; ++j) inner.fork([&calls] { ++calls; });
+      inner.join();
+    });
+  }
+  outer.join();
+  EXPECT_EQ(calls.load(), 16);
+}
+
+TEST(TaskScope, JoinRethrowsLowestForkIndex) {
+  engine::Pool pool(4);
+  auto bind = pool.bind_caller();
+  std::atomic<int> calls{0};
+  engine::TaskScope scope;
+  for (int i = 0; i < 8; ++i) {
+    scope.fork([&calls, i] {
+      ++calls;
+      if (i == 1 || i == 3 || i == 5)
+        throw std::runtime_error("fork " + std::to_string(i));
+    });
+  }
+  EXPECT_THROW(
+      {
+        try {
+          scope.join();
+        } catch (const std::runtime_error& e) {
+          EXPECT_STREQ(e.what(), "fork 1");
+          throw;
+        }
+      },
+      std::runtime_error);
+  EXPECT_EQ(calls.load(), 8);
+}
+
+TEST(TaskScope, DestructorJoinsWithoutRethrow) {
+  engine::Pool pool(4);
+  auto bind = pool.bind_caller();
+  std::atomic<int> calls{0};
+  {
+    engine::TaskScope scope;
+    for (int i = 0; i < 16; ++i) {
+      scope.fork([&calls] {
+        ++calls;
+        throw std::runtime_error("swallowed");
+      });
+    }
+    // No explicit join: the destructor must wait for all forks and
+    // swallow the captured exception.
+  }
+  EXPECT_EQ(calls.load(), 16);
+}
+
+TEST(TaskStatsCounters, ResetAndAccumulate) {
+  engine::Pool pool(2);
+  {
+    auto bind = pool.bind_caller();
+    engine::TaskScope scope;
+    for (int i = 0; i < 32; ++i) scope.fork([] {});
+    scope.join();
+  }
+  engine::TaskStats s = pool.task_stats();
+  EXPECT_EQ(s.spawned, 32u);
+  pool.reset_task_stats();
+  s = pool.task_stats();
+  EXPECT_EQ(s.spawned, 0u);
+  EXPECT_EQ(s.inlined, 0u);
+  EXPECT_EQ(s.stolen, 0u);
+  EXPECT_EQ(s.steal_ops, 0u);
+  EXPECT_EQ(s.join_waits, 0u);
+}
