@@ -60,7 +60,9 @@ class Pool {
   /// parallel_for caller's slot) so TaskScope forks made on this thread
   /// are executed by the pool's workers. Intended for driving fork-join
   /// work directly, without a parallel_for; at most one thread may hold
-  /// the binding at a time.
+  /// the binding at a time — a second thread binding slot 0 (including
+  /// via parallel_for) throws precondition_error rather than silently
+  /// sharing the caller's deque.
   [[nodiscard]] TaskScheduler::Bind bind_caller() {
     return TaskScheduler::Bind(&sched_, 0);
   }

@@ -17,14 +17,31 @@ TaskScheduler* TaskScheduler::current() { return tl_sched; }
 int TaskScheduler::current_slot() { return tl_slot; }
 
 TaskScheduler::Bind::Bind(TaskScheduler* sched, int slot)
-    : prev_sched_(tl_sched), prev_slot_(tl_slot) {
+    : prev_sched_(tl_sched), prev_slot_(tl_slot), sched_(sched), slot_(slot) {
   BSMP_REQUIRE(sched != nullptr);
   BSMP_REQUIRE(slot >= 0 && slot < sched->slots());
+  Slot& s = *sched->slots_[static_cast<std::size_t>(slot)];
+  const std::thread::id self = std::this_thread::get_id();
+  std::thread::id expected{};
+  if (s.owner.compare_exchange_strong(expected, self,
+                                      std::memory_order_acq_rel,
+                                      std::memory_order_acquire)) {
+    owned_ = true;  // release in ~Bind; nested same-thread binds do not
+  } else {
+    BSMP_REQUIRE_MSG(expected == self,
+                     "task scheduler slot "
+                         << slot
+                         << " is already bound by another thread; at most "
+                            "one thread may hold a slot binding at a time");
+  }
   tl_sched = sched;
   tl_slot = slot;
 }
 
 TaskScheduler::Bind::~Bind() {
+  if (owned_)
+    sched_->slots_[static_cast<std::size_t>(slot_)]->owner.store(
+        std::thread::id{}, std::memory_order_release);
   tl_sched = prev_sched_;
   tl_slot = prev_slot_;
 }
@@ -153,8 +170,14 @@ void TaskScope::record_error(std::size_t index) {
 }
 
 void TaskScope::finished() {
+  // The releasing decrement can let join() return and destroy the scope
+  // (a stack object in the forking frame) before this thread runs
+  // another instruction, so no scope member may be touched after it:
+  // copy the scheduler pointer out first. The scheduler is owned by the
+  // Pool and outlives every task.
+  TaskScheduler* s = sched_;
   if (outstanding_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-    if (sched_ != nullptr) sched_->notify_progress();
+    if (s != nullptr) s->notify_progress();
   }
 }
 

@@ -39,6 +39,7 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <thread>
 #include <vector>
 
 namespace bsmp::engine {
@@ -86,6 +87,12 @@ class TaskScheduler {
   /// duration of the job; Pool::bind_caller() exposes the same binding
   /// for code that drives fork-join work without a surrounding
   /// parallel_for. Saves and restores the previous binding.
+  ///
+  /// At most one thread may hold a given slot's binding at a time
+  /// (slots are deques with a single owner); binding a slot another
+  /// thread currently holds throws precondition_error rather than
+  /// silently sharing the deque. Re-binding a slot the calling thread
+  /// already holds is allowed (nested bindings on one thread).
   class Bind {
    public:
     Bind(TaskScheduler* sched, int slot);
@@ -96,6 +103,9 @@ class TaskScheduler {
    private:
     TaskScheduler* prev_sched_;
     int prev_slot_;
+    TaskScheduler* sched_;
+    int slot_;
+    bool owned_ = false;  // this Bind claimed the slot (outermost holder)
   };
 
   /// Hook invoked after a task is enqueued; the Pool uses it to wake
@@ -126,6 +136,9 @@ class TaskScheduler {
   struct Slot {
     std::mutex mu;
     std::deque<Task> q;
+    // Thread currently bound to this slot (default id when unbound);
+    // enforces the one-owner rule in Bind.
+    std::atomic<std::thread::id> owner{};
   };
 
   /// Enqueue onto `slot`'s deque and wake sleepers.

@@ -355,7 +355,7 @@ class Executor {
         exec_child(U, children[i], fS, cx, rule);
       } else {
         std::vector<Forked> forks(j - i);
-        for (Forked& fk : forks) fk.shard.emplace(*cx.staging);
+        for (Forked& fk : forks) fk.shard.emplace(overlay, *cx.staging);
         engine::TaskScope scope;
         for (std::size_t k = i; k < j; ++k) {
           Forked& fk = forks[k - i];

@@ -299,20 +299,34 @@ inline StagingStore<D> shard_local(const StagingStore<D>& s) {
 
 }  // namespace detail
 
+/// Tag selecting StagingShard's overlay constructors. Without it the
+/// overlay-on-parent form would have the signature of a copy
+/// constructor, and an accidental copy (auto s2 = s1; a reallocating
+/// vector of shards) would silently become an overlay whose parent_
+/// dangles once the copied-from shard dies. Shards are non-copyable;
+/// construct them as StagingShard(overlay, enclosing_store).
+struct overlay_t {
+  explicit overlay_t() = default;
+};
+inline constexpr overlay_t overlay{};
+
 template <int D, class Base>
 class StagingShard {
  public:
   using base_type = Base;
 
   /// Overlay directly on the base store.
-  explicit StagingShard(const Base& base)
+  StagingShard(overlay_t, const Base& base)
       : base_(&base), parent_(nullptr), local_(detail::shard_local<D>(base)) {}
 
   /// Overlay on another shard (a fork within a fork).
-  explicit StagingShard(const StagingShard& parent)
+  StagingShard(overlay_t, const StagingShard& parent)
       : base_(parent.base_),
         parent_(&parent),
         local_(detail::shard_local<D>(*parent.base_)) {}
+
+  StagingShard(const StagingShard&) = delete;
+  StagingShard& operator=(const StagingShard&) = delete;
 
   const Word* find(const geom::Point<D>& q) const {
     if (const Word* v = store_find(local_, q)) return v;

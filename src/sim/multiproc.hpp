@@ -375,7 +375,7 @@ class MultiprocSimulator {
     };
     const std::size_t base = staging_.size();
     std::vector<Sub> subs(wave.size());
-    for (Sub& sb : subs) sb.shard.emplace(staging_);
+    for (Sub& sb : subs) sb.shard.emplace(sep::overlay, staging_);
     engine::TaskScope scope;
     for (std::size_t i = 0; i < wave.size(); ++i) {
       Sub& sb = subs[i];

@@ -8,6 +8,7 @@
 #include <array>
 #include <cstring>
 #include <string>
+#include <type_traits>
 
 #include "engine/pool.hpp"
 #include "geom/tiling.hpp"
@@ -19,6 +20,17 @@
 #include "workload/rules.hpp"
 
 using namespace bsmp;
+
+// Shards hold a pointer to their parent; a copy would silently become
+// an overlay on the copied-from object (dangling once it dies), so
+// copying must not compile — overlays are built with the sep::overlay
+// tag only.
+static_assert(!std::is_copy_constructible_v<
+                  sep::StagingShard<1, sep::StagingStore<1>>>,
+              "StagingShard must not be copyable");
+static_assert(!std::is_copy_assignable_v<
+                  sep::StagingShard<2, sep::StagingStore<2>>>,
+              "StagingShard must not be copy-assignable");
 
 namespace {
 

@@ -6,9 +6,13 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <exception>
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <vector>
+
+#include "core/expect.hpp"
 
 #include "engine/pool.hpp"
 #include "engine/task.hpp"
@@ -217,4 +221,48 @@ TEST(TaskStatsCounters, ResetAndAccumulate) {
   EXPECT_EQ(s.stolen, 0u);
   EXPECT_EQ(s.steal_ops, 0u);
   EXPECT_EQ(s.join_waits, 0u);
+}
+
+// ---------------------------------------------------------------------
+// Slot binding exclusivity: a deque slot has one owner at a time.
+// ---------------------------------------------------------------------
+
+TEST(TaskSchedulerBind, SecondThreadBindingHeldSlotThrows) {
+  engine::Pool pool(2);
+  auto bind = pool.bind_caller();
+  std::exception_ptr err;
+  std::thread t([&] {
+    try {
+      auto second = pool.bind_caller();  // slot 0 is held by the main thread
+    } catch (...) {
+      err = std::current_exception();
+    }
+  });
+  t.join();
+  ASSERT_TRUE(err) << "concurrent bind of a held slot must fail fast";
+  EXPECT_THROW(std::rethrow_exception(err), precondition_error);
+}
+
+TEST(TaskSchedulerBind, SameThreadRebindAllowedAndReleaseFreesSlot) {
+  engine::Pool pool(2);
+  {
+    auto outer = pool.bind_caller();
+    auto inner = pool.bind_caller();  // nested rebinding on one thread is fine
+    engine::TaskScope scope;
+    std::atomic<int> calls{0};
+    for (int i = 0; i < 8; ++i) scope.fork([&calls] { ++calls; });
+    scope.join();
+    EXPECT_EQ(calls.load(), 8);
+  }
+  // Both bindings released: another thread may now take the slot.
+  std::exception_ptr err;
+  std::thread t([&] {
+    try {
+      auto bind = pool.bind_caller();
+    } catch (...) {
+      err = std::current_exception();
+    }
+  });
+  t.join();
+  EXPECT_FALSE(err);
 }
