@@ -9,9 +9,15 @@
 //      reporting the wall-clock speedup of pass 2 over pass 1 and the
 //      PlanCache hit rate;
 //   3. serializes both passes' engine metrics (per-point wall clock and
-//      queue wait, per-sweep occupancy, cache hits/misses/builds) as
-//      `metrics_<emitter>.json` next to the tables — the recorded
-//      threads=1 vs threads=N story CI uploads as an artifact;
+//      queue wait, per-sweep occupancy, cache hits/misses/builds,
+//      per-phase duration histograms, run manifest) as
+//      `metrics_<emitter>.json` under $BSMP_METRICS_DIR (default
+//      ./metrics/) — the recorded threads=1 vs threads=N story CI
+//      uploads as an artifact. With tracing on (BSMP_TRACE=1) each
+//      emitter additionally flushes its span timeline as
+//      `trace_<emitter>.json` (Chrome trace-event format, loadable in
+//      ui.perfetto.dev) and the recorder is cleared between emitters so
+//      each trace is attributable;
 //   4. runs the registered google-benchmark kernels.
 #pragma once
 
@@ -27,6 +33,7 @@
 #include "engine/metrics.hpp"
 #include "engine/plan_cache.hpp"
 #include "engine/pool.hpp"
+#include "engine/trace.hpp"
 #include "machine/spec.hpp"
 #include "sim/dc_uniproc.hpp"
 #include "sim/multiproc.hpp"
@@ -57,6 +64,10 @@ inline EmitterPass run_pass(const tables::Emitter& emitter, int threads) {
   engine::PlanCache plans;
   engine::Metrics metrics;
   tables::EngineCtx ctx{&pool, &plans, &metrics};
+  // The trace recorder is process-global; the pass's histogram block is
+  // the delta across the pass.
+  const engine::trace::HistSnapshot hist_before =
+      engine::trace::hist_snapshot();
   auto t0 = std::chrono::steady_clock::now();
   EmitterPass pass;
   pass.artifacts = emitter.fn(ctx);
@@ -68,6 +79,8 @@ inline EmitterPass run_pass(const tables::Emitter& emitter, int threads) {
   pass.metrics.sweeps = metrics.snapshot();
   pass.metrics.hot = metrics.hot_snapshot();
   pass.metrics.tasks = pool.task_stats();
+  pass.metrics.histograms = engine::trace::hist_snapshot();
+  pass.metrics.histograms -= hist_before;
   return pass;
 }
 
@@ -103,7 +116,20 @@ inline void emit_tables(const char* emitter_name) {
   engine::MetricsReport report;
   report.name = emitter.name;
   report.passes = {std::move(seq.metrics), std::move(par.metrics)};
-  const auto path = engine::metrics_filename(report.name);
+  // The manifest reads the recorder's live state (event/drop counts,
+  // digest), so build it before the per-emitter clear() below.
+  report.manifest = engine::trace::make_run_manifest(report.name);
+  std::string trace_path;
+  bool trace_wrote = false;
+  if (engine::trace::compiled() && engine::trace::enabled()) {
+    trace_path = engine::trace_output_path(report.name);
+    report.manifest.trace_file = trace_path;
+    trace_wrote = engine::trace::write_chrome_json(trace_path,
+                                                   report.manifest);
+    // Reset so the next emitter's trace holds only its own spans.
+    engine::trace::clear();
+  }
+  const auto path = engine::metrics_output_path(report.name);
   const bool wrote = report.write_json_file(path);
 
   std::printf(
@@ -117,11 +143,23 @@ inline void emit_tables(const char* emitter_name) {
       100.0 * report.passes[1].cache.hit_rate(),
       static_cast<unsigned long long>(report.passes[1].cache.builds));
   if (wrote)
-    std::printf("# metrics: %s (%zu + %zu sweeps recorded)\n\n", path.c_str(),
+    std::printf("# metrics: %s (%zu + %zu sweeps recorded)\n", path.c_str(),
                 report.passes[0].sweeps.size(),
                 report.passes[1].sweeps.size());
   else
-    std::printf("# metrics: could not write %s\n\n", path.c_str());
+    std::printf("# metrics: could not write %s\n", path.c_str());
+  if (!trace_path.empty()) {
+    if (trace_wrote)
+      std::printf("# trace: %s (%llu events, %llu dropped)\n",
+                  trace_path.c_str(),
+                  static_cast<unsigned long long>(
+                      report.manifest.trace_events),
+                  static_cast<unsigned long long>(
+                      report.manifest.trace_dropped));
+    else
+      std::printf("# trace: could not write %s\n", trace_path.c_str());
+  }
+  std::printf("\n");
 }
 
 inline int run_bench_main(int argc, char** argv,

@@ -142,7 +142,8 @@ void conformance_gate(int threads) {
        std::int64_t{48}, std::int64_t{4}, kGrainD2, "exec_d2_w48");
   sep::set_default_parallel_grain(0);
 
-  const auto path = engine::metrics_filename(report.name);
+  report.manifest = engine::trace::make_run_manifest(report.name);
+  const auto path = engine::metrics_output_path(report.name);
   if (report.write_json_file(path))
     std::printf("# metrics: %s\n\n", path.c_str());
   else

@@ -1,6 +1,8 @@
 #include "engine/metrics.hpp"
 
 #include <cstdio>
+#include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <ostream>
 
@@ -85,14 +87,58 @@ void json_real(std::ostream& os, double v) {
   os << buf;
 }
 
+void json_tasks(std::ostream& os, const TaskStats& t) {
+  os << "{\"spawned\": " << t.spawned << ", \"inlined\": " << t.inlined
+     << ", \"stolen\": " << t.stolen << ", \"steal_ops\": " << t.steal_ops
+     << ", \"join_waits\": " << t.join_waits << "}";
+}
+
+// Sparse [bucket, count] pairs; empty histograms serialize as [].
+void json_hist(std::ostream& os,
+               const std::array<std::uint64_t, trace::kHistBuckets>& h) {
+  os << "[";
+  bool first = true;
+  for (int b = 0; b < trace::kHistBuckets; ++b) {
+    if (h[b] == 0) continue;
+    os << (first ? "" : ", ") << "[" << b << ", " << h[b] << "]";
+    first = false;
+  }
+  os << "]";
+}
+
 }  // namespace
 
 void MetricsReport::write_json(std::ostream& os) const {
-  os << "{\n  \"schema\": \"bsmp-metrics-v1\",\n  \"name\": ";
+  os << "{\n  \"schema\": \"bsmp-metrics-v2\",\n  \"name\": ";
   json_string(os, name);
   os << ",\n  \"speedup\": ";
   json_real(os, speedup());
-  os << ",\n  \"passes\": [";
+  os << ",\n  \"manifest\": {\n    \"name\": ";
+  json_string(os, manifest.name);
+  os << ",\n    \"git_sha\": ";
+  json_string(os, manifest.git_sha);
+  os << ",\n    \"build_type\": ";
+  json_string(os, manifest.build_type);
+  os << ",\n    \"compiler\": ";
+  json_string(os, manifest.compiler);
+  os << ",\n    \"hardware_threads\": " << manifest.hardware_threads
+     << ",\n    \"trace_compiled\": " << (manifest.trace_compiled ? 1 : 0)
+     << ",\n    \"trace_enabled\": " << (manifest.trace_enabled ? 1 : 0);
+  for (const auto& [k, v] : manifest.knobs) {
+    os << ",\n    ";
+    json_string(os, k);
+    os << ": ";
+    json_string(os, v);
+  }
+  if (!manifest.trace_file.empty()) {
+    os << ",\n    \"trace_file\": ";
+    json_string(os, manifest.trace_file);
+    os << ",\n    \"trace_events\": " << manifest.trace_events
+       << ",\n    \"trace_dropped\": " << manifest.trace_dropped
+       << ",\n    \"trace_digest\": ";
+    json_string(os, manifest.trace_digest);
+  }
+  os << "\n  },\n  \"passes\": [";
   for (std::size_t pi = 0; pi < passes.size(); ++pi) {
     const auto& pass = passes[pi];
     os << (pi ? ",\n    {" : "\n    {");
@@ -102,12 +148,9 @@ void MetricsReport::write_json(std::ostream& os) const {
        << ", \"misses\": " << pass.cache.misses
        << ", \"builds\": " << pass.cache.builds << ", \"hit_rate\": ";
     json_real(os, pass.cache.hit_rate());
-    os << "},\n      \"tasks\": {\"spawned\": " << pass.tasks.spawned
-       << ", \"inlined\": " << pass.tasks.inlined
-       << ", \"stolen\": " << pass.tasks.stolen
-       << ", \"steal_ops\": " << pass.tasks.steal_ops
-       << ", \"join_waits\": " << pass.tasks.join_waits;
-    os << "},\n      \"sweeps\": [";
+    os << "},\n      \"tasks\": ";
+    json_tasks(os, pass.tasks);
+    os << ",\n      \"sweeps\": [";
     for (std::size_t si = 0; si < pass.sweeps.size(); ++si) {
       const auto& sw = pass.sweeps[si];
       os << (si ? ",\n        {" : "\n        {");
@@ -121,6 +164,8 @@ void MetricsReport::write_json(std::ostream& os) const {
       json_real(os, sw.busy_s());
       os << ", \"occupancy\": ";
       json_real(os, sw.occupancy());
+      os << ",\n          \"tasks\": ";
+      json_tasks(os, sw.tasks);
       os << ",\n          \"per_point\": [";
       for (std::size_t i = 0; i < sw.per_point.size(); ++i) {
         const auto& pt = sw.per_point[i];
@@ -148,7 +193,26 @@ void MetricsReport::write_json(std::ostream& os) const {
       os << ",\n          \"peak_staging_words\": " << h.peak_staging_words
          << ", \"staging_allocs\": " << h.staging_allocs << "\n        }";
     }
-    os << (pass.hot.empty() ? "]" : "\n      ]") << "\n    }";
+    os << (pass.hot.empty() ? "]" : "\n      ]");
+    if (!pass.histograms.empty()) {
+      os << ",\n      \"histograms\": {\n        \"spans\": {";
+      bool first_cat = true;
+      for (int c = 0; c < trace::kNumCats; ++c) {
+        bool any = false;
+        for (auto n : pass.histograms.span_ns[static_cast<std::size_t>(c)])
+          if (n != 0) any = true;
+        if (!any) continue;
+        os << (first_cat ? "" : ", ");
+        json_string(os, trace::cat_name(static_cast<trace::Cat>(c)));
+        os << ": ";
+        json_hist(os, pass.histograms.span_ns[static_cast<std::size_t>(c)]);
+        first_cat = false;
+      }
+      os << "},\n        \"steal_latency_ns\": ";
+      json_hist(os, pass.histograms.steal_latency_ns);
+      os << "\n      }";
+    }
+    os << "\n    }";
   }
   os << (passes.empty() ? "]" : "\n  ]") << "\n}\n";
 }
@@ -162,6 +226,29 @@ bool MetricsReport::write_json_file(const std::string& path) const {
 
 std::string metrics_filename(const std::string& name) {
   return "metrics_" + name + ".json";
+}
+
+std::string metrics_dir() {
+  const char* v = std::getenv("BSMP_METRICS_DIR");
+  return (v != nullptr && *v != '\0') ? std::string(v) : std::string("metrics");
+}
+
+bool ensure_metrics_dir() {
+  std::error_code ec;
+  std::filesystem::create_directories(metrics_dir(), ec);
+  return !ec;
+}
+
+std::string metrics_output_path(const std::string& name) {
+  ensure_metrics_dir();
+  return (std::filesystem::path(metrics_dir()) / metrics_filename(name))
+      .string();
+}
+
+std::string trace_output_path(const std::string& name) {
+  ensure_metrics_dir();
+  return (std::filesystem::path(metrics_dir()) / ("trace_" + name + ".json"))
+      .string();
 }
 
 }  // namespace bsmp::engine

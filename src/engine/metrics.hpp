@@ -20,6 +20,7 @@
 
 #include "engine/plan_cache.hpp"
 #include "engine/task.hpp"
+#include "engine/trace.hpp"
 
 namespace bsmp::engine {
 
@@ -37,6 +38,11 @@ struct SweepMetric {
   std::size_t points = 0;   ///< number of sweep points
   int pool_threads = 1;     ///< executors of the pool that ran the sweep
   double wall_s = 0;        ///< whole-sweep wall clock
+  /// Fork-join counters attributable to *this* sweep: the scheduler
+  /// delta from sweep start to sweep end. Exact when sweeps on one
+  /// pool do not overlap (they never do in the emitters); concurrent
+  /// sweeps would each absorb the other's forks.
+  TaskStats tasks;
   std::vector<PointMetric> per_point;  ///< in point order
 
   /// Total compute time across points (sum of run_s).
@@ -105,6 +111,10 @@ struct MetricsPass {
   TaskStats tasks;          ///< fork-join scheduler counters of the pass
   std::vector<SweepMetric> sweeps;  ///< every sweep the pass ran
   std::vector<HotPathMetric> hot;   ///< executor hot-path sections
+  /// Per-phase span-duration and steal-latency histograms of the pass
+  /// (engine::trace delta across the pass); all-zero when tracing is
+  /// compiled out or disabled.
+  trace::HistSnapshot histograms;
 };
 
 /// The `metrics_<name>.json` artifact: a named sequence of passes
@@ -112,9 +122,13 @@ struct MetricsPass {
 /// Schema (stable, versioned by the "schema" field):
 ///
 /// {
-///   "schema": "bsmp-metrics-v1",
+///   "schema": "bsmp-metrics-v2",
 ///   "name": "e6d",
 ///   "speedup": 1.02,
+///   "manifest": { "name": "e6d", "git_sha": "6bd49c5...",
+///                 "build_type": "Release", "compiler": "...",
+///                 "hardware_threads": "8", "trace_compiled": "1",
+///                 "trace_enabled": "0", "BSMP_TRACE": "", ... },
 ///   "passes": [
 ///     { "threads": 1, "seconds": 2.31,
 ///       "cache": {"hits": 93, "misses": 3, "builds": 3,
@@ -124,25 +138,43 @@ struct MetricsPass {
 ///       "sweeps": [
 ///         { "label": "e6d m=1", "points": 32, "pool_threads": 1,
 ///           "wall_s": 0.71, "busy_s": 0.70, "occupancy": 0.99,
+///           "tasks": {"spawned": 12, "inlined": 4, "stolen": 5,
+///                     "steal_ops": 2, "join_waits": 1},
 ///           "per_point": [ {"index": 0, "queue_wait_s": 0.0,
 ///                           "run_s": 0.02}, ... ] } ],
 ///       "hot": [
 ///         { "label": "dense d=1 w=512", "vertices": 262144,
 ///           "seconds": 0.05, "vertices_per_sec": 5242880,
-///           "peak_staging_words": 1536, "staging_allocs": 514 } ] } ]
+///           "peak_staging_words": 1536, "staging_allocs": 514 } ],
+///       "histograms": {
+///         "spans": { "sep-region": [[12, 3], [13, 41]], ... },
+///         "steal_latency_ns": [[10, 7], [11, 2]] } } ]
 /// }
 ///
-/// The "hot" array (additive to the v1 schema) carries the executor
-/// hot-path sections recorded via Metrics::record_hot; it is empty for
-/// passes that ran no simulator with a hot-metrics sink. The "tasks"
-/// object (additive as well) carries the pass's fork-join scheduler
-/// counters (engine::TaskStats): tasks pushed to worker deques,
-/// tasks executed inline, tasks taken by steals, steal batches, and
-/// joins that had to sleep. All zero when nothing forked — the
-/// counters are observational, like the timing fields.
+/// v2 is a strict superset of bsmp-metrics-v1: every v1 field keeps
+/// its name, position and meaning (pinned by the compat test in
+/// tests/test_metrics.cpp). Additions:
+///   * "manifest" — the run's provenance (engine::trace::RunManifest):
+///     git SHA, build type, compiler, hardware threads, the tracing
+///     state, and every BSMP_* env knob that shaped the run.
+///   * per-sweep "tasks" — the fork-join counter delta of that sweep
+///     alone, so a multi-sweep pass attributes its forks.
+///   * per-pass "histograms" — log2-bucketed span-duration counts per
+///     trace category plus the steal-latency histogram, as sparse
+///     [bucket, count] pairs (bucket b covers [2^(b-1), 2^b) ns).
+///     Omitted when tracing recorded nothing during the pass.
+/// The "hot" array carries the executor hot-path sections recorded via
+/// Metrics::record_hot; it is empty for passes that ran no simulator
+/// with a hot-metrics sink. The pass-level "tasks" object carries the
+/// pass's fork-join scheduler counters (engine::TaskStats): tasks
+/// pushed to worker deques, tasks executed inline, tasks taken by
+/// steals, steal batches, and joins that had to sleep. All zero when
+/// nothing forked — the counters are observational, like the timing
+/// fields.
 struct MetricsReport {
   std::string name;                 ///< emitter / bench name ("e6d")
   std::vector<MetricsPass> passes;  ///< in run order
+  trace::RunManifest manifest;      ///< run provenance (v2)
 
   /// Wall-clock speedup of the last pass over the first (1.0 when
   /// fewer than two passes were recorded).
@@ -158,5 +190,18 @@ struct MetricsReport {
 
 /// The canonical artifact filename for a report: "metrics_<name>.json".
 std::string metrics_filename(const std::string& name);
+
+/// Directory every metrics/trace artifact lands in: the BSMP_METRICS_DIR
+/// env knob, default "metrics" (relative to the CWD).
+std::string metrics_dir();
+
+/// Create metrics_dir() if missing; false (no throw) on failure.
+bool ensure_metrics_dir();
+
+/// "<metrics_dir()>/metrics_<name>.json", creating the directory.
+std::string metrics_output_path(const std::string& name);
+
+/// "<metrics_dir()>/trace_<name>.json", creating the directory.
+std::string trace_output_path(const std::string& name);
 
 }  // namespace bsmp::engine

@@ -21,6 +21,7 @@
 #include <unordered_map>
 
 #include "core/expect.hpp"
+#include "engine/trace.hpp"
 
 namespace bsmp::engine {
 
@@ -118,6 +119,8 @@ class PlanCache {
     // build never poisons the key.
     if (entry->value == nullptr) {
       builds_.fetch_add(1, std::memory_order_relaxed);
+      trace::Span span(trace::Cat::kSweepPoint, "plan-build", key.width,
+                       static_cast<std::int64_t>(key.family));
       entry->value = to_shared(build());
     }
     BSMP_ASSERT(entry->value != nullptr);

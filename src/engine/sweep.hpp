@@ -35,6 +35,7 @@
 #include "engine/metrics.hpp"
 #include "engine/plan_cache.hpp"
 #include "engine/pool.hpp"
+#include "engine/trace.hpp"
 
 namespace bsmp::engine {
 
@@ -96,8 +97,18 @@ class Sweep {
     // Per-point timings land in the point's own slot — point order by
     // construction, like the result slots.
     std::vector<PointMetric> timings(opt_.metrics ? points_.size() : 0);
+    // The sweep span carries the point count, never the pool size: the
+    // deterministic span set must not vary across the thread-count
+    // matrix the conformance suite runs.
+    trace::Span sweep_span(trace::Cat::kSweepPoint, "sweep",
+                           std::string_view(opt_.label),
+                           static_cast<std::int64_t>(points_.size()), 0);
+    const TaskStats tasks_before = pool.task_stats();
     const auto t_submit = Clock::now();
     pool.parallel_for(points_.size(), [&](std::size_t i) {
+      trace::Span point_span(trace::Cat::kSweepPoint, "sweep-point",
+                             static_cast<std::int64_t>(i),
+                             static_cast<std::int64_t>(points_.size()));
       const auto t_start = Clock::now();
       SweepContext ctx{i, point_rng(opt_.seed, i), opt_.plans};
       slots[i].emplace(fn(points_[i], ctx));
@@ -112,6 +123,7 @@ class Sweep {
       sm.points = points_.size();
       sm.pool_threads = pool.size();
       sm.wall_s = secs(Clock::now() - t_submit);
+      sm.tasks = pool.task_stats() - tasks_before;
       sm.per_point = std::move(timings);
       opt_.metrics->record(std::move(sm));
     }

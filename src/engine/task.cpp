@@ -93,6 +93,15 @@ bool TaskScheduler::try_acquire(int slot, Task& out) {
     }
     steal_ops_.fetch_add(1, std::memory_order_relaxed);
     stolen_.fetch_add(batch.size(), std::memory_order_relaxed);
+#if BSMP_TRACE_ENABLED
+    if (trace::enabled()) {
+      trace::instant(trace::Cat::kTask, "steal",
+                     static_cast<std::int64_t>(batch.size()),
+                     static_cast<std::int64_t>(v));
+      if (batch.front().enq_ns != 0)
+        trace::steal_latency(trace::detail::now_ns() - batch.front().enq_ns);
+    }
+#endif
     // Execute the oldest; the rest go to the thief's own deque. Their
     // pending_ count carries over — only the executed task leaves the
     // queued state here.
@@ -110,6 +119,8 @@ bool TaskScheduler::try_acquire(int slot, Task& out) {
 }
 
 void TaskScheduler::run(Task& t) {
+  trace::Span span(trace::Cat::kTask, "task-run",
+                   static_cast<std::int64_t>(t.index));
   try {
     t.fn();
   } catch (...) {
@@ -197,7 +208,15 @@ void TaskScope::fork(std::function<void()> fn) {
   }
   outstanding_.fetch_add(1, std::memory_order_acq_rel);
   sched_->spawned_.fetch_add(1, std::memory_order_relaxed);
-  sched_->push(slot_, TaskScheduler::Task{std::move(fn), this, index});
+  TaskScheduler::Task t{std::move(fn), this, index};
+#if BSMP_TRACE_ENABLED
+  if (trace::enabled()) {
+    t.enq_ns = trace::detail::now_ns();
+    trace::instant(trace::Cat::kTask, "fork",
+                   static_cast<std::int64_t>(index));
+  }
+#endif
+  sched_->push(slot_, std::move(t));
 }
 
 void TaskScope::join() {
@@ -216,6 +235,7 @@ void TaskScope::join() {
       if (outstanding_.load(std::memory_order_acquire) == 0) break;
       if (!sched_->has_pending()) {
         waited = true;
+        trace::Span park(trace::Cat::kTask, "join-park");
         sched_->sleep_cv_.wait(lk, [&] {
           return outstanding_.load(std::memory_order_acquire) == 0 ||
                  sched_->has_pending();

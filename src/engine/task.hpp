@@ -42,13 +42,16 @@
 #include <thread>
 #include <vector>
 
+#include "engine/trace.hpp"
+
 namespace bsmp::engine {
 
 class TaskScope;
 
-/// Task-layer counters of one scheduler (serialized into the `tasks`
-/// block of the bsmp-metrics-v1 artifact). All monotone; reset per
-/// measurement pass via Pool::reset_task_stats().
+/// Task-layer counters of one scheduler (serialized into the per-pass
+/// and per-sweep `tasks` blocks of the bsmp-metrics-v2 artifact). All
+/// monotone; reset per measurement pass via Pool::reset_task_stats(),
+/// or attributed per sweep via the operator- delta.
 struct TaskStats {
   std::uint64_t spawned = 0;     ///< tasks pushed onto a deque
   std::uint64_t inlined = 0;     ///< forks executed inline (serial path)
@@ -56,6 +59,17 @@ struct TaskStats {
   std::uint64_t steal_ops = 0;   ///< successful steal-half operations
   std::uint64_t join_waits = 0;  ///< joins that parked (no runnable work)
 };
+
+/// Counter-wise difference: scope a scheduler's monotone counters to
+/// one sweep or pass (`after - before`).
+inline TaskStats operator-(TaskStats a, const TaskStats& b) {
+  a.spawned -= b.spawned;
+  a.inlined -= b.inlined;
+  a.stolen -= b.stolen;
+  a.steal_ops -= b.steal_ops;
+  a.join_waits -= b.join_waits;
+  return a;
+}
 
 /// Per-worker task deques plus the steal protocol. One per Pool; the
 /// pool's threads each bind one slot (TaskScheduler::Bind) so TaskScope
@@ -131,6 +145,9 @@ class TaskScheduler {
     std::function<void()> fn;
     TaskScope* scope = nullptr;
     std::size_t index = 0;
+#if BSMP_TRACE_ENABLED
+    std::uint64_t enq_ns = 0;  ///< push time, for the steal-latency histogram
+#endif
   };
 
   struct Slot {

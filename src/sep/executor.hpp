@@ -59,6 +59,7 @@
 #include "core/cost.hpp"
 #include "core/expect.hpp"
 #include "engine/task.hpp"
+#include "engine/trace.hpp"
 #include "geom/region.hpp"
 #include "hram/access_fn.hpp"
 #include "sep/guest.hpp"
@@ -230,6 +231,10 @@ class Executor {
     std::int64_t vertices = 0;
     std::int64_t cur = 0;
     std::int64_t peak = 0;
+    // Recursion depth below the execute() root, carried into forked
+    // sub-contexts so the sep-region trace spans label levels
+    // identically at any thread count.
+    int depth = 0;
     // Leaf scratch (dense window values + per-level prefix offsets),
     // reused across this context's leaves.
     std::vector<Word> vals;
@@ -250,20 +255,26 @@ class Executor {
   void exec_rec(const geom::Region<D>& U, Ctx<Store, Ledger>& cx,
                 const RuleFn& rule) const {
     if (U.width() <= cfg_.leaf_width) {
+      engine::trace::Span leaf_span(engine::trace::Cat::kSepRegion,
+                                    "sep-leaf", U.width(), cx.depth);
       execute_leaf(U, cx, rule);
       cx.note();
       return;
     }
 
+    engine::trace::Span region_span(engine::trace::Cat::kSepRegion,
+                                    "sep-region", U.width(), cx.depth);
     const core::Cost fS =
         cfg_.f(static_cast<std::uint64_t>(space_bound(U.width())));
     std::vector<geom::Region<D>> children = U.split();
+    ++cx.depth;
     if (should_fork(U)) {
       exec_children_forked(U, children, fS, cx, rule);
     } else {
       for (const geom::Region<D>& child : children)
         exec_child(U, child, fS, cx, rule);
     }
+    --cx.depth;
 
     // Retain only U's out-set; everything else produced inside U is
     // dead (its successors are all inside U and already executed).
@@ -356,19 +367,24 @@ class Executor {
       } else {
         std::vector<Forked> forks(j - i);
         for (Forked& fk : forks) fk.shard.emplace(overlay, *cx.staging);
+        const int child_depth = cx.depth;
         engine::TaskScope scope;
         for (std::size_t k = i; k < j; ++k) {
           Forked& fk = forks[k - i];
           const geom::Region<D>& child = children[k];
-          scope.fork([this, &fk, &U, &child, fS, &rule] {
+          scope.fork([this, &fk, &U, &child, fS, child_depth, &rule] {
             Ctx<Shard, core::ChargeLog> sub;
             sub.staging = &*fk.shard;
             sub.ledger = &fk.log;
+            sub.depth = child_depth;
             exec_child(U, child, fS, sub, rule);
             fk.delta = ExecDelta{sub.vertices, sub.cur, sub.peak};
           });
         }
         scope.join();
+        engine::trace::Span merge_span(engine::trace::Cat::kTask,
+                                       "shard-merge",
+                                       static_cast<std::int64_t>(j - i));
         for (Forked& fk : forks) {
           fk.log.replay_into(*cx.ledger);
           fk.shard->merge_into(*cx.staging);

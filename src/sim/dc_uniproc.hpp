@@ -15,6 +15,7 @@
 
 #include "core/expect.hpp"
 #include "engine/metrics.hpp"
+#include "engine/trace.hpp"
 #include "geom/tiling.hpp"
 #include "machine/spec.hpp"
 #include "sep/executor.hpp"
@@ -42,6 +43,8 @@ namespace detail {
 template <int D>
 void prune_staging(const geom::Stencil<D>& st, sep::ValueMap<D>& staging,
                    std::int64_t min_unexecuted_t) {
+  engine::trace::Span span(engine::trace::Cat::kStaging, "staging-prune",
+                           min_unexecuted_t);
   const std::int64_t dead_below = min_unexecuted_t - st.reach();
   const std::int64_t keep_from = st.horizon - st.m;
   for (auto it = staging.begin(); it != staging.end();) {
@@ -57,6 +60,8 @@ void prune_staging(const geom::Stencil<D>& st, sep::ValueMap<D>& staging,
 template <int D>
 void prune_staging(const geom::Stencil<D>& st, sep::StagingStore<D>& staging,
                    std::int64_t min_unexecuted_t) {
+  engine::trace::Span span(engine::trace::Cat::kStaging, "staging-prune",
+                           min_unexecuted_t);
   staging.prune_below(min_unexecuted_t - st.reach(), st.horizon - st.m);
 }
 
@@ -110,6 +115,9 @@ SimResult<D> simulate_dc_uniproc(const sep::Guest<D>& guest,
   const auto hot_t0 = std::chrono::steady_clock::now();
   for (std::size_t k = 0; k < waves.size(); ++k) {
     for (const auto& tile : waves[k]) {
+      engine::trace::Span tile_span(engine::trace::Cat::kSim, "dc-tile",
+                                    tile.width(),
+                                    static_cast<std::int64_t>(k));
       // Tile preboundary comes from machine-scale memory (Prop. 2 at
       // the top level of the recursion).
       const std::int64_t gin = tile.preboundary_count();

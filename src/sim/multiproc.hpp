@@ -30,6 +30,7 @@
 
 #include "core/expect.hpp"
 #include "core/logmath.hpp"
+#include "engine/trace.hpp"
 #include "geom/tiling.hpp"
 #include "machine/clocks.hpp"
 #include "machine/spec.hpp"
@@ -138,6 +139,9 @@ class MultiprocSimulator {
     const auto hot_t0 = std::chrono::steady_clock::now();
     for (std::size_t k = 0; k < waves.size(); ++k) {
       for (const auto& tile : waves[k]) {
+        engine::trace::Span tile_span(engine::trace::Cat::kSim,
+                                      "machine-tile", tile.width(),
+                                      static_cast<std::int64_t>(k));
         charge_relocation(
             static_cast<std::size_t>(tile.preboundary_count()), rdist);
         relocate_rec(tile);
@@ -196,6 +200,8 @@ class MultiprocSimulator {
       regime2(r);
       return;
     }
+    engine::trace::Span span(engine::trace::Cat::kSim, "regime1-relocate",
+                             r.width());
     for (const geom::Region<D>& child : r.split()) {
       double dist = relocation_distance(child.width());
       charge_relocation(static_cast<std::size_t>(child.preboundary_count()),
@@ -221,6 +227,8 @@ class MultiprocSimulator {
 
   /// Regime 2: execute a macro domain via width-s subtile wavefronts.
   void regime2(const geom::Region<D>& macro) {
+    engine::trace::Span macro_span(engine::trace::Cat::kSim, "regime2-macro",
+                                   macro.width());
     constexpr int K = geom::kMono<D>;
     const geom::Stencil<D>& st = guest_->stencil;
 
@@ -264,7 +272,11 @@ class MultiprocSimulator {
       if (k == K) break;
     }
 
-    for (const auto& wave : waves) {
+    for (std::size_t wi = 0; wi < waves.size(); ++wi) {
+      const auto& wave = waves[wi];
+      engine::trace::Span wave_span(engine::trace::Cat::kSim, "regime2-wave",
+                                    static_cast<std::int64_t>(wave.size()),
+                                    static_cast<std::int64_t>(wi));
       if (wave_parallel(wave)) {
         exec_wave_forked(wave, f_rest, link);
       } else {
@@ -287,6 +299,10 @@ class MultiprocSimulator {
     BSMP_ASSERT(fp.has_value());
     auto home = strip_of(fp->x);
     std::int64_t pr = proc_of_strip(home);
+    // Span args match exec_wave_forked's so the deterministic span set
+    // is the same whether the wave forked or ran serially.
+    engine::trace::Span sub_span(engine::trace::Cat::kSim, "regime2-subtile",
+                                 sub.width(), pr);
 
     // Root preboundary: resident words vs strip-crossing words
     // (counting visitor — no materialized vector).
@@ -385,6 +401,8 @@ class MultiprocSimulator {
         BSMP_ASSERT(fp.has_value());
         auto home = strip_of(fp->x);
         sb.pr = proc_of_strip(home);
+        engine::trace::Span sub_span(engine::trace::Cat::kSim,
+                                     "regime2-subtile", sub.width(), sb.pr);
         sub.preboundary_visit([&](const geom::Point<D>& q) {
           if (strip_of(q.x) != home)
             ++sb.cross;
@@ -401,6 +419,8 @@ class MultiprocSimulator {
       });
     }
     scope.join();
+    engine::trace::Span merge_span(engine::trace::Cat::kTask, "shard-merge",
+                                   static_cast<std::int64_t>(wave.size()));
     std::int64_t cum = 0;
     for (Sub& sb : subs) {
       core::CostLedger& lg = ledgers_[static_cast<std::size_t>(sb.pr)];

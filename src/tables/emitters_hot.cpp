@@ -4,6 +4,13 @@
 // therefore under the tier-2 byte-identity check like every other
 // emitter); wall-clock throughput goes to EngineCtx::metrics, which
 // bench_exec_hotpath serializes as metrics_hot.json.
+//
+// The two configs run as points of one engine sweep (not a bare loop)
+// so the emitter exercises the whole stack bench_exec_hotpath traces:
+// sweep points, the pool's fork-join layer, the separator recursion
+// and the staging pruning all appear in trace_hot.json. Table rows and
+// hot-metric records are appended after the sweep, in point order, so
+// the artifact stays byte-identical at any thread count.
 #include <string>
 #include <utility>
 
@@ -17,10 +24,17 @@ namespace bsmp::tables {
 
 namespace {
 
+/// Deterministic result of one hot config (both stores' stats; the
+/// seconds fields are observational and never reach the table).
+struct HotRun {
+  std::string label;
+  hotpath::ExecStats dense, hash;
+};
+
 template <int D>
-void hot_config(EngineCtx& ctx, core::Table& t, const std::string& label,
-                std::array<std::int64_t, D> extent, std::int64_t horizon,
-                std::int64_t m) {
+HotRun hot_config(const std::string& label,
+                  std::array<std::int64_t, D> extent, std::int64_t horizon,
+                  std::int64_t m) {
   auto guest = workload::make_mix_guest<D>(extent, horizon, m, 7);
 
   sep::StagingStore<D> dense_staging(&guest.stencil);
@@ -43,33 +57,45 @@ void hot_config(EngineCtx& ctx, core::Table& t, const std::string& label,
                           sim::extract_final<D>(guest.stencil, hash_staging)),
       label << ": dense and hashmap computed different guest values");
 
-  for (const auto* run : {&dense, &hash}) {
-    const bool is_dense = run == &dense;
-    t.add_row({label, std::string(is_dense ? "dense" : "hashmap"),
-               static_cast<long long>(run->vertices),
-               static_cast<long long>(run->peak_staging_words),
-               static_cast<long long>(run->staging_allocs), run->total_cost});
-    if (ctx.metrics != nullptr) {
-      engine::HotPathMetric h;
-      h.label = label + (is_dense ? "/dense" : "/hashmap");
-      h.vertices = run->vertices;
-      h.seconds = run->seconds;
-      h.peak_staging_words = run->peak_staging_words;
-      h.staging_allocs = run->staging_allocs;
-      ctx.metrics->record_hot(std::move(h));
-    }
-  }
+  return {label, dense, hash};
 }
 
 }  // namespace
 
 std::vector<Emitted> hot_tables(EngineCtx& ctx) {
+  std::vector<int> configs{0, 1};
+  std::vector<HotRun> runs = detail::sweep_values<HotRun>(
+      ctx, configs,
+      [](int config, engine::SweepContext&) -> HotRun {
+        if (config == 0)
+          return hot_config<1>("exec_d1_w512", {512}, 512, 8);
+        return hot_config<2>("exec_d2_w48", {48, 48}, 48, 4);
+      },
+      "hot configs");
+
   core::Table t("HOT: executor hot path, dense flat staging vs hash-map "
                 "baseline (same run)",
                 {"config", "store", "vertices", "peak staging", "slab allocs",
                  "cost total"});
-  hot_config<1>(ctx, t, "exec_d1_w512", {512}, 512, 8);
-  hot_config<2>(ctx, t, "exec_d2_w48", {48, 48}, 48, 4);
+  for (const HotRun& r : runs) {
+    for (const auto* run : {&r.dense, &r.hash}) {
+      const bool is_dense = run == &r.dense;
+      t.add_row({r.label, std::string(is_dense ? "dense" : "hashmap"),
+                 static_cast<long long>(run->vertices),
+                 static_cast<long long>(run->peak_staging_words),
+                 static_cast<long long>(run->staging_allocs),
+                 run->total_cost});
+      if (ctx.metrics != nullptr) {
+        engine::HotPathMetric h;
+        h.label = r.label + (is_dense ? "/dense" : "/hashmap");
+        h.vertices = run->vertices;
+        h.seconds = run->seconds;
+        h.peak_staging_words = run->peak_staging_words;
+        h.staging_allocs = run->staging_allocs;
+        ctx.metrics->record_hot(std::move(h));
+      }
+    }
+  }
   return {{std::move(t),
            "# Both stores must agree on every deterministic field above\n"
            "# (asserted): only throughput may differ. Wall-clock numbers\n"

@@ -258,8 +258,9 @@ TEST(CacheConformance, SharedArtifactEmittersHitTheCache) {
 // tables (checked above — the emitters run without a sink there), and
 // its own structure must be stable across thread counts: same sweeps
 // in the same order, same point counts, one timing slot per point.
-// The reports written here (metrics_conformance_<name>.json) stay on
-// disk so CI can upload them as artifacts.
+// The reports written here (metrics/metrics_conformance_<name>.json,
+// under $BSMP_METRICS_DIR) stay on disk so CI can upload them as
+// artifacts.
 // ---------------------------------------------------------------------
 
 TEST(MetricsConformance, StructureStableAcrossThreadCountsAndSerialized) {
@@ -309,7 +310,8 @@ TEST(MetricsConformance, StructureStableAcrossThreadCountsAndSerialized) {
     EXPECT_EQ(report.passes[0].cache.builds, report.passes[1].cache.builds)
         << name << " built a different number of plans at threads=1 vs N";
 
-    const auto path = engine::metrics_filename(report.name);
+    report.manifest = engine::trace::make_run_manifest(report.name);
+    const auto path = engine::metrics_output_path(report.name);
     EXPECT_TRUE(report.write_json_file(path)) << "could not write " << path;
   }
 }

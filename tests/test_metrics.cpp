@@ -3,6 +3,7 @@
 // metrics_*.json serialization schema.
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <sstream>
 
 #include "engine/metrics.hpp"
@@ -106,9 +107,13 @@ TEST(Metrics, ReportSpeedupIsFirstOverLastPass) {
   EXPECT_DOUBLE_EQ(report.speedup(), 2.0);
 }
 
-TEST(Metrics, JsonSchemaContainsEveryStableField) {
+namespace {
+
+/// A fully-populated report exercising every serialized block.
+engine::MetricsReport sample_report() {
   engine::MetricsReport report;
   report.name = "unit";
+  report.manifest = engine::trace::make_run_manifest("unit");
   engine::MetricsPass pass;
   pass.threads = 2;
   pass.seconds = 1.5;
@@ -120,6 +125,8 @@ TEST(Metrics, JsonSchemaContainsEveryStableField) {
   sm.points = 2;
   sm.pool_threads = 2;
   sm.wall_s = 1.0;
+  sm.tasks.spawned = 5;
+  sm.tasks.stolen = 2;
   sm.per_point = {{0, 0.0, 0.25}, {1, 0.125, 0.5}};
   pass.sweeps.push_back(sm);
   engine::HotPathMetric hm;
@@ -129,23 +136,64 @@ TEST(Metrics, JsonSchemaContainsEveryStableField) {
   hm.peak_staging_words = 64;
   hm.staging_allocs = 4;
   pass.hot.push_back(hm);
+  pass.histograms.span_ns[static_cast<int>(engine::trace::Cat::kSepRegion)]
+                         [12] = 9;
+  pass.histograms.steal_latency_ns[10] = 3;
   report.passes.push_back(pass);
+  return report;
+}
 
+}  // namespace
+
+TEST(Metrics, JsonSchemaContainsEveryStableField) {
   std::ostringstream os;
-  report.write_json(os);
+  sample_report().write_json(os);
   const std::string j = os.str();
   for (const char* key :
-       {"\"schema\": \"bsmp-metrics-v1\"", "\"name\": \"unit\"",
-        "\"speedup\"", "\"threads\": 2", "\"seconds\"", "\"hits\": 7",
-        "\"misses\": 3", "\"builds\": 3", "\"hit_rate\"",
-        "\"label\": \"sweep A\"", "\"points\": 2", "\"pool_threads\": 2",
-        "\"wall_s\"", "\"busy_s\"", "\"occupancy\"", "\"per_point\"",
-        "\"queue_wait_s\"", "\"run_s\"", "\"label\": \"hot A\"",
-        "\"vertices\": 1000", "\"vertices_per_sec\": 2000",
-        "\"peak_staging_words\": 64", "\"staging_allocs\": 4"}) {
+       {"\"schema\": \"bsmp-metrics-v2\"", "\"name\": \"unit\"",
+        "\"speedup\"", "\"manifest\"", "\"git_sha\"", "\"build_type\"",
+        "\"compiler\"", "\"hardware_threads\"", "\"trace_compiled\"",
+        "\"trace_enabled\"", "\"BSMP_TRACE\"", "\"BSMP_METRICS_DIR\"",
+        "\"threads\": 2", "\"seconds\"", "\"hits\": 7", "\"misses\": 3",
+        "\"builds\": 3", "\"hit_rate\"", "\"label\": \"sweep A\"",
+        "\"points\": 2", "\"pool_threads\": 2", "\"wall_s\"", "\"busy_s\"",
+        "\"occupancy\"", "\"per_point\"", "\"queue_wait_s\"", "\"run_s\"",
+        "\"label\": \"hot A\"", "\"vertices\": 1000",
+        "\"vertices_per_sec\": 2000", "\"peak_staging_words\": 64",
+        "\"staging_allocs\": 4", "\"histograms\"",
+        "\"sep-region\": [[12, 9]]", "\"steal_latency_ns\": [[10, 3]]"}) {
     EXPECT_NE(j.find(key), std::string::npos) << "missing " << key << "\n"
                                               << j;
   }
+}
+
+// Structural compatibility: v2 is a strict superset of bsmp-metrics-v1.
+// Every v1 field keeps its exact serialized name — a v1 consumer that
+// indexes by key reads a v2 artifact unchanged — and the additive v2
+// blocks are omitted (histograms) or self-contained (manifest, per-sweep
+// tasks) so they cannot shadow a v1 key.
+TEST(Metrics, V2IsAStrictSupersetOfV1) {
+  engine::MetricsReport report = sample_report();
+  report.passes[0].histograms = engine::trace::HistSnapshot{};
+  std::ostringstream os;
+  report.write_json(os);
+  const std::string j = os.str();
+  // The complete v1 key set, as pinned by this test before the v2
+  // migration (schema marker aside).
+  for (const char* key :
+       {"\"name\"", "\"speedup\"", "\"passes\"", "\"threads\"",
+        "\"seconds\"", "\"cache\"", "\"hits\"", "\"misses\"", "\"builds\"",
+        "\"hit_rate\"", "\"tasks\"", "\"spawned\"", "\"inlined\"",
+        "\"stolen\"", "\"steal_ops\"", "\"join_waits\"", "\"sweeps\"",
+        "\"label\"", "\"points\"", "\"pool_threads\"", "\"wall_s\"",
+        "\"busy_s\"", "\"occupancy\"", "\"per_point\"", "\"index\"",
+        "\"queue_wait_s\"", "\"run_s\"", "\"hot\"", "\"vertices\"",
+        "\"vertices_per_sec\"", "\"peak_staging_words\"",
+        "\"staging_allocs\""}) {
+    EXPECT_NE(j.find(key), std::string::npos) << "v1 field lost: " << key;
+  }
+  // All-zero histograms are omitted entirely, not serialized as noise.
+  EXPECT_EQ(j.find("\"histograms\""), std::string::npos) << j;
 }
 
 TEST(Metrics, HotPathRecordsAccumulateAndClear) {
@@ -184,6 +232,28 @@ TEST(Metrics, WriteJsonFileReportsFailureWithoutThrowing) {
 
 TEST(Metrics, CanonicalFilename) {
   EXPECT_EQ(engine::metrics_filename("e6d"), "metrics_e6d.json");
+}
+
+// All observability artifacts route through one env knob.
+TEST(Metrics, OutputPathsHonorMetricsDirKnob) {
+  const char* saved = std::getenv("BSMP_METRICS_DIR");
+  const std::string restore = saved != nullptr ? saved : "";
+
+  ::unsetenv("BSMP_METRICS_DIR");
+  EXPECT_EQ(engine::metrics_dir(), "metrics");
+  EXPECT_EQ(engine::metrics_output_path("hot"), "metrics/metrics_hot.json");
+  EXPECT_EQ(engine::trace_output_path("hot"), "metrics/trace_hot.json");
+
+  ::setenv("BSMP_METRICS_DIR", "/tmp/bsmp-art", 1);
+  EXPECT_EQ(engine::metrics_dir(), "/tmp/bsmp-art");
+  EXPECT_EQ(engine::metrics_output_path("e5"),
+            "/tmp/bsmp-art/metrics_e5.json");
+  EXPECT_EQ(engine::trace_output_path("e5"), "/tmp/bsmp-art/trace_e5.json");
+
+  if (saved != nullptr)
+    ::setenv("BSMP_METRICS_DIR", restore.c_str(), 1);
+  else
+    ::unsetenv("BSMP_METRICS_DIR");
 }
 
 // Every simulator's opt-in hot-path section: one HotPathMetric per

@@ -1,0 +1,247 @@
+// engine::trace property tests.
+//
+// The central contract: the *set* of spans in the deterministic
+// categories (everything except Cat::kTask) is a pure function of the
+// executed work — identical names, labels, args, and counts at every
+// pool size and fork grain. Timestamps and thread assignment are
+// scheduling noise; identity is compared through sorted signatures and
+// the order-independent digest, never through timing.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "engine/plan_cache.hpp"
+#include "engine/pool.hpp"
+#include "engine/sweep.hpp"
+#include "engine/trace.hpp"
+#include "sep/executor.hpp"
+#include "sim/dc_uniproc.hpp"
+#include "sim/multiproc.hpp"
+#include "workload/rules.hpp"
+
+using namespace bsmp;
+namespace trace = bsmp::engine::trace;
+
+namespace {
+
+machine::MachineSpec spec(int d, int64_t n, int64_t p, int64_t m) {
+  return machine::MachineSpec{d, n, p, m};
+}
+
+/// One span's scheduling-independent identity.
+using Sig = std::tuple<int, std::string, char, std::int64_t, std::int64_t,
+                       std::string>;
+
+/// Sorted signature multiset of the deterministic categories.
+std::vector<Sig> deterministic_signature() {
+  std::vector<Sig> sig;
+  for (const trace::SpanRec& e : trace::snapshot()) {
+    if (e.cat == trace::Cat::kTask) continue;
+    sig.emplace_back(static_cast<int>(e.cat), e.name, e.ph, e.a0, e.a1,
+                     e.detail);
+  }
+  std::sort(sig.begin(), sig.end());
+  return sig;
+}
+
+bool has_span(const std::vector<Sig>& sig, const char* name) {
+  return std::any_of(sig.begin(), sig.end(), [&](const Sig& s) {
+    return std::get<1>(s) == name;
+  });
+}
+
+/// The traced workload: a two-point sweep over a shared PlanCache
+/// (sweep / sweep-point / plan-build spans), one point running the
+/// divide-and-conquer uniprocessor (dc-tile, sep-region, sep-leaf,
+/// staging-prune), the other the multiprocessor driver (machine-tile,
+/// regime2-*). Everything it computes is deterministic, so the
+/// recorded deterministic span set must be too.
+void run_workload(int threads) {
+  engine::Pool pool(threads);
+  engine::PlanCache plans;
+  engine::SweepOptions opt;
+  opt.plans = &plans;
+  opt.label = "trace workload";
+  engine::PlanKey key;
+  key.d = 1;
+  key.family = engine::PlanFamily::kGuest;
+  key.width = 32;
+  key.horizon = 32;
+  key.m = 2;
+  auto rows = engine::sweep_map<int>(
+      pool, std::vector<int>{0, 1},
+      [&](int point, engine::SweepContext& c) {
+        auto g = c.plans->get_or_build<sep::Guest<1>>(key, [] {
+          return workload::make_mix_guest<1>({32}, 32, 2, 9);
+        });
+        if (point == 0) {
+          auto res = sim::simulate_dc_uniproc<1>(*g, spec(1, 32, 1, 2));
+          return static_cast<int>(res.vertices & 0x7fffffff);
+        }
+        sim::MultiprocConfig cfg;
+        cfg.s = 4;
+        auto res = sim::simulate_multiproc<1>(*g, spec(1, 32, 4, 2), cfg);
+        return static_cast<int>(res.vertices & 0x7fffffff);
+      },
+      opt);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0], rows[1]) << "both points execute the same guest";
+}
+
+/// Run the workload under one (threads, grain) config with a clean
+/// recorder and return the deterministic signature.
+std::vector<Sig> traced_signature(int threads, std::int64_t grain) {
+  const std::int64_t saved = sep::default_parallel_grain();
+  sep::set_default_parallel_grain(grain);
+  trace::clear();
+  trace::set_enabled(true);
+  run_workload(threads);
+  trace::set_enabled(false);
+  sep::set_default_parallel_grain(saved);
+  return deterministic_signature();
+}
+
+}  // namespace
+
+TEST(TraceUnits, DurationBuckets) {
+  if (!trace::compiled()) GTEST_SKIP() << "BSMP_TRACE compiled out";
+  EXPECT_EQ(trace::duration_bucket(0), 0);
+  EXPECT_EQ(trace::duration_bucket(1), 1);
+  EXPECT_EQ(trace::duration_bucket(2), 2);
+  EXPECT_EQ(trace::duration_bucket(3), 2);
+  EXPECT_EQ(trace::duration_bucket(4), 3);
+  EXPECT_EQ(trace::duration_bucket(1023), 10);
+  EXPECT_EQ(trace::duration_bucket(1024), 11);
+  EXPECT_EQ(trace::duration_bucket(~std::uint64_t{0}), 63);
+}
+
+TEST(TraceUnits, DisabledRecorderRecordsNothing) {
+  if (!trace::compiled()) GTEST_SKIP() << "BSMP_TRACE compiled out";
+  trace::clear();
+  trace::set_enabled(false);
+  {
+    trace::Span s(trace::Cat::kSim, "should-not-appear", 1, 2);
+    trace::instant(trace::Cat::kSim, "nor-this");
+  }
+  EXPECT_EQ(trace::events_recorded(), 0u);
+  EXPECT_TRUE(trace::snapshot().empty());
+  EXPECT_TRUE(trace::hist_snapshot().empty());
+}
+
+TEST(TraceDeterminism, SpanSetIdenticalAcrossPoolAndGrain) {
+  if (!trace::compiled()) GTEST_SKIP() << "BSMP_TRACE compiled out";
+  const std::vector<Sig> ref = traced_signature(1, 0);
+  ASSERT_FALSE(ref.empty());
+
+  // Every execution layer shows up in the reference signature.
+  for (const char* name :
+       {"sweep", "sweep-point", "plan-build", "sep-region", "sep-leaf",
+        "staging-prune", "dc-tile", "machine-tile", "regime1-relocate",
+        "regime2-macro", "regime2-wave", "regime2-subtile"}) {
+    EXPECT_TRUE(has_span(ref, name)) << "missing span: " << name;
+  }
+
+  for (int threads : {1, 2, 4}) {
+    for (std::int64_t grain : {std::int64_t{0}, std::int64_t{4}}) {
+      if (threads == 1 && grain == 0) continue;  // the reference itself
+      EXPECT_EQ(traced_signature(threads, grain), ref)
+          << "deterministic span set moved at threads=" << threads
+          << " grain=" << grain;
+    }
+  }
+  trace::clear();
+}
+
+TEST(TraceDeterminism, DigestStableAcrossIdenticalRuns) {
+  if (!trace::compiled()) GTEST_SKIP() << "BSMP_TRACE compiled out";
+  trace::clear();
+  trace::set_enabled(true);
+  run_workload(1);
+  trace::set_enabled(false);
+  const std::uint64_t d1 = trace::digest();
+  const std::uint64_t events = trace::events_recorded();
+  EXPECT_GT(events, 0u);
+
+  trace::clear();
+  trace::set_enabled(true);
+  run_workload(1);
+  trace::set_enabled(false);
+  EXPECT_EQ(trace::digest(), d1);
+  EXPECT_EQ(trace::events_recorded(), events);
+  trace::clear();
+}
+
+TEST(TraceDeterminism, HistogramsCountEveryCompleteSpan) {
+  if (!trace::compiled()) GTEST_SKIP() << "BSMP_TRACE compiled out";
+  trace::clear();
+  trace::set_enabled(true);
+  run_workload(2);
+  trace::set_enabled(false);
+  ASSERT_EQ(trace::dropped(), 0u) << "buffer too small for the workload";
+
+  // With no drops, each category's histogram total equals its complete
+  // ('X') event count.
+  std::uint64_t span_events[trace::kNumCats] = {};
+  for (const trace::SpanRec& e : trace::snapshot())
+    if (e.ph == 'X') ++span_events[static_cast<int>(e.cat)];
+  const trace::HistSnapshot h = trace::hist_snapshot();
+  for (int c = 0; c < trace::kNumCats; ++c) {
+    std::uint64_t total = 0;
+    for (std::uint64_t n : h.span_ns[static_cast<std::size_t>(c)]) total += n;
+    EXPECT_EQ(total, span_events[c])
+        << "category " << trace::cat_name(static_cast<trace::Cat>(c));
+  }
+  trace::clear();
+}
+
+TEST(TraceFlush, ChromeJsonIsBalancedAndCarriesManifest) {
+  if (!trace::compiled()) GTEST_SKIP() << "BSMP_TRACE compiled out";
+  const std::int64_t saved = sep::default_parallel_grain();
+  sep::set_default_parallel_grain(4);  // kTask spans need real forks
+  trace::clear();
+  trace::set_enabled(true);
+  run_workload(4);
+  trace::set_enabled(false);
+  sep::set_default_parallel_grain(saved);
+
+  trace::RunManifest manifest = trace::make_run_manifest("trace_test");
+  const std::string path = "trace_test_flush.json";
+  manifest.trace_file = path;
+  ASSERT_TRUE(trace::write_chrome_json(path, manifest));
+  trace::clear();
+
+  std::ifstream f(path);
+  ASSERT_TRUE(f.is_open());
+  std::stringstream ss;
+  ss << f.rdbuf();
+  const std::string body = ss.str();
+
+  auto count = [&](const std::string& needle) {
+    std::size_t n = 0;
+    for (std::size_t pos = body.find(needle); pos != std::string::npos;
+         pos = body.find(needle, pos + needle.size()))
+      ++n;
+    return n;
+  };
+  EXPECT_NE(body.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(body.find("\"otherData\""), std::string::npos);
+  EXPECT_NE(body.find("\"git_sha\""), std::string::npos);
+  EXPECT_NE(body.find("thread_name"), std::string::npos);
+  const std::size_t begins = count("\"ph\": \"B\"");
+  const std::size_t ends = count("\"ph\": \"E\"");
+  EXPECT_GT(begins, 0u);
+  EXPECT_EQ(begins, ends) << "unbalanced B/E events";
+  // At least the four span categories the hot-path bench gate expects.
+  for (const char* cat : {"task", "sep-region", "staging", "sweep-point"})
+    EXPECT_NE(body.find(std::string("\"cat\": \"") + cat + "\""),
+              std::string::npos)
+        << "category missing from flushed trace: " << cat;
+  std::remove(path.c_str());
+}
