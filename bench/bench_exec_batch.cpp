@@ -1,0 +1,148 @@
+// ENS — the bit-sliced batching microbench. Prints the "ens" artifact
+// (64 perturbed initial conditions in one charged pass, with the
+// batch-charges == scalar-charges invariant asserted), serializes the
+// measured throughputs as metrics_ens.json, then runs google-benchmark
+// kernels pitting ONE packed 64-lane execution against 64 scalar
+// executions of the same ensemble. Scenario throughput is
+// lane-vertices/sec (lanes x vertices / wall clock): both kernels push
+// the same 64 x V lane-vertices per iteration, so the counter ratio is
+// the batching speedup directly. A Release run's --benchmark_out is
+// committed as bench/BENCH_exec_batch.json; the acceptance bar is
+// batch >= 16x scalar scenarios_per_sec on ens_d1_n256 (gated in CI).
+#include "bench_common.hpp"
+#include "sep/guest.hpp"
+#include "tables/hotpath.hpp"
+
+using namespace bsmp;
+
+namespace {
+
+/// The rule110 damage-spreading ensemble of tables/ensemble.cpp: base
+/// random 0/1 row splatted across all lanes, lane l flipping node
+/// l*stride at t=0.
+sep::Guest<1> ens110_guest(std::int64_t n, std::int64_t horizon,
+                           std::uint64_t seed) {
+  sep::Guest<1> g;
+  g.stencil.extent = {n};
+  g.stencil.horizon = horizon;
+  g.stencil.m = 1;
+  g.rule = workload::rule110_lanes();
+  const std::int64_t stride = n / sep::kLanes;
+  auto base = workload::random_input<1>(seed);
+  g.input = [base, stride](const std::array<std::int64_t, 1>& x,
+                           std::int64_t cell) -> sep::Word {
+    sep::Word w = (base(x, cell) & 1u) ? ~sep::Word{0} : sep::Word{0};
+    if (x[0] % stride == 0 && x[0] / stride < sep::kLanes)
+      w ^= sep::Word{1} << (x[0] / stride);
+    return w;
+  };
+  return g;
+}
+
+/// Scenario l of the ensemble as a scalar guest: the scalar rule110
+/// driven by bit l of the packed input.
+sep::Guest<1> ens110_lane_guest(const sep::Guest<1>& packed, int lane) {
+  sep::Guest<1> g;
+  g.stencil = packed.stencil;
+  g.rule = workload::rule110();
+  g.input = [in = packed.input, lane](const std::array<std::int64_t, 1>& x,
+                                      std::int64_t cell) -> sep::Word {
+    return (in(x, cell) >> lane) & sep::Word{1};
+  };
+  return g;
+}
+
+/// The d=2 linear ensemble: every bit of the random input words is an
+/// independent scenario of the GF(2)-linear xor rule.
+sep::Guest<2> ensxor_guest(std::int64_t w, std::int64_t horizon,
+                           std::uint64_t seed) {
+  sep::Guest<2> g;
+  g.stencil.extent = {w, w};
+  g.stencil.horizon = horizon;
+  g.stencil.m = 2;
+  g.rule = workload::xor_rule<2>();
+  g.input = workload::random_input<2>(seed);
+  return g;
+}
+
+sep::Guest<2> ensxor_lane_guest(const sep::Guest<2>& packed, int lane) {
+  sep::Guest<2> g;
+  g.stencil = packed.stencil;
+  g.rule = packed.rule;
+  g.input = [in = packed.input, lane](const std::array<std::int64_t, 2>& x,
+                                      std::int64_t cell) -> sep::Word {
+    return (in(x, cell) >> lane) & sep::Word{1};
+  };
+  return g;
+}
+
+/// Report lane-vertices/sec: `lanes` scenarios advanced across
+/// `vertices` space-time points per iteration.
+void report(benchmark::State& state, std::int64_t vertices, int lanes) {
+  state.counters["vertices_per_sec"] =
+      benchmark::Counter(static_cast<double>(vertices),
+                         benchmark::Counter::kIsIterationInvariantRate);
+  state.counters["scenarios_per_sec"] =
+      benchmark::Counter(static_cast<double>(lanes * vertices),
+                         benchmark::Counter::kIsIterationInvariantRate);
+  state.counters["lanes"] = benchmark::Counter(static_cast<double>(lanes));
+}
+
+/// One packed run: all 64 scenarios ride one charged pass.
+template <int D>
+void bm_batch(benchmark::State& state, const sep::Guest<D>& packed) {
+  std::int64_t vertices = 0;
+  for (auto _ : state) {
+    sep::StagingStore<D> staging(&packed.stencil);
+    auto s = tables::hotpath::run_dense<D>(packed, staging);
+    vertices = s.vertices;
+    benchmark::DoNotOptimize(s.total_cost);
+  }
+  report(state, vertices, sep::kLanes);
+}
+
+/// The unbatched baseline: the same 64 scenarios as 64 scalar runs.
+template <int D>
+void bm_scalar_x64(benchmark::State& state,
+                   const std::array<sep::Guest<D>, sep::kLanes>& lanes) {
+  std::int64_t vertices = 0;
+  for (auto _ : state) {
+    for (const auto& g : lanes) {
+      sep::StagingStore<D> staging(&g.stencil);
+      auto s = tables::hotpath::run_dense<D>(g, staging);
+      vertices = s.vertices;
+      benchmark::DoNotOptimize(s.total_cost);
+    }
+  }
+  report(state, vertices, sep::kLanes);
+}
+
+void BM_ens_d1_n256_batch(benchmark::State& state) {
+  bm_batch<1>(state, ens110_guest(256, 256, 11));
+}
+void BM_ens_d1_n256_scalar_x64(benchmark::State& state) {
+  auto packed = ens110_guest(256, 256, 11);
+  std::array<sep::Guest<1>, sep::kLanes> lanes;
+  for (int l = 0; l < sep::kLanes; ++l)
+    lanes[static_cast<std::size_t>(l)] = ens110_lane_guest(packed, l);
+  bm_scalar_x64<1>(state, lanes);
+}
+void BM_ens_d2_w24_batch(benchmark::State& state) {
+  bm_batch<2>(state, ensxor_guest(24, 48, 13));
+}
+void BM_ens_d2_w24_scalar_x64(benchmark::State& state) {
+  auto packed = ensxor_guest(24, 48, 13);
+  std::array<sep::Guest<2>, sep::kLanes> lanes;
+  for (int l = 0; l < sep::kLanes; ++l)
+    lanes[static_cast<std::size_t>(l)] = ensxor_lane_guest(packed, l);
+  bm_scalar_x64<2>(state, lanes);
+}
+
+BENCHMARK(BM_ens_d1_n256_batch);
+BENCHMARK(BM_ens_d1_n256_scalar_x64);
+BENCHMARK(BM_ens_d2_w24_batch);
+BENCHMARK(BM_ens_d2_w24_scalar_x64);
+
+}  // namespace
+
+BSMP_BENCH_MAIN("ens")

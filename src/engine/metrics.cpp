@@ -191,7 +191,11 @@ void MetricsReport::write_json(std::ostream& os) const {
       os << ", \"vertices_per_sec\": ";
       json_real(os, h.vertices_per_sec());
       os << ",\n          \"peak_staging_words\": " << h.peak_staging_words
-         << ", \"staging_allocs\": " << h.staging_allocs << "\n        }";
+         << ", \"staging_allocs\": " << h.staging_allocs
+         << ",\n          \"lanes\": " << h.lanes
+         << ", \"scenarios_per_sec\": ";
+      json_real(os, h.scenarios_per_sec());
+      os << "\n        }";
     }
     os << (pass.hot.empty() ? "]" : "\n      ]");
     if (!pass.histograms.empty()) {

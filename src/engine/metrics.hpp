@@ -65,10 +65,19 @@ struct HotPathMetric {
   double seconds = 0;              ///< wall clock of the section
   std::size_t peak_staging_words = 0;  ///< high-water live staging words
   std::size_t staging_allocs = 0;  ///< staging slab allocations
+  /// Scenario lanes carried per charged vertex: sep::kLanes for a
+  /// batched guest (bit-sliced or SoA), 1 for a scalar run.
+  int lanes = 1;
 
   /// Throughput; 0 when the section was too fast to time.
   double vertices_per_sec() const {
     return seconds > 0 ? static_cast<double>(vertices) / seconds : 0.0;
+  }
+
+  /// Scenario throughput: lanes independent scenarios ride every
+  /// charged vertex, so this is lanes * vertices_per_sec.
+  double scenarios_per_sec() const {
+    return static_cast<double>(lanes) * vertices_per_sec();
   }
 };
 
@@ -145,7 +154,8 @@ struct MetricsPass {
 ///       "hot": [
 ///         { "label": "dense d=1 w=512", "vertices": 262144,
 ///           "seconds": 0.05, "vertices_per_sec": 5242880,
-///           "peak_staging_words": 1536, "staging_allocs": 514 } ],
+///           "peak_staging_words": 1536, "staging_allocs": 514,
+///           "lanes": 1, "scenarios_per_sec": 5242880 } ],
 ///       "histograms": {
 ///         "spans": { "sep-region": [[12, 3], [13, 41]], ... },
 ///         "steal_latency_ns": [[10, 7], [11, 2]] } } ]
@@ -163,6 +173,9 @@ struct MetricsPass {
 ///     trace category plus the steal-latency histogram, as sparse
 ///     [bucket, count] pairs (bucket b covers [2^(b-1), 2^b) ns).
 ///     Omitted when tracing recorded nothing during the pass.
+///   * per-hot "lanes" and "scenarios_per_sec" — the scenario lanes a
+///     batched guest carried per charged vertex (1 for scalar runs)
+///     and the derived lanes * vertices_per_sec throughput.
 /// The "hot" array carries the executor hot-path sections recorded via
 /// Metrics::record_hot; it is empty for passes that ran no simulator
 /// with a hot-metrics sink. The pass-level "tasks" object carries the

@@ -20,6 +20,13 @@
 // (c) its charged time agrees with the abstract executor within a
 // constant factor — grounding the abstract charges in a memory layout
 // that actually exists.
+//
+// ConcreteExecutor stays Word-valued: the HRam is Word-addressed, so
+// per-vertex values *are* machine words here. Batched guests still
+// apply — a bit-sliced guest (sep/guest.hpp: 64 one-bit scenarios in
+// the bits of each Word) runs through this executor unchanged, with
+// all 64 lanes resident in the same physical words at the same
+// addresses and the same charged accesses.
 #pragma once
 
 #include <unordered_map>

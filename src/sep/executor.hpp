@@ -97,10 +97,12 @@ struct ExecutorConfig {
   int64_t parallel_grain = default_parallel_grain();
 };
 
-template <int D>
+template <int D, class V = Word>
 class Executor {
  public:
-  Executor(const Guest<D>* guest, ExecutorConfig cfg)
+  using value_type = V;
+
+  Executor(const BasicGuest<D, V>* guest, ExecutorConfig cfg)
       : guest_(guest), cfg_(cfg) {
     BSMP_REQUIRE(guest != nullptr);
     guest_->validate();
@@ -237,13 +239,13 @@ class Executor {
     int depth = 0;
     // Leaf scratch (dense window values + per-level prefix offsets),
     // reused across this context's leaves.
-    std::vector<Word> vals;
+    std::vector<V> vals;
     std::vector<std::size_t> off;
 
     void note() {
       if (cur > peak) peak = cur;
     }
-    void insert(const geom::Point<D>& q, Word v) {
+    void insert(const geom::Point<D>& q, const V& v) {
       if (store_insert(*staging, q, v)) ++cur;
     }
     void erase(const geom::Point<D>& q) {
@@ -472,12 +474,12 @@ class Executor {
     }
     if (cx.vals.size() < total) cx.vals.resize(total);
 
-    auto lookup = [&](const geom::Point<D>& q) -> Word {
+    auto lookup = [&](const geom::Point<D>& q) -> const V& {
       // q is a vertex; inside the leaf box it was already executed
       // (topological order), so its value sits in the dense window.
       if (q.t >= tmin && U.in_box(q))
         return cx.vals[leaf_slot(U, tmin, cx.off, q)];
-      const Word* v = store_find(*cx.staging, q);
+      const V* v = store_find(*cx.staging, q);
       BSMP_ASSERT_MSG(v != nullptr,
                       "operand missing at leaf: topological partition or "
                       "out-set computation is wrong");
@@ -490,13 +492,13 @@ class Executor {
     std::size_t w = 0;
 
     U.for_each([&](const geom::Point<D>& p) {
-      Word value;
+      V value;
       int operands = 0;
       if (p.t == 0) {
         value = guest_->input(p.x, 0);  // input vertex (Definition 3)
         operands = 1;
       } else {
-        Word self_prev;
+        V self_prev;
         if (p.t >= st.m) {
           geom::Point<D> q = p;
           q.t = p.t - st.m;
@@ -504,7 +506,7 @@ class Executor {
         } else {
           self_prev = guest_->input(p.x, p.t % st.m);
         }
-        NeighborWords<D> nbrs{};
+        BasicNeighbors<D, V> nbrs{};
         for (int i = 0; i < D; ++i) {
           for (int s = 0; s < 2; ++s) {
             geom::Point<D> q = p;
@@ -541,14 +543,14 @@ class Executor {
     if (cfg_.validate) validate_outset(U, *cx.staging);
   }
 
-  const Guest<D>* guest_;
+  const BasicGuest<D, V>* guest_;
   ExecutorConfig cfg_;
   core::CostLedger* ledger_ = nullptr;
   std::int64_t vertices_ = 0;
   std::size_t peak_staging_ = 0;
   // Leaf scratch, lent to the root context of each execute() call so a
   // steady-state serial execution performs no per-leaf allocation.
-  std::vector<Word> leaf_vals_;
+  std::vector<V> leaf_vals_;
   std::vector<std::size_t> leaf_off_;
 };
 

@@ -9,6 +9,26 @@
 // Values are 64-bit words; rules should mix their operands well so that
 // any scheduling bug in a simulator corrupts the final rows with
 // overwhelming probability (the equivalence tests rely on this).
+//
+// Batched guests (doc/ENGINE.md "Batched guests"): every theorem holds
+// for *arbitrary* T-step computations, so nothing in the charging
+// depends on what a dag value *is* — only on how many vertices exist
+// and where they sit. The guest interface is therefore generic over
+// the value type V carried per vertex (BasicGuest<D, V>), and one
+// charged run can evaluate kLanes = 64 independent scenarios at once:
+//
+//   * bit-sliced: V stays Word and bit l of every value is lane l's
+//     1-bit cell state. Rules whose scalar form is a lane-local boolean
+//     function of the operand bits (rule110_lanes, xor parity) are
+//     already 64-way batch rules — the entire execution stack runs
+//     unchanged and one charged pass carries 64 scenarios;
+//   * structure-of-arrays: V = LaneBatch, a Word[64], for wide-word
+//     rules. The broadcast adapters below lift any scalar guest into
+//     this form lane by lane.
+//
+// In both forms the charged cost stream, vertex counts and staging
+// peaks are bit-identical to a single scalar run of the same stencil:
+// charging is count-based and counts points, not words per point.
 #pragma once
 
 #include <array>
@@ -22,38 +42,93 @@ namespace bsmp::sep {
 
 using hram::Word;
 
+/// Scenarios per batched run: one per bit of a Word, so the bit-sliced
+/// and SoA forms always agree on the ensemble size.
+inline constexpr int kLanes = 64;
+
+/// Structure-of-arrays batch value: lane l of a dag vertex is the word
+/// scenario l computed there. The per-point unit of the batched
+/// staging stores and the executor's dense leaf window.
+struct LaneBatch {
+  std::array<Word, kLanes> lane{};
+
+  Word& operator[](int l) { return lane[static_cast<std::size_t>(l)]; }
+  const Word& operator[](int l) const {
+    return lane[static_cast<std::size_t>(l)];
+  }
+  friend bool operator==(const LaneBatch& a, const LaneBatch& b) {
+    return a.lane == b.lane;
+  }
+  friend bool operator!=(const LaneBatch& a, const LaneBatch& b) {
+    return !(a == b);
+  }
+
+  /// All lanes holding the same word — the broadcast of a scalar value.
+  static LaneBatch splat(Word v) {
+    LaneBatch b;
+    b.lane.fill(v);
+    return b;
+  }
+};
+
 /// Values of dag vertices, keyed by lattice point — the staging medium
-/// every simulator and executor exchanges results through.
+/// every simulator and executor exchanges results through. V is the
+/// per-vertex value type: Word for scalar (and bit-sliced) guests,
+/// LaneBatch for SoA-batched ones.
+template <int D, class V>
+using BasicValueMap =
+    std::unordered_map<geom::Point<D>, V, geom::PointHash<D>>;
+
 template <int D>
-using ValueMap =
-    std::unordered_map<geom::Point<D>, Word, geom::PointHash<D>>;
+using ValueMap = BasicValueMap<D, Word>;
+
+template <int D>
+using BatchValueMap = BasicValueMap<D, LaneBatch>;
 
 /// Neighbor operand order: for each spatial dimension i, first the
 /// -e_i neighbor then the +e_i neighbor; slots for neighbors outside
-/// the mesh hold 0 (fixed zero boundary).
+/// the mesh hold the zero value (fixed zero boundary).
+template <int D, class V>
+using BasicNeighbors = std::array<V, geom::kMono<D>>;
+
 template <int D>
-using NeighborWords = std::array<Word, geom::kMono<D>>;
+using NeighborWords = BasicNeighbors<D, Word>;
+
+template <int D>
+using NeighborBatches = BasicNeighbors<D, LaneBatch>;
 
 /// The step rule: value(x, t) for t >= 1. `self_prev` is the node's own
 /// cell operand — value(x, t-m) when t >= m, or the initial content of
 /// cell (t mod m) when t < m.
+template <int D, class V>
+using BasicRule = std::function<V(const geom::Point<D>& p, V self_prev,
+                                  const BasicNeighbors<D, V>& nbrs)>;
+
 template <int D>
-using Rule = std::function<Word(const geom::Point<D>& p, Word self_prev,
-                                const NeighborWords<D>& nbrs)>;
+using Rule = BasicRule<D, Word>;
+
+template <int D>
+using BatchRule = BasicRule<D, LaneBatch>;
 
 /// Initial memory contents: cell `cell` (0 <= cell < m) of node x.
 /// value(x, 0) is input(x, 0) by Definition 3.
+template <int D, class V>
+using BasicInputFn =
+    std::function<V(const std::array<int64_t, D>& x, int64_t cell)>;
+
 template <int D>
-using InputFn =
-    std::function<Word(const std::array<int64_t, D>& x, int64_t cell)>;
+using InputFn = BasicInputFn<D, Word>;
+
+template <int D>
+using BatchInput = BasicInputFn<D, LaneBatch>;
 
 /// A guest computation: stencil (mesh extents, horizon T, memory m),
-/// step rule and inputs.
-template <int D>
-struct Guest {
+/// step rule and inputs, over per-vertex values of type V.
+template <int D, class V>
+struct BasicGuest {
   geom::Stencil<D> stencil;
-  Rule<D> rule;
-  InputFn<D> input;
+  BasicRule<D, V> rule;
+  BasicInputFn<D, V> input;
 
   void validate() const {
     stencil.validate();
@@ -61,5 +136,92 @@ struct Guest {
     BSMP_REQUIRE(input != nullptr);
   }
 };
+
+template <int D>
+using Guest = BasicGuest<D, Word>;
+
+template <int D>
+using BatchGuest = BasicGuest<D, LaneBatch>;
+
+// ---------------------------------------------------------------------
+// Scalar -> batch broadcast adapters: lift any existing scalar guest
+// into the SoA form, lane by lane. broadcast_rule applies the scalar
+// rule independently per lane (the lanes never interact — the
+// lane-isolation property tests pin this); broadcast_input starts all
+// 64 lanes from the same scenario, lane_inputs from 64 distinct ones.
+// ---------------------------------------------------------------------
+
+/// Apply a scalar rule independently to each of the 64 lanes.
+template <int D>
+BatchRule<D> broadcast_rule(Rule<D> rule) {
+  BSMP_REQUIRE(rule != nullptr);
+  return [rule = std::move(rule)](const geom::Point<D>& p, LaneBatch self,
+                                  const NeighborBatches<D>& nbrs)
+             -> LaneBatch {
+    LaneBatch out;
+    NeighborWords<D> lane_nbrs{};
+    for (int l = 0; l < kLanes; ++l) {
+      for (int k = 0; k < geom::kMono<D>; ++k) lane_nbrs[k] = nbrs[k][l];
+      out[l] = rule(p, self[l], lane_nbrs);
+    }
+    return out;
+  };
+}
+
+/// Start every lane from the same scalar input.
+template <int D>
+BatchInput<D> broadcast_input(InputFn<D> input) {
+  BSMP_REQUIRE(input != nullptr);
+  return [input = std::move(input)](const std::array<int64_t, D>& x,
+                                    int64_t cell) -> LaneBatch {
+    return LaneBatch::splat(input(x, cell));
+  };
+}
+
+/// Start lane l from its own scalar input function — the ensemble
+/// form: 64 initial conditions, one charged run.
+template <int D>
+BatchInput<D> lane_inputs(std::array<InputFn<D>, kLanes> inputs) {
+  for (const auto& f : inputs) BSMP_REQUIRE(f != nullptr);
+  return [inputs = std::move(inputs)](const std::array<int64_t, D>& x,
+                                      int64_t cell) -> LaneBatch {
+    LaneBatch b;
+    for (int l = 0; l < kLanes; ++l) b[l] = inputs[static_cast<std::size_t>(l)](x, cell);
+    return b;
+  };
+}
+
+/// Lift a whole scalar guest: same stencil, per-lane rule, broadcast
+/// inputs. Running it charges exactly what the scalar guest charges
+/// and computes the scalar values in every lane.
+template <int D>
+BatchGuest<D> broadcast_guest(const Guest<D>& g) {
+  BatchGuest<D> b;
+  b.stencil = g.stencil;
+  b.rule = broadcast_rule<D>(g.rule);
+  b.input = broadcast_input<D>(g.input);
+  return b;
+}
+
+/// Extract one lane of a batched final-value map as a scalar map —
+/// the unit the lane-differential tests compare against scalar runs.
+template <int D>
+ValueMap<D> extract_lane(const BatchValueMap<D>& batch, int l) {
+  BSMP_REQUIRE(l >= 0 && l < kLanes);
+  ValueMap<D> out;
+  out.reserve(batch.size());
+  for (const auto& [p, v] : batch) out.emplace(p, v[l]);
+  return out;
+}
+
+/// Extract lane l of a bit-sliced final-value map: bit l of every word.
+template <int D>
+ValueMap<D> extract_bit_lane(const ValueMap<D>& packed, int l) {
+  BSMP_REQUIRE(l >= 0 && l < kLanes);
+  ValueMap<D> out;
+  out.reserve(packed.size());
+  for (const auto& [p, v] : packed) out.emplace(p, (v >> l) & 1u);
+  return out;
+}
 
 }  // namespace bsmp::sep

@@ -20,6 +20,12 @@
 // Executor one staging interface over both StagingStore and the
 // original ValueMap (kept as a supported staging type: existing tests
 // use it, and the hot-path bench measures it as the same-run baseline).
+//
+// Both store families are generic over the per-point value type V
+// (Word by default; LaneBatch for SoA-batched guests — see
+// sep/guest.hpp). Liveness, size() and level accounting count *points*
+// regardless of V, so peak-staging and slab-allocation metrics are
+// identical between a scalar run and a 64-lane batched run.
 #pragma once
 
 #include <algorithm>
@@ -33,9 +39,11 @@
 
 namespace bsmp::sep {
 
-template <int D>
+template <int D, class V = Word>
 class StagingStore {
  public:
+  using value_type = V;
+
   /// The stencil fixes the address layout; it must outlive the store.
   explicit StagingStore(const geom::Stencil<D>* stencil)
       : st_(stencil) {
@@ -50,7 +58,7 @@ class StagingStore {
 
   /// Pointer to the live value at q, or nullptr when q is absent (or
   /// not a vertex position at all).
-  const Word* find(const geom::Point<D>& q) const {
+  const V* find(const geom::Point<D>& q) const {
     if (q.t < 0 || q.t >= st_->horizon) return nullptr;
     const Level* lv = levels_[static_cast<std::size_t>(q.t)].get();
     if (lv == nullptr || !st_->in_space(q.x)) return nullptr;
@@ -59,7 +67,7 @@ class StagingStore {
   }
 
   /// Mutable value at q; asserts q is live (mirrors map::at).
-  Word& at(const geom::Point<D>& q) {
+  V& at(const geom::Point<D>& q) {
     BSMP_REQUIRE(q.t >= 0 && q.t < st_->horizon && st_->in_space(q.x));
     Level* lv = levels_[static_cast<std::size_t>(q.t)].get();
     BSMP_REQUIRE_MSG(lv != nullptr, "StagingStore::at on absent point");
@@ -69,7 +77,7 @@ class StagingStore {
   }
 
   /// Set the value at q (insert-or-overwrite); true when q was absent.
-  bool insert(const geom::Point<D>& q, Word v) {
+  bool insert(const geom::Point<D>& q, const V& v) {
     BSMP_REQUIRE(q.t >= 0 && q.t < st_->horizon && st_->in_space(q.x));
     Level& lv = level(q.t);
     std::size_t s = slot(q.x);
@@ -150,7 +158,7 @@ class StagingStore {
 
  private:
   struct Level {
-    std::vector<Word> vals;
+    std::vector<V> vals;
     std::vector<std::uint8_t> live;
     std::int64_t nlive = 0;
   };
@@ -159,7 +167,7 @@ class StagingStore {
     auto& lv = levels_[static_cast<std::size_t>(t)];
     if (lv == nullptr) {
       lv = std::make_unique<Level>();
-      lv->vals.assign(static_cast<std::size_t>(nodes_), 0);
+      lv->vals.assign(static_cast<std::size_t>(nodes_), V{});
       lv->live.assign(static_cast<std::size_t>(nodes_), 0);
       ++allocs_;
     }
@@ -189,18 +197,36 @@ class StagingStore {
 
 // ---------------------------------------------------------------------
 // Uniform staging accessors: the executor is templated on its staging
-// store, and these overloads bridge the two supported types.
+// store, and these overloads bridge the two supported families — each
+// generic over the per-point value type V.
 // ---------------------------------------------------------------------
 
-template <int D>
-inline const Word* store_find(const ValueMap<D>& m, const geom::Point<D>& q) {
+/// The per-point value type of a staging store. StagingStore and
+/// StagingShard expose `value_type` directly; the unordered_map form
+/// needs the specialization (its own value_type is the pair).
+template <class Store>
+struct StoreValue {
+  using type = typename Store::value_type;
+};
+
+template <int D, class V>
+struct StoreValue<std::unordered_map<geom::Point<D>, V, geom::PointHash<D>>> {
+  using type = V;
+};
+
+template <class Store>
+using store_value_t = typename StoreValue<Store>::type;
+
+template <int D, class V>
+inline const V* store_find(const BasicValueMap<D, V>& m,
+                           const geom::Point<D>& q) {
   auto it = m.find(q);
   return it == m.end() ? nullptr : &it->second;
 }
 
-template <int D>
-inline const Word* store_find(const StagingStore<D>& s,
-                              const geom::Point<D>& q) {
+template <int D, class V>
+inline const V* store_find(const StagingStore<D, V>& s,
+                           const geom::Point<D>& q) {
   return s.find(q);
 }
 
@@ -208,57 +234,60 @@ inline const Word* store_find(const StagingStore<D>& s,
 /// the first value on a duplicate insert attempt via executor paths —
 /// every dag vertex is produced exactly once, so duplicates never
 /// carry a different value).
-template <int D>
-inline bool store_insert(ValueMap<D>& m, const geom::Point<D>& q, Word v) {
+template <int D, class V>
+inline bool store_insert(BasicValueMap<D, V>& m, const geom::Point<D>& q,
+                         const V& v) {
   return m.emplace(q, v).second;
 }
 
-template <int D>
-inline bool store_insert(StagingStore<D>& s, const geom::Point<D>& q,
-                         Word v) {
+template <int D, class V>
+inline bool store_insert(StagingStore<D, V>& s, const geom::Point<D>& q,
+                         const V& v) {
   return s.insert(q, v);
 }
 
 /// Erase q; returns whether a value was actually removed.
-template <int D>
-inline bool store_erase(ValueMap<D>& m, const geom::Point<D>& q) {
+template <int D, class V>
+inline bool store_erase(BasicValueMap<D, V>& m, const geom::Point<D>& q) {
   return m.erase(q) != 0;
 }
 
-template <int D>
-inline bool store_erase(StagingStore<D>& s, const geom::Point<D>& q) {
+template <int D, class V>
+inline bool store_erase(StagingStore<D, V>& s, const geom::Point<D>& q) {
   return s.erase(q);
 }
 
 /// Pre-allocate the slab of time level t, where the store has slabs.
-template <int D>
-inline void store_touch_level(ValueMap<D>&, std::int64_t) {}
+template <int D, class V>
+inline void store_touch_level(BasicValueMap<D, V>&, std::int64_t) {}
 
-template <int D>
-inline void store_touch_level(StagingStore<D>& s, std::int64_t t) {
+template <int D, class V>
+inline void store_touch_level(StagingStore<D, V>& s, std::int64_t t) {
   s.touch_level(t);
 }
 
 /// Visit every live (point, value) pair. Order is the store's own
 /// (unspecified for ValueMap); callers needing determinism must not
 /// depend on it.
-template <int D, class F>
-inline void store_for_each(const ValueMap<D>& m, F&& visit) {
+template <int D, class V, class F>
+inline void store_for_each(const BasicValueMap<D, V>& m, F&& visit) {
   for (const auto& [p, v] : m) visit(p, v);
 }
 
-template <int D, class F>
-inline void store_for_each(const StagingStore<D>& s, F&& visit) {
+template <int D, class V, class F>
+inline void store_for_each(const StagingStore<D, V>& s, F&& visit) {
   s.for_each(visit);
 }
 
 /// Slab allocations of a store, when it tracks them (0 for ValueMap —
 /// the hash map's internal rehashes are exactly what it cannot see).
-template <int D>
-inline std::size_t store_level_allocs(const ValueMap<D>&) { return 0; }
+template <int D, class V>
+inline std::size_t store_level_allocs(const BasicValueMap<D, V>&) {
+  return 0;
+}
 
-template <int D>
-inline std::size_t store_level_allocs(const StagingStore<D>& s) {
+template <int D, class V>
+inline std::size_t store_level_allocs(const StagingStore<D, V>& s) {
   return s.level_allocs();
 }
 
@@ -287,14 +316,14 @@ inline std::size_t store_level_allocs(const StagingStore<D>& s) {
 
 namespace detail {
 
-template <int D>
-inline ValueMap<D> shard_local(const ValueMap<D>&) {
-  return ValueMap<D>{};
+template <int D, class V>
+inline BasicValueMap<D, V> shard_local(const BasicValueMap<D, V>&) {
+  return BasicValueMap<D, V>{};
 }
 
-template <int D>
-inline StagingStore<D> shard_local(const StagingStore<D>& s) {
-  return StagingStore<D>(s.stencil());
+template <int D, class V>
+inline StagingStore<D, V> shard_local(const StagingStore<D, V>& s) {
+  return StagingStore<D, V>(s.stencil());
 }
 
 }  // namespace detail
@@ -314,6 +343,7 @@ template <int D, class Base>
 class StagingShard {
  public:
   using base_type = Base;
+  using value_type = store_value_t<Base>;
 
   /// Overlay directly on the base store.
   StagingShard(overlay_t, const Base& base)
@@ -328,14 +358,14 @@ class StagingShard {
   StagingShard(const StagingShard&) = delete;
   StagingShard& operator=(const StagingShard&) = delete;
 
-  const Word* find(const geom::Point<D>& q) const {
-    if (const Word* v = store_find(local_, q)) return v;
+  const value_type* find(const geom::Point<D>& q) const {
+    if (const value_type* v = store_find(local_, q)) return v;
     for (const StagingShard* s = parent_; s != nullptr; s = s->parent_)
-      if (const Word* v = store_find(s->local_, q)) return v;
+      if (const value_type* v = store_find(s->local_, q)) return v;
     return store_find(*base_, q);
   }
 
-  bool insert(const geom::Point<D>& q, Word v) {
+  bool insert(const geom::Point<D>& q, const value_type& v) {
     note_level(q.t);
     return store_insert(local_, q, v);
   }
@@ -357,9 +387,10 @@ class StagingShard {
   template <class Dst>
   void merge_into(Dst& dst) const {
     for (std::int64_t t : touched_) store_touch_level(dst, t);
-    store_for_each<D>(local_, [&dst](const geom::Point<D>& p, Word v) {
-      store_insert(dst, p, v);
-    });
+    store_for_each<D>(local_,
+                      [&dst](const geom::Point<D>& p, const value_type& v) {
+                        store_insert(dst, p, v);
+                      });
   }
 
  private:
@@ -371,14 +402,14 @@ class StagingShard {
 
 /// Accessor overloads so the executor can treat a shard as a store.
 template <int D, class Base>
-inline const Word* store_find(const StagingShard<D, Base>& s,
-                              const geom::Point<D>& q) {
+inline const store_value_t<Base>* store_find(const StagingShard<D, Base>& s,
+                                             const geom::Point<D>& q) {
   return s.find(q);
 }
 
 template <int D, class Base>
 inline bool store_insert(StagingShard<D, Base>& s, const geom::Point<D>& q,
-                         Word v) {
+                         const store_value_t<Base>& v) {
   return s.insert(q, v);
 }
 

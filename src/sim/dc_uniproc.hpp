@@ -34,14 +34,19 @@ struct DcConfig {
   /// allocations) per run. Never affects charges or values.
   engine::Metrics* metrics = nullptr;
   std::string hot_label;  ///< label of the recorded section
+  /// Scenario lanes carried per charged vertex (sep::kLanes for batched
+  /// guests, 1 for scalar) — recorded into HotPathMetric::lanes so the
+  /// metrics report can derive scenarios_per_sec.
+  int hot_lanes = 1;
 };
 
 namespace detail {
 
 /// Remove staged values that can no longer be read: everything below
 /// `min_unexecuted_t - reach`, except the final rows kept for output.
-template <int D>
-void prune_staging(const geom::Stencil<D>& st, sep::ValueMap<D>& staging,
+template <int D, class V>
+void prune_staging(const geom::Stencil<D>& st,
+                   sep::BasicValueMap<D, V>& staging,
                    std::int64_t min_unexecuted_t) {
   engine::trace::Span span(engine::trace::Cat::kStaging, "staging-prune",
                            min_unexecuted_t);
@@ -57,8 +62,9 @@ void prune_staging(const geom::Stencil<D>& st, sep::ValueMap<D>& staging,
 
 /// Dense-staging form: staleness is a pure function of t, so whole
 /// levels are dropped (and their slabs released).
-template <int D>
-void prune_staging(const geom::Stencil<D>& st, sep::StagingStore<D>& staging,
+template <int D, class V>
+void prune_staging(const geom::Stencil<D>& st,
+                   sep::StagingStore<D, V>& staging,
                    std::int64_t min_unexecuted_t) {
   engine::trace::Span span(engine::trace::Cat::kStaging, "staging-prune",
                            min_unexecuted_t);
@@ -67,10 +73,10 @@ void prune_staging(const geom::Stencil<D>& st, sep::StagingStore<D>& staging,
 
 }  // namespace detail
 
-template <int D>
-SimResult<D> simulate_dc_uniproc(const sep::Guest<D>& guest,
-                                 const machine::MachineSpec& host,
-                                 DcConfig cfg = {}) {
+template <int D, class V>
+SimResult<D, V> simulate_dc_uniproc(const sep::BasicGuest<D, V>& guest,
+                                    const machine::MachineSpec& host,
+                                    DcConfig cfg = {}) {
   guest.validate();
   host.validate();
   const geom::Stencil<D>& st = guest.stencil;
@@ -92,9 +98,9 @@ SimResult<D> simulate_dc_uniproc(const sep::Guest<D>& guest,
   ecfg.leaf_width = leaf_w;
   ecfg.f = host.access_fn();
   ecfg.space_const = cfg.space_const;
-  sep::Executor<D> exec(&guest, ecfg);
+  sep::Executor<D, V> exec(&guest, ecfg);
 
-  SimResult<D> res;
+  SimResult<D, V> res;
   exec.set_ledger(&res.ledger);
   const core::Cost f_top =
       ecfg.f(static_cast<std::uint64_t>(host.total_memory()));
@@ -111,7 +117,7 @@ SimResult<D> simulate_dc_uniproc(const sep::Guest<D>& guest,
     suffix_tmin[k] = mn;
   }
 
-  sep::StagingStore<D> staging(&st);
+  sep::StagingStore<D, V> staging(&st);
   const auto hot_t0 = std::chrono::steady_clock::now();
   for (std::size_t k = 0; k < waves.size(); ++k) {
     for (const auto& tile : waves[k]) {
@@ -141,6 +147,7 @@ SimResult<D> simulate_dc_uniproc(const sep::Guest<D>& guest,
                     .count();
     h.peak_staging_words = exec.peak_staging();
     h.staging_allocs = staging.level_allocs();
+    h.lanes = cfg.hot_lanes;
     cfg.metrics->record_hot(std::move(h));
   }
 

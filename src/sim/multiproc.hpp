@@ -53,10 +53,10 @@ struct MultiprocConfig {
   std::string hot_label;
 };
 
-template <int D>
+template <int D, class V = sep::Word>
 class MultiprocSimulator {
  public:
-  MultiprocSimulator(const sep::Guest<D>* guest,
+  MultiprocSimulator(const sep::BasicGuest<D, V>* guest,
                      const machine::MachineSpec& host, MultiprocConfig cfg)
       : guest_(guest),
         host_(host),
@@ -111,9 +111,9 @@ class MultiprocSimulator {
     emit_ = emit;
   }
 
-  SimResult<D> run() {
+  SimResult<D, V> run() {
     const geom::Stencil<D>& st = guest_->stencil;
-    SimResult<D> res;
+    SimResult<D, V> res;
 
     if (cfg_.charge_rearrangement) {
       // n*m words travel an average distance ~node_side/2 with p-fold
@@ -381,13 +381,13 @@ class MultiprocSimulator {
   /// sequence the serial path produces.
   void exec_wave_forked(const std::vector<geom::Region<D>>& wave,
                         core::Cost f_rest, core::Cost link) {
-    using Delta = typename sep::Executor<D>::ExecDelta;
+    using Delta = typename sep::Executor<D, V>::ExecDelta;
     struct Sub {
       std::size_t resident = 0, cross = 0;
       std::int64_t pr = 0;
       core::ChargeLog pre, body;
       Delta delta;
-      std::optional<sep::StagingShard<D, sep::StagingStore<D>>> shard;
+      std::optional<sep::StagingShard<D, sep::StagingStore<D, V>>> shard;
     };
     const std::size_t base = staging_.size();
     std::vector<Sub> subs(wave.size());
@@ -441,27 +441,27 @@ class MultiprocSimulator {
     }
   }
 
-  const sep::Guest<D>* guest_;
+  const sep::BasicGuest<D, V>* guest_;
   machine::MachineSpec host_;
   MultiprocConfig cfg_;
   sep::ExecutorConfig exec_cfg_;
   machine::ProcClocks clocks_;
   std::vector<core::CostLedger> ledgers_;
-  std::optional<sep::Executor<D>> exec_;
+  std::optional<sep::Executor<D, V>> exec_;
   std::optional<sched::Planner<D>> planner_;
   sched::ParallelSchedule<D>* emit_ = nullptr;
-  sep::StagingStore<D> staging_;
+  sep::StagingStore<D, V> staging_;
   std::int64_t proc_side_ = 1;
   std::int64_t node_side_ = 1;
   std::int64_t macro_w_ = 1;
   std::int64_t leaf_w_ = 1;
 };
 
-template <int D>
-SimResult<D> simulate_multiproc(const sep::Guest<D>& guest,
-                                const machine::MachineSpec& host,
-                                MultiprocConfig cfg = {}) {
-  MultiprocSimulator<D> sim(&guest, host, cfg);
+template <int D, class V>
+SimResult<D, V> simulate_multiproc(const sep::BasicGuest<D, V>& guest,
+                                   const machine::MachineSpec& host,
+                                   MultiprocConfig cfg = {}) {
+  MultiprocSimulator<D, V> sim(&guest, host, cfg);
   return sim.run();
 }
 

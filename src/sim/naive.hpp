@@ -65,10 +65,10 @@ NodePlacement<D> place_node(const geom::Stencil<D>& st, std::int64_t proc_side,
 
 }  // namespace detail
 
-template <int D>
-SimResult<D> simulate_naive(const sep::Guest<D>& guest,
-                            const machine::MachineSpec& host,
-                            NaiveConfig cfg = {}) {
+template <int D, class V>
+SimResult<D, V> simulate_naive(const sep::BasicGuest<D, V>& guest,
+                               const machine::MachineSpec& host,
+                               NaiveConfig cfg = {}) {
   guest.validate();
   host.validate();
   const geom::Stencil<D>& st = guest.stencil;
@@ -93,14 +93,14 @@ SimResult<D> simulate_naive(const sep::Guest<D>& guest,
   const std::int64_t m = st.m;
 
   machine::ProcClocks clocks(host.p);
-  SimResult<D> res;
+  SimResult<D, V> res;
 
   // Value evolution: identical to the reference run (the naive schedule
   // *is* the guest's schedule); the loop below charges the host costs.
-  std::vector<std::vector<sep::Word>> ring(
+  std::vector<std::vector<V>> ring(
       static_cast<std::size_t>(m),
-      std::vector<sep::Word>(static_cast<std::size_t>(n), 0));
-  std::vector<sep::Word> scratch(static_cast<std::size_t>(n), 0);
+      std::vector<V>(static_cast<std::size_t>(n), V{}));
+  std::vector<V> scratch(static_cast<std::size_t>(n), V{});
 
   const auto hot_t0 = std::chrono::steady_clock::now();
   for (std::int64_t t = 0; t < T; ++t) {
@@ -124,20 +124,20 @@ SimResult<D> simulate_naive(const sep::Guest<D>& guest,
 
       core::Cost local_cost = 0;
       core::Cost comm_cost = 0;
-      sep::Word value;
+      V value;
       if (t == 0) {
         value = guest.input(x, 0);
         if (!cfg.pipelined)
           local_cost += f(static_cast<std::uint64_t>(pl.local_index * m));
       } else {
-        sep::Word self_prev =
+        V self_prev =
             (t >= m) ? ring[t % m][idx] : guest.input(x, t % m);
         // Cell read + write in the node's private region.
         std::uint64_t cell_addr =
             static_cast<std::uint64_t>(pl.local_index * m + (t % m));
         if (!cfg.pipelined) local_cost += 2.0 * f(cell_addr);
 
-        sep::NeighborWords<D> nbrs{};
+        sep::BasicNeighbors<D, V> nbrs{};
         const auto& prev = ring[(t - 1) % m];
         for (int i = 0; i < D; ++i) {
           for (int sgn = 0; sgn < 2; ++sgn) {

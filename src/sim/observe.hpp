@@ -64,14 +64,14 @@ std::vector<geom::Point<D>> final_points(const geom::Stencil<D>& st) {
 }
 
 /// Extract the final points from a staging store (ValueMap or
-/// StagingStore) into a fresh map; asserts every final point is
-/// present.
+/// StagingStore, any value type) into a fresh map; asserts every final
+/// point is present.
 template <int D, class Store>
-sep::ValueMap<D> extract_final(const geom::Stencil<D>& st,
-                               const Store& staging) {
-  sep::ValueMap<D> out;
+sep::BasicValueMap<D, sep::store_value_t<Store>> extract_final(
+    const geom::Stencil<D>& st, const Store& staging) {
+  sep::BasicValueMap<D, sep::store_value_t<Store>> out;
   for (const auto& q : final_points<D>(st)) {
-    const sep::Word* v = sep::store_find(staging, q);
+    const auto* v = sep::store_find(staging, q);
     BSMP_ASSERT_MSG(v != nullptr, "final value missing at t=" << q.t);
     out.emplace(q, *v);
   }
@@ -79,8 +79,9 @@ sep::ValueMap<D> extract_final(const geom::Stencil<D>& st,
 }
 
 /// True iff two final-value maps agree exactly.
-template <int D>
-bool same_values(const sep::ValueMap<D>& a, const sep::ValueMap<D>& b) {
+template <int D, class V>
+bool same_values(const sep::BasicValueMap<D, V>& a,
+                 const sep::BasicValueMap<D, V>& b) {
   if (a.size() != b.size()) return false;
   for (const auto& [k, v] : a) {
     auto it = b.find(k);

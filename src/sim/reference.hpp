@@ -38,9 +38,10 @@ std::array<int64_t, D> node_coords(const geom::Stencil<D>& st, int64_t idx) {
 }  // namespace detail
 
 /// Run the guest directly. The returned result has time == guest_time
-/// == T and the final values of every memory cell.
-template <int D>
-SimResult<D> reference_run(const sep::Guest<D>& guest) {
+/// == T and the final values of every memory cell. Generic over the
+/// guest's value type (scalar Word or sep::LaneBatch).
+template <int D, class V>
+SimResult<D, V> reference_run(const sep::BasicGuest<D, V>& guest) {
   guest.validate();
   const geom::Stencil<D>& st = guest.stencil;
   const int64_t n = st.num_nodes();
@@ -49,25 +50,25 @@ SimResult<D> reference_run(const sep::Guest<D>& guest) {
 
   // Ring buffer of the last m value levels: ring[t % m] holds the
   // values of time level t (the cell written at step t).
-  std::vector<std::vector<sep::Word>> ring(
+  std::vector<std::vector<V>> ring(
       static_cast<std::size_t>(m),
-      std::vector<sep::Word>(static_cast<std::size_t>(n), 0));
-  std::vector<sep::Word> scratch(static_cast<std::size_t>(n), 0);
+      std::vector<V>(static_cast<std::size_t>(n), V{}));
+  std::vector<V> scratch(static_cast<std::size_t>(n), V{});
 
-  SimResult<D> res;
+  SimResult<D, V> res;
   for (int64_t t = 0; t < T; ++t) {
     for (int64_t idx = 0; idx < n; ++idx) {
       auto x = detail::node_coords<D>(st, idx);
       geom::Point<D> p;
       p.x = x;
       p.t = t;
-      sep::Word value;
+      V value;
       if (t == 0) {
         value = guest.input(x, 0);
       } else {
-        sep::Word self_prev = (t >= m) ? ring[t % m][idx]
-                                       : guest.input(x, t % m);
-        sep::NeighborWords<D> nbrs{};
+        V self_prev = (t >= m) ? ring[t % m][idx]
+                               : guest.input(x, t % m);
+        sep::BasicNeighbors<D, V> nbrs{};
         const auto& prev = ring[(t - 1) % m];
         for (int i = 0; i < D; ++i) {
           for (int s = 0; s < 2; ++s) {

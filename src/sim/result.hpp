@@ -11,7 +11,7 @@
 
 namespace bsmp::sim {
 
-template <int D>
+template <int D, class V = sep::Word>
 struct SimResult {
   core::CostLedger ledger;      ///< aggregate charges across processors
   core::Cost time = 0;          ///< host virtual time (makespan if p > 1)
@@ -24,7 +24,7 @@ struct SimResult {
 
   /// The guest-visible outputs: the last-written value of every memory
   /// cell (one point per node per cell).
-  sep::ValueMap<D> final_values;
+  sep::BasicValueMap<D, V> final_values;
 
   double slowdown() const { return time / guest_time; }
 };

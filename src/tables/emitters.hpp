@@ -77,9 +77,18 @@ std::vector<Emitted> calibration_tables(EngineCtx& ctx);
 /// metrics_hot.json). See tables/hotpath.hpp.
 std::vector<Emitted> hot_tables(EngineCtx& ctx);
 
+/// Batched-ensemble artifact: 64 perturbed initial conditions of a
+/// cellular automaton evolved in one charged pass via the bit-sliced
+/// lane batching of sep/guest.hpp. Asserts the count-based charging
+/// invariant (batch charges == scalar charges, bit for bit) and emits
+/// a lane-content digest; per-run throughput goes to ctx.metrics with
+/// lanes = sep::kLanes (serialized and gated by bench_exec_batch).
+std::vector<Emitted> ensemble_tables(EngineCtx& ctx);
+
 /// One registry entry: a named table emitter.
 struct Emitter {
-  const char* name;  ///< registry key: "e1" … "e10", "e6d", "cal", "hot"
+  const char* name;  ///< registry key: "e1" … "e10", "e6d", "cal", "hot",
+                     ///< "ens"
   const char* what;  ///< one-line description
   std::vector<Emitted> (*fn)(EngineCtx&);
 };

@@ -202,8 +202,8 @@ class HashMapExecutor {
 
 namespace detail {
 
-template <int D>
-sep::ExecutorConfig exec_config(const sep::Guest<D>& guest) {
+template <int D, class V>
+sep::ExecutorConfig exec_config(const sep::BasicGuest<D, V>& guest) {
   sep::ExecutorConfig ecfg;
   ecfg.leaf_width = guest.stencil.m;  // Theorem-3 executable diamonds
   ecfg.f = hram::AccessFn::unit();
@@ -213,8 +213,9 @@ sep::ExecutorConfig exec_config(const sep::Guest<D>& guest) {
 /// Drive `exec` over the full space-time volume in the same tile
 /// wavefronts sim::simulate_dc_uniproc uses, pruning staging between
 /// wavefronts; returns the staging store for final-value comparison.
-template <int D, class Exec, class Store>
-ExecStats drive(const sep::Guest<D>& guest, Exec& exec, Store& staging) {
+template <int D, class V, class Exec, class Store>
+ExecStats drive(const sep::BasicGuest<D, V>& guest, Exec& exec,
+                Store& staging) {
   const geom::Stencil<D>& st = guest.stencil;
   core::CostLedger ledger;
   exec.set_ledger(&ledger);
@@ -247,10 +248,12 @@ ExecStats drive(const sep::Guest<D>& guest, Exec& exec, Store& staging) {
 
 }  // namespace detail
 
-/// Full-volume run through the flat-staging executor + StagingStore.
-template <int D>
-ExecStats run_dense(const sep::Guest<D>& guest, sep::StagingStore<D>& staging) {
-  sep::Executor<D> exec(&guest, detail::exec_config(guest));
+/// Full-volume run through the flat-staging executor + StagingStore,
+/// generic over the guest value type (Word or sep::LaneBatch).
+template <int D, class V>
+ExecStats run_dense(const sep::BasicGuest<D, V>& guest,
+                    sep::StagingStore<D, V>& staging) {
+  sep::Executor<D, V> exec(&guest, detail::exec_config(guest));
   return detail::drive(guest, exec, staging);
 }
 

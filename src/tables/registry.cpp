@@ -23,6 +23,8 @@ const std::vector<Emitter>& all_emitters() {
       {"cal", "advisor calibration through the sweep engine", &calibration_tables},
       {"hot", "executor hot path: dense staging vs hash-map baseline",
        &hot_tables},
+      {"ens", "64-scenario bit-sliced ensembles in one charged pass",
+       &ensemble_tables},
   };
   return kEmitters;
 }

@@ -57,6 +57,27 @@ sep::Rule<1> rule110() {
   };
 }
 
+sep::Rule<1> rule110_lanes() {
+  return [](const geom::Point<1>&, sep::Word self,
+            const sep::NeighborWords<1>& nbrs) -> sep::Word {
+    // Rule 110 on every bit position at once: out = (m|r) & ~(l&m&r)
+    // reproduces the truth table 01101110 per bit, so bit l of the
+    // word evolves exactly as a scalar rule110() run of lane l.
+    const sep::Word l = nbrs[0], m = self, r = nbrs[1];
+    return (m | r) & ~(l & m & r);
+  };
+}
+
+template <int D>
+sep::Rule<D> xor_rule() {
+  return [](const geom::Point<D>&, sep::Word self,
+            const sep::NeighborWords<D>& nbrs) -> sep::Word {
+    sep::Word h = self;
+    for (int k = 0; k < geom::kMono<D>; ++k) h ^= nbrs[k];
+    return h;
+  };
+}
+
 template <int D>
 sep::Rule<D> diffusion_rule() {
   return [](const geom::Point<D>&, sep::Word self,
@@ -185,6 +206,9 @@ template sep::Rule<3> max_rule<3>();
 template sep::Rule<1> parity_rule<1>();
 template sep::Rule<2> parity_rule<2>();
 template sep::Rule<3> parity_rule<3>();
+template sep::Rule<1> xor_rule<1>();
+template sep::Rule<2> xor_rule<2>();
+template sep::Rule<3> xor_rule<3>();
 template sep::Rule<1> diffusion_rule<1>();
 template sep::Rule<2> diffusion_rule<2>();
 template sep::Rule<3> diffusion_rule<3>();

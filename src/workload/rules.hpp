@@ -25,6 +25,18 @@ sep::Rule<D> parity_rule();
 /// Wolfram's rule 110 on the least-significant bit (D = 1, m = 1).
 sep::Rule<1> rule110();
 
+/// Rule 110 applied to *every* bit of the word independently: the
+/// bit-sliced batch form (doc/ENGINE.md "Batched guests"). Bit l of
+/// each value evolves exactly as rule110() evolves a 0/1-valued
+/// scalar run, so one charged pass carries sep::kLanes scenarios.
+sep::Rule<1> rule110_lanes();
+
+/// Plain XOR parity of self and neighbors — lane-local on every bit,
+/// so it is its own bit-sliced batch form (unlike parity_rule, whose
+/// rotations mix bit positions for avalanche).
+template <int D>
+sep::Rule<D> xor_rule();
+
 /// Integer diffusion: mean of self and neighbors (saturating).
 template <int D>
 sep::Rule<D> diffusion_rule();

@@ -79,7 +79,7 @@ TEST_P(EmitterConformance, TablesIdenticalAtAnyThreadCount) {
 INSTANTIATE_TEST_SUITE_P(AllEmitters, EmitterConformance,
                          ::testing::Values("e1", "e2", "e3", "e4", "e5", "e6",
                                            "e7", "e8", "e9", "e10", "e6d",
-                                           "cal", "hot"),
+                                           "cal", "hot", "ens"),
                          [](const auto& param_info) {
                            return std::string(param_info.param);
                          });
@@ -88,11 +88,11 @@ INSTANTIATE_TEST_SUITE_P(AllEmitters, EmitterConformance,
 // The emitter registry itself.
 // ---------------------------------------------------------------------
 
-TEST(EmitterRegistry, ThirteenEmittersInOrder) {
+TEST(EmitterRegistry, FourteenEmittersInOrder) {
   const auto& all = tables::all_emitters();
-  ASSERT_EQ(all.size(), 13u);
+  ASSERT_EQ(all.size(), 14u);
   EXPECT_STREQ(all.front().name, "e1");
-  EXPECT_STREQ(all.back().name, "hot");
+  EXPECT_STREQ(all.back().name, "ens");
   EXPECT_EQ(&tables::find_emitter("e5"), &all[4]);
   EXPECT_EQ(&tables::find_emitter("e6d"), &all[10]);
   EXPECT_THROW(tables::find_emitter("e11"), precondition_error);
@@ -180,6 +180,24 @@ TEST(GoldenDigest, E7TableStable) {
 }
 
 // ---------------------------------------------------------------------
+// Golden digest of the ENS table (64-scenario bit-sliced ensembles).
+// The table carries the FNV lane digest of every final row of every
+// lane, so this single constant pins the full semantic content of all
+// 64 scenarios of both ensemble configs — any change to the batched
+// value plane that alters even one bit of one lane moves it.
+// ---------------------------------------------------------------------
+
+TEST(GoldenDigest, EnsTableStable) {
+  auto artifacts = run_emitter(tables::find_emitter("ens"), 1, nullptr);
+  ASSERT_FALSE(artifacts.empty());
+  constexpr std::uint64_t kEnsGolden = 0x177c97459c69092eULL;
+  EXPECT_EQ(artifacts[0].table.digest(), kEnsGolden)
+      << "ENS table changed; new digest: 0x" << std::hex
+      << artifacts[0].table.digest() << "\nrendered:\n"
+      << artifacts[0].table.to_string();
+}
+
+// ---------------------------------------------------------------------
 // Validation mode (BSMP_VALIDATE / sep::set_validation_mode) flips the
 // executor back to materializing preboundary / out-set vectors and
 // asserting the topological-partition property at every recursion
@@ -189,7 +207,7 @@ TEST(GoldenDigest, E7TableStable) {
 
 TEST(ValidationMode, AssertingPathEmitsIdenticalBytes) {
   const bool saved = sep::validation_mode();
-  for (const char* name : {"e3", "hot"}) {
+  for (const char* name : {"e3", "hot", "ens"}) {
     sep::set_validation_mode(false);
     auto fast = run_emitter(tables::find_emitter(name), 1, nullptr);
     sep::set_validation_mode(true);
@@ -216,7 +234,7 @@ TEST(ValidationMode, AssertingPathEmitsIdenticalBytes) {
 
 TEST(ParallelGrain, ForkedPathEmitsIdenticalBytes) {
   const std::int64_t saved = sep::default_parallel_grain();
-  for (const char* name : {"e3", "hot"}) {
+  for (const char* name : {"e3", "hot", "ens"}) {
     sep::set_default_parallel_grain(0);
     auto serial = run_emitter(tables::find_emitter(name), parallel_threads(),
                               nullptr);
