@@ -195,6 +195,9 @@ void MetricsReport::write_json(std::ostream& os) const {
          << ",\n          \"lanes\": " << h.lanes
          << ", \"scenarios_per_sec\": ";
       json_real(os, h.scenarios_per_sec());
+      os << ",\n          \"simd_isa\": ";
+      json_string(os, h.simd_isa);
+      os << ", \"simd_lanes\": " << h.simd_lanes;
       os << "\n        }";
     }
     os << (pass.hot.empty() ? "]" : "\n      ]");

@@ -68,6 +68,15 @@ struct HotPathMetric {
   /// Scenario lanes carried per charged vertex: sep::kLanes for a
   /// batched guest (bit-sliced or SoA), 1 for a scalar run.
   int lanes = 1;
+  /// SIMD leaf-kernel dispatch of the section: the ISA name from
+  /// sep::simd::active_isa() ("avx512"/"avx2"/"sse2"/"neon"), or
+  /// "scalar" when the section ran the per-vertex loop (no row kernel,
+  /// or BSMP_SIMD off). Observational, like the timing fields.
+  std::string simd_isa = "scalar";
+  /// 64-bit lanes per vector op of simd_isa (sep::simd::lane_width());
+  /// 1 for scalar sections. Distinct from `lanes`, which counts
+  /// *scenarios* per charged vertex, not words per instruction.
+  int simd_lanes = 1;
 
   /// Throughput; 0 when the section was too fast to time.
   double vertices_per_sec() const {
@@ -155,7 +164,8 @@ struct MetricsPass {
 ///         { "label": "dense d=1 w=512", "vertices": 262144,
 ///           "seconds": 0.05, "vertices_per_sec": 5242880,
 ///           "peak_staging_words": 1536, "staging_allocs": 514,
-///           "lanes": 1, "scenarios_per_sec": 5242880 } ],
+///           "lanes": 1, "scenarios_per_sec": 5242880,
+///           "simd_isa": "scalar", "simd_lanes": 1 } ],
 ///       "histograms": {
 ///         "spans": { "sep-region": [[12, 3], [13, 41]], ... },
 ///         "steal_latency_ns": [[10, 7], [11, 2]] } } ]
@@ -176,6 +186,9 @@ struct MetricsPass {
 ///   * per-hot "lanes" and "scenarios_per_sec" — the scenario lanes a
 ///     batched guest carried per charged vertex (1 for scalar runs)
 ///     and the derived lanes * vertices_per_sec throughput.
+///   * per-hot "simd_isa" and "simd_lanes" — which SIMD dispatch the
+///     section's leaf kernels took ("scalar" when the per-vertex loop
+///     ran) and the 64-bit lanes per vector op of that ISA.
 /// The "hot" array carries the executor hot-path sections recorded via
 /// Metrics::record_hot; it is empty for passes that ran no simulator
 /// with a hot-metrics sink. The pass-level "tasks" object carries the

@@ -22,16 +22,29 @@
 // D(m) executed by naive simulation at cost Θ(m^3); leaf_width = 1 is
 // the pure divide-and-conquer of Theorems 2 and 5.
 //
-// Hot path (see doc/ENGINE.md "Hot path"): recursion levels charge
-// from Region::preboundary_count()/outset_count() without
-// materializing point vectors; leaves run in a dense window addressed
-// by (time-level prefix offset, x offset) instead of a hash map, with
-// per-leaf batched kCompute and a bit-exact kLocalAccess charge
-// stream; staging is any store providing the accessors of
-// sep/staging.hpp — StagingStore<D> for O(1) dense addressing, or the
-// original ValueMap<D>. All charged totals are bit-identical to the
-// materializing implementation; ExecutorConfig::validate re-enables
-// the per-level materialization and asserts it changes nothing.
+// Hot path (see doc/ENGINE.md "Hot path" and doc/PERF.md): recursion
+// levels charge from Region::preboundary_count()/outset_count()
+// without materializing point vectors; leaves run in a dense window
+// (sep/staging.hpp LeafWindow: per-time-level prefix offset + row-
+// major x offset) instead of a hash map, with per-leaf batched
+// kCompute and a bit-exact kLocalAccess charge stream; staging is any
+// store providing the accessors of sep/staging.hpp — StagingStore<D>
+// for O(1) dense addressing, or the original ValueMap<D>. All charged
+// totals are bit-identical to the materializing implementation;
+// ExecutorConfig::validate re-enables the per-level materialization
+// and asserts it changes nothing.
+//
+// SIMD leaves (see doc/ENGINE.md "SIMD kernels"): when the rule
+// passed to execute_with_rule advertises a row kernel (sep/simd.hpp
+// RowKernel) and simd::enabled(), each leaf row's interior span —
+// the consecutive cells whose operands all sit in the dense window —
+// is evaluated by one kernel call over contiguous structure-of-arrays
+// operand rows; edge cells (mesh boundary, staging operands) run the
+// scalar per-vertex path. Charging stays count-based and ordered
+// exactly as the scalar loop charges, and kernels are pure integer
+// programs, so values, the CostLedger stream, charged totals, peak
+// staging and every emitted table are byte-identical with SIMD on,
+// off, or unavailable.
 //
 // Parallel recursion (see doc/ENGINE.md "Task layer"): when
 // ExecutorConfig::parallel_grain > 0 and an engine::TaskScheduler with
@@ -53,6 +66,7 @@
 #include <algorithm>
 #include <cstdint>
 #include <optional>
+#include <tuple>
 #include <unordered_map>
 #include <vector>
 
@@ -63,6 +77,7 @@
 #include "geom/region.hpp"
 #include "hram/access_fn.hpp"
 #include "sep/guest.hpp"
+#include "sep/simd.hpp"
 #include "sep/staging.hpp"
 
 namespace bsmp::sep {
@@ -171,9 +186,11 @@ class Executor {
     // so steady-state serial execution stays allocation-free.
     cx.vals.swap(leaf_vals_);
     cx.off.swap(leaf_off_);
+    cx.self_row.swap(leaf_self_);
     exec_rec(U, cx, rule);
     cx.vals.swap(leaf_vals_);
     cx.off.swap(leaf_off_);
+    cx.self_row.swap(leaf_self_);
     absorb(ExecDelta{cx.vertices, cx.cur, cx.peak}, base);
   }
 
@@ -237,16 +254,26 @@ class Executor {
     // sub-contexts so the sep-region trace spans label levels
     // identically at any thread count.
     int depth = 0;
-    // Leaf scratch (dense window values + per-level prefix offsets),
-    // reused across this context's leaves.
+    // Leaf scratch (dense window values + per-level prefix offsets +
+    // the SIMD path's self-operand row), reused across this context's
+    // leaves.
     std::vector<V> vals;
     std::vector<std::size_t> off;
+    std::vector<V> self_row;
+    // Out-set size of the most recently executed leaf: the staging
+    // pass at the end of execute_leaf walks exactly the set
+    // outset_count() would re-derive, so exec_child reuses its tally
+    // for the step-3 charge instead of a second boundary pass.
+    std::int64_t leaf_out = 0;
 
     void note() {
       if (cur > peak) peak = cur;
     }
     void insert(const geom::Point<D>& q, const V& v) {
       if (store_insert(*staging, q, v)) ++cur;
+    }
+    void insert_span(const geom::Point<D>& q, const V* src, std::size_t n) {
+      cur += store_insert_span(*staging, q, src, n);
     }
     void erase(const geom::Point<D>& q) {
       if (store_erase(*staging, q)) --cur;
@@ -281,11 +308,12 @@ class Executor {
     // Retain only U's out-set; everything else produced inside U is
     // dead (its successors are all inside U and already executed).
     // The produced set is exactly the union of the children's
-    // out-sets, and in_outset(q) is the O(1) membership filter the
-    // old code materialized a throwaway map for.
+    // out-sets; outset_visit_minus subtracts U's out-set predicate
+    // per row as intervals, so the filter costs O(rows), not a
+    // successor scan per staged point.
     for (const geom::Region<D>& child : children) {
-      child.outset_visit([&](const geom::Point<D>& q) {
-        if (!U.in_outset(q)) cx.erase(q);
+      child.outset_visit_minus(U, [&](const geom::Point<D>& q) {
+        cx.erase(q);
       });
     }
     if (cfg_.validate) validate_outset(U, *cx.staging);
@@ -311,7 +339,11 @@ class Executor {
     exec_rec(child, cx, rule);
 
     // Step 3: save the child's out-set for later children / parent.
-    const std::int64_t child_out = child.outset_count();
+    // Leaf children just walked their out-set to stage results;
+    // their tally is the same value outset_count() recomputes.
+    const std::int64_t child_out = child.width() <= cfg_.leaf_width
+                                       ? cx.leaf_out
+                                       : child.outset_count();
     if (cfg_.validate) validate_child_outset(child, child_out);
     cx.ledger->charge(core::CostKind::kBlockMove,
                       2.0 * fS * static_cast<core::Cost>(child_out),
@@ -432,31 +464,10 @@ class Executor {
     }
   }
 
-  /// Points of U at one time level (product of its x-ranges).
-  static std::size_t level_size(const geom::Region<D>& U, std::int64_t t) {
-    std::size_t n = 1;
-    for (int i = 0; i < D; ++i) {
-      auto [a, b] = U.x_range(i, t);
-      if (a > b) return 0;
-      n *= static_cast<std::size_t>(b - a + 1);
-    }
-    return n;
-  }
-
-  /// Dense window slot of q inside leaf U: per-level prefix offset (in
-  /// `off`) plus the row-major x offset — the position for_each visits
-  /// q at, so sequential execution writes slots 0, 1, 2, ...
-  static std::size_t leaf_slot(const geom::Region<D>& U, std::int64_t tmin,
-                               const std::vector<std::size_t>& off,
-                               const geom::Point<D>& q) {
-    std::size_t idx = 0;
-    for (int i = 0; i < D; ++i) {
-      auto [a, b] = U.x_range(i, q.t);
-      idx = idx * static_cast<std::size_t>(b - a + 1) +
-            static_cast<std::size_t>(q.x[i] - a);
-    }
-    return off[static_cast<std::size_t>(q.t - tmin)] + idx;
-  }
+  /// Interior spans shorter than this run through the scalar edge path
+  /// — a kernel call (plus possible self-row staging) is not worth two
+  /// cells of work.
+  static constexpr std::int64_t kMinSpan = 2;
 
   template <class Store, class Ledger, class RuleFn>
   void execute_leaf(const geom::Region<D>& U, Ctx<Store, Ledger>& cx,
@@ -464,21 +475,13 @@ class Executor {
     const geom::Stencil<D>& st = guest_->stencil;
     const core::Cost f_leaf =
         cfg_.f(static_cast<std::uint64_t>(leaf_space_bound(U.width())));
-
-    const auto [tmin, tmax] = U.time_range();
-    cx.off.clear();
-    std::size_t total = 0;
-    for (std::int64_t t = tmin; t <= tmax; ++t) {
-      cx.off.push_back(total);
-      total += level_size(U, t);
-    }
-    if (cx.vals.size() < total) cx.vals.resize(total);
+    LeafWindow<D, V> win(U, cx.vals, cx.off);
+    const std::int64_t tmin = win.tmin();
 
     auto lookup = [&](const geom::Point<D>& q) -> const V& {
       // q is a vertex; inside the leaf box it was already executed
       // (topological order), so its value sits in the dense window.
-      if (q.t >= tmin && U.in_box(q))
-        return cx.vals[leaf_slot(U, tmin, cx.off, q)];
+      if (q.t >= tmin && U.in_box(q)) return win[win.slot(q)];
       const V* v = store_find(*cx.staging, q);
       BSMP_ASSERT_MSG(v != nullptr,
                       "operand missing at leaf: topological partition or "
@@ -486,49 +489,65 @@ class Executor {
       return *v;
     };
 
+    // One cell's value and operand count — the naive per-vertex
+    // execution (Definition 3), shared verbatim by the scalar loop and
+    // the SIMD path's edge cells.
+    auto cell = [&](const geom::Point<D>& p, int& operands) -> V {
+      if (p.t == 0) {
+        operands = 1;
+        return guest_->input(p.x, 0);  // input vertex (Definition 3)
+      }
+      V self_prev;
+      if (p.t >= st.m) {
+        geom::Point<D> q = p;
+        q.t = p.t - st.m;
+        self_prev = lookup(q);
+      } else {
+        self_prev = guest_->input(p.x, p.t % st.m);
+      }
+      BasicNeighbors<D, V> nbrs{};
+      operands = 0;
+      for (int i = 0; i < D; ++i) {
+        for (int s = 0; s < 2; ++s) {
+          geom::Point<D> q = p;
+          q.x[i] += (s == 0 ? -1 : 1);
+          q.t = p.t - 1;
+          if (st.in_space(q.x)) {
+            nbrs[2 * i + s] = lookup(q);
+            ++operands;
+          }
+        }
+      }
+      ++operands;  // self operand
+      return rule(p, self_prev, nbrs);
+    };
+
     auto la = cx.ledger->stream(core::CostKind::kLocalAccess);
     std::uint64_t la_events = 0;
     std::int64_t executed = 0;
-    std::size_t w = 0;
 
-    U.for_each([&](const geom::Point<D>& p) {
-      V value;
-      int operands = 0;
-      if (p.t == 0) {
-        value = guest_->input(p.x, 0);  // input vertex (Definition 3)
-        operands = 1;
-      } else {
-        V self_prev;
-        if (p.t >= st.m) {
-          geom::Point<D> q = p;
-          q.t = p.t - st.m;
-          self_prev = lookup(q);
-        } else {
-          self_prev = guest_->input(p.x, p.t % st.m);
-        }
-        BasicNeighbors<D, V> nbrs{};
-        for (int i = 0; i < D; ++i) {
-          for (int s = 0; s < 2; ++s) {
-            geom::Point<D> q = p;
-            q.x[i] += (s == 0 ? -1 : 1);
-            q.t = p.t - 1;
-            if (st.in_space(q.x)) {
-              nbrs[2 * i + s] = lookup(q);
-              ++operands;
-            }
-          }
-        }
-        ++operands;  // self operand
-        value = rule(p, self_prev, nbrs);
+    bool vectored = false;
+    if constexpr (simd::has_row_kernel<RuleFn, D, V> && (D == 1 || D == 2)) {
+      if (simd::enabled()) {
+        execute_leaf_rows(U, win, cx, rule, f_leaf, la, la_events, executed,
+                          cell, lookup);
+        vectored = true;
       }
-      cx.vals[w++] = value;
-      ++executed;
-      // One read per operand plus one result write, each f(S(leaf)):
-      // streamed so the per-vertex addition order (and hence the
-      // floating-point total) matches a charge() call per vertex.
-      la.add_cost(static_cast<core::Cost>(operands + 1) * f_leaf);
-      la_events += static_cast<std::uint64_t>(operands + 1);
-    });
+    }
+    if (!vectored) {
+      std::size_t w = 0;
+      U.for_each([&](const geom::Point<D>& p) {
+        int operands = 0;
+        V value = cell(p, operands);
+        win[w++] = value;
+        ++executed;
+        // One read per operand plus one result write, each f(S(leaf)):
+        // streamed so the per-vertex addition order (and hence the
+        // floating-point total) matches a charge() call per vertex.
+        la.add_cost(static_cast<core::Cost>(operands + 1) * f_leaf);
+        la_events += static_cast<std::uint64_t>(operands + 1);
+      });
+    }
     la.add_events(la_events);
     // Unit compute per vertex: integer-valued, so one batched charge is
     // bit-identical to `executed` unit charges.
@@ -537,10 +556,183 @@ class Executor {
                       static_cast<std::uint64_t>(executed));
     cx.vertices += executed;
 
-    U.outset_visit([&](const geom::Point<D>& q) {
-      cx.insert(q, cx.vals[leaf_slot(U, tmin, cx.off, q)]);
+    std::int64_t nout = 0;
+    U.outset_spans([&](const geom::Point<D>& q, std::int64_t hi) {
+      const std::int64_t len = hi - q.x[D - 1] + 1;
+      cx.insert_span(q, &win[win.slot(q)], static_cast<std::size_t>(len));
+      nout += len;
     });
+    cx.leaf_out = nout;
     if (cfg_.validate) validate_outset(U, *cx.staging);
+  }
+
+  /// The SIMD leaf: level by level, row by row, each innermost row is
+  /// split into the *interior span* — the consecutive cells whose
+  /// 2D+1 operands all sit in the dense window — and scalar edges.
+  /// The span's operand rows are contiguous SoA slices of the window
+  /// (or, for the self operand, of a scratch row staged through the
+  /// same lookup the scalar path uses), so one RowKernel call computes
+  /// the whole span. Charges are emitted per cell, in exactly the
+  /// scalar loop's visit order and amounts: interior cells always have
+  /// 2D+1 operands, so the kLocalAccess stream is bit-identical.
+  template <class Store, class Ledger, class RuleFn, class Stream,
+            class Cell, class Lookup>
+  void execute_leaf_rows(const geom::Region<D>& U, LeafWindow<D, V>& win,
+                         Ctx<Store, Ledger>& cx, const RuleFn& rule,
+                         core::Cost f_leaf, Stream& la,
+                         std::uint64_t& la_events, std::int64_t& executed,
+                         const Cell& cell, const Lookup& lookup) const {
+    const geom::Stencil<D>& st = guest_->stencil;
+    const std::int64_t tmin = win.tmin();
+    // Cost of one edge cell, charged as the scalar loop charges it.
+    auto scalar_cell = [&](geom::Point<D> p, V* dst) {
+      int operands = 0;
+      *dst = cell(p, operands);
+      ++executed;
+      la.add_cost(static_cast<core::Cost>(operands + 1) * f_leaf);
+      la_events += static_cast<std::uint64_t>(operands + 1);
+    };
+    // Interior cells always carry 2D+1 operands plus the result write.
+    const core::Cost span_cost =
+        static_cast<core::Cost>(2 * D + 2) * f_leaf;
+    // Stage the self operand of span [vlo, vhi] at level t into a
+    // contiguous scratch row — unless it already is one in the window,
+    // or the staging store can serve the whole span as a dense row
+    // (the common case when the leaf sits m levels above its staged
+    // preboundary: zero copies, the kernel reads the slab in place).
+    auto stage_self = [&](std::int64_t t, std::int64_t vlo, std::int64_t vhi,
+                          geom::Point<D> q) -> const V* {
+      const std::size_t n = static_cast<std::size_t>(vhi - vlo + 1);
+      q.t = t - st.m;
+      if (t >= st.m) {
+        if (t - st.m < win.tmin()) {
+          q.x[D - 1] = vlo;
+          if (const V* r = store_row_span(*cx.staging, q, n)) return r;
+        }
+        if (cx.self_row.size() < n) cx.self_row.resize(n);
+        for (std::size_t i = 0; i < n; ++i) {
+          q.x[D - 1] = vlo + static_cast<std::int64_t>(i);
+          cx.self_row[i] = lookup(q);
+        }
+      } else {
+        if (cx.self_row.size() < n) cx.self_row.resize(n);
+        for (std::size_t i = 0; i < n; ++i) {
+          q.x[D - 1] = vlo + static_cast<std::int64_t>(i);
+          cx.self_row[i] = guest_->input(q.x, t % st.m);
+        }
+      }
+      return cx.self_row.data();
+    };
+
+    for (std::int64_t t = tmin; t <= win.tmax(); ++t) {
+      if constexpr (D == 1) {
+        const auto [a, b] = U.x_range(0, t);
+        if (a > b) continue;
+        V* out_row = win.row(t);
+        geom::Point<1> p;
+        p.t = t;
+        // Interior span: both (x±1, t-1) neighbors inside the window
+        // row below (which also puts them in space).
+        std::int64_t pa = 0, pb = -1;
+        std::int64_t vlo = a, vhi = a - 1;
+        if (t > tmin) {
+          std::tie(pa, pb) = U.x_range(0, t - 1);
+          vlo = std::max(a, pa + 1);
+          vhi = std::min(b, pb - 1);
+        }
+        if (vhi - vlo + 1 < kMinSpan) {
+          vlo = a;
+          vhi = a - 1;  // whole row through the scalar path
+        }
+        for (std::int64_t x = a; x < vlo; ++x) {
+          p.x[0] = x;
+          scalar_cell(p, out_row + (x - a));
+        }
+        if (vlo <= vhi) {
+          const std::size_t n = static_cast<std::size_t>(vhi - vlo + 1);
+          const V* prev = win.row(t - 1);
+          const V* self;
+          bool self_in_window = false;
+          if (t >= st.m && t - st.m >= tmin) {
+            const auto [sa, sb] = U.x_range(0, t - st.m);
+            self_in_window = vlo >= sa && vhi <= sb;
+            if (self_in_window) self = win.row(t - st.m) + (vlo - sa);
+          }
+          if (!self_in_window) self = stage_self(t, vlo, vhi, p);
+          const V* nbrs[2] = {prev + (vlo - 1 - pa), prev + (vlo + 1 - pa)};
+          p.x[0] = vlo;
+          rule.row(out_row + (vlo - a), self, nbrs, n, p, 1);
+          executed += static_cast<std::int64_t>(n);
+          la_events += static_cast<std::uint64_t>(2 * D + 2) * n;
+          for (std::size_t i = 0; i < n; ++i) la.add_cost(span_cost);
+        }
+        for (std::int64_t x = vhi + 1; x <= b; ++x) {
+          p.x[0] = x;
+          scalar_cell(p, out_row + (x - a));
+        }
+      } else {
+        static_assert(D == 2);
+        const auto [a0, b0] = U.x_range(0, t);
+        const auto [a1, b1] = U.x_range(1, t);
+        if (a0 > b0 || a1 > b1) continue;
+        std::int64_t p0a = 0, p0b = -1, p1a = 0, p1b = -1;
+        if (t > tmin) {
+          std::tie(p0a, p0b) = U.x_range(0, t - 1);
+          std::tie(p1a, p1b) = U.x_range(1, t - 1);
+        }
+        geom::Point<2> p;
+        p.t = t;
+        for (std::int64_t x0 = a0; x0 <= b0; ++x0) {
+          p.x[0] = x0;
+          V* out_row = win.row(t, x0);
+          // Interior span: all four (t-1) neighbor rows inside the
+          // window (rows x0-1, x0, x0+1 of the level below).
+          std::int64_t vlo = a1, vhi = a1 - 1;
+          if (t > tmin && x0 - 1 >= p0a && x0 + 1 <= p0b) {
+            vlo = std::max(a1, p1a + 1);
+            vhi = std::min(b1, p1b - 1);
+          }
+          if (vhi - vlo + 1 < kMinSpan) {
+            vlo = a1;
+            vhi = a1 - 1;
+          }
+          for (std::int64_t x1 = a1; x1 < vlo; ++x1) {
+            p.x[1] = x1;
+            scalar_cell(p, out_row + (x1 - a1));
+          }
+          if (vlo <= vhi) {
+            const std::size_t n = static_cast<std::size_t>(vhi - vlo + 1);
+            const V* r_lo = win.row(t - 1, x0 - 1);
+            const V* r_md = win.row(t - 1, x0);
+            const V* r_hi = win.row(t - 1, x0 + 1);
+            const V* self;
+            bool self_in_window = false;
+            if (t >= st.m && t - st.m >= tmin) {
+              const auto [sa0, sb0] = U.x_range(0, t - st.m);
+              if (x0 >= sa0 && x0 <= sb0) {
+                const auto [sa1, sb1] = U.x_range(1, t - st.m);
+                self_in_window = vlo >= sa1 && vhi <= sb1;
+                if (self_in_window)
+                  self = win.row(t - st.m, x0) + (vlo - sa1);
+              }
+            }
+            if (!self_in_window) self = stage_self(t, vlo, vhi, p);
+            const V* nbrs[4] = {r_lo + (vlo - p1a), r_hi + (vlo - p1a),
+                                r_md + (vlo - 1 - p1a),
+                                r_md + (vlo + 1 - p1a)};
+            p.x[1] = vlo;
+            rule.row(out_row + (vlo - a1), self, nbrs, n, p, 1);
+            executed += static_cast<std::int64_t>(n);
+            la_events += static_cast<std::uint64_t>(2 * D + 2) * n;
+            for (std::size_t i = 0; i < n; ++i) la.add_cost(span_cost);
+          }
+          for (std::int64_t x1 = vhi + 1; x1 <= b1; ++x1) {
+            p.x[1] = x1;
+            scalar_cell(p, out_row + (x1 - a1));
+          }
+        }
+      }
+    }
   }
 
   const BasicGuest<D, V>* guest_;
@@ -552,6 +744,7 @@ class Executor {
   // steady-state serial execution performs no per-leaf allocation.
   std::vector<V> leaf_vals_;
   std::vector<std::size_t> leaf_off_;
+  std::vector<V> leaf_self_;
 };
 
 }  // namespace bsmp::sep

@@ -1,4 +1,5 @@
-// Guest computation semantics shared by every simulator.
+/// \file
+/// Guest computation semantics shared by every simulator.
 //
 // A guest Md(n, n, m) runs a synchronous network computation: at step t
 // node x combines one cell of its private memory (last written at step
@@ -40,6 +41,7 @@
 
 namespace bsmp::sep {
 
+/// The 64-bit machine word every scalar dag value is (hram::Word).
 using hram::Word;
 
 /// Scenarios per batched run: one per bit of a Word, so the bit-sliced
@@ -50,15 +52,22 @@ inline constexpr int kLanes = 64;
 /// scenario l computed there. The per-point unit of the batched
 /// staging stores and the executor's dense leaf window.
 struct LaneBatch {
+  /// The 64 scenario words, contiguous so SIMD row kernels can treat
+  /// one operand's lanes as a structure-of-arrays span (sep/simd.hpp
+  /// soa_rule).
   std::array<Word, kLanes> lane{};
 
+  /// Lane l's word (0 <= l < kLanes).
   Word& operator[](int l) { return lane[static_cast<std::size_t>(l)]; }
+  /// Lane l's word (0 <= l < kLanes).
   const Word& operator[](int l) const {
     return lane[static_cast<std::size_t>(l)];
   }
+  /// Lane-wise equality (the unit the differential tests compare).
   friend bool operator==(const LaneBatch& a, const LaneBatch& b) {
     return a.lane == b.lane;
   }
+  /// Lane-wise inequality.
   friend bool operator!=(const LaneBatch& a, const LaneBatch& b) {
     return !(a == b);
   }
@@ -79,9 +88,11 @@ template <int D, class V>
 using BasicValueMap =
     std::unordered_map<geom::Point<D>, V, geom::PointHash<D>>;
 
+/// Scalar value map (the original staging type; V = Word).
 template <int D>
 using ValueMap = BasicValueMap<D, Word>;
 
+/// SoA-batched value map (V = LaneBatch).
 template <int D>
 using BatchValueMap = BasicValueMap<D, LaneBatch>;
 
@@ -91,9 +102,11 @@ using BatchValueMap = BasicValueMap<D, LaneBatch>;
 template <int D, class V>
 using BasicNeighbors = std::array<V, geom::kMono<D>>;
 
+/// Scalar neighbor operands (V = Word).
 template <int D>
 using NeighborWords = BasicNeighbors<D, Word>;
 
+/// SoA-batched neighbor operands (V = LaneBatch).
 template <int D>
 using NeighborBatches = BasicNeighbors<D, LaneBatch>;
 
@@ -104,9 +117,13 @@ template <int D, class V>
 using BasicRule = std::function<V(const geom::Point<D>& p, V self_prev,
                                   const BasicNeighbors<D, V>& nbrs)>;
 
+/// Scalar step rule (V = Word). Type-erased; for the executor's
+/// concrete-kernel fast path see sep/simd.hpp and
+/// Executor::execute_with_rule.
 template <int D>
 using Rule = BasicRule<D, Word>;
 
+/// SoA-batched step rule (V = LaneBatch).
 template <int D>
 using BatchRule = BasicRule<D, LaneBatch>;
 
@@ -116,9 +133,11 @@ template <int D, class V>
 using BasicInputFn =
     std::function<V(const std::array<int64_t, D>& x, int64_t cell)>;
 
+/// Scalar input generator (V = Word).
 template <int D>
 using InputFn = BasicInputFn<D, Word>;
 
+/// SoA-batched input generator (V = LaneBatch).
 template <int D>
 using BatchInput = BasicInputFn<D, LaneBatch>;
 
@@ -126,10 +145,11 @@ using BatchInput = BasicInputFn<D, LaneBatch>;
 /// step rule and inputs, over per-vertex values of type V.
 template <int D, class V>
 struct BasicGuest {
-  geom::Stencil<D> stencil;
-  BasicRule<D, V> rule;
-  BasicInputFn<D, V> input;
+  geom::Stencil<D> stencil;   ///< mesh extents, horizon T, memory m
+  BasicRule<D, V> rule;       ///< step rule for t >= 1
+  BasicInputFn<D, V> input;   ///< initial memory contents (t = 0 plane)
 
+  /// Assert the guest is runnable: valid stencil, non-null callables.
   void validate() const {
     stencil.validate();
     BSMP_REQUIRE(rule != nullptr);
@@ -137,9 +157,11 @@ struct BasicGuest {
   }
 };
 
+/// Scalar guest (V = Word) — what every original simulator runs.
 template <int D>
 using Guest = BasicGuest<D, Word>;
 
+/// SoA-batched guest (V = LaneBatch): 64 scenarios per charged run.
 template <int D>
 using BatchGuest = BasicGuest<D, LaneBatch>;
 

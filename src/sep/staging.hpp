@@ -35,6 +35,7 @@
 
 #include "core/expect.hpp"
 #include "geom/lattice.hpp"
+#include "geom/region.hpp"
 #include "sep/guest.hpp"
 
 namespace bsmp::sep {
@@ -66,6 +67,23 @@ class StagingStore {
     return lv->live[s] ? &lv->vals[s] : nullptr;
   }
 
+  /// Pointer to n contiguous live values along the innermost dimension
+  /// starting at q, or nullptr when the span is not fully live (or the
+  /// level is absent). Slots are row-major with the innermost dimension
+  /// contiguous, so a live span IS a dense operand row — the SIMD leaf
+  /// path hands it to a kernel without any per-cell staging copy.
+  const V* row_span(const geom::Point<D>& q, std::size_t n) const {
+    if (q.t < 0 || q.t >= st_->horizon) return nullptr;
+    const Level* lv = levels_[static_cast<std::size_t>(q.t)].get();
+    if (lv == nullptr || !st_->in_space(q.x)) return nullptr;
+    if (q.x[D - 1] + static_cast<std::int64_t>(n) > st_->extent[D - 1])
+      return nullptr;
+    std::size_t s = slot(q.x);
+    for (std::size_t i = 0; i < n; ++i)
+      if (!lv->live[s + i]) return nullptr;
+    return &lv->vals[s];
+  }
+
   /// Mutable value at q; asserts q is live (mirrors map::at).
   V& at(const geom::Point<D>& q) {
     BSMP_REQUIRE(q.t >= 0 && q.t < st_->horizon && st_->in_space(q.x));
@@ -88,6 +106,27 @@ class StagingStore {
       ++live_;
     }
     lv.vals[s] = v;
+    return added;
+  }
+
+  /// Insert n contiguous values along the innermost dimension starting
+  /// at q (src[i] lands on q + i*e_{D-1}); returns how many cells were
+  /// newly added. Semantically n insert() calls, with one slab lookup.
+  std::int64_t insert_span(const geom::Point<D>& q, const V* src,
+                           std::size_t n) {
+    BSMP_REQUIRE(q.t >= 0 && q.t < st_->horizon && st_->in_space(q.x));
+    BSMP_REQUIRE(q.x[D - 1] + static_cast<std::int64_t>(n) <=
+                 st_->extent[D - 1]);
+    Level& lv = level(q.t);
+    std::size_t s = slot(q.x);
+    std::int64_t added = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      added += !lv.live[s + i];
+      lv.live[s + i] = 1;
+      lv.vals[s + i] = src[i];
+    }
+    lv.nlive += added;
+    live_ += static_cast<std::size_t>(added);
     return added;
   }
 
@@ -196,6 +235,112 @@ class StagingStore {
 };
 
 // ---------------------------------------------------------------------
+// LeafWindow: the structure-of-arrays view of one leaf's dense value
+// window.
+//
+// A leaf ("executable diamond") is executed into a flat scratch
+// vector: all cells of time level t, row-major over the level's
+// x-ranges, starting at a per-level prefix offset. That layout is what
+// makes the leaf kernel vectorizable — the innermost spatial dimension
+// of every level is a contiguous span of V, and a cell's operands at
+// (t-1, t-m) are contiguous spans in lower levels, so a row kernel
+// (sep/simd.hpp) reads and writes plain arrays. LeafWindow binds the
+// region geometry to a caller-owned scratch vector (the executor
+// recycles one per execution context, keeping steady-state leaves
+// allocation-free) and provides O(1) slot and row-pointer addressing.
+// ---------------------------------------------------------------------
+
+template <int D, class V = Word>
+class LeafWindow {
+ public:
+  /// Bind region U's window to caller-owned scratch. `vals` is resized
+  /// to hold every cell of U (never shrunk — reuse keeps capacity),
+  /// `off` is rebuilt with U's per-level prefix offsets.
+  LeafWindow(const geom::Region<D>& U, std::vector<V>& vals,
+             std::vector<std::size_t>& off)
+      : U_(&U), vals_(&vals), off_(&off) {
+    const auto [tmin, tmax] = U.time_range();
+    tmin_ = tmin;
+    tmax_ = tmax;
+    off.clear();
+    std::size_t total = 0;
+    for (std::int64_t t = tmin; t <= tmax; ++t) {
+      off.push_back(total);
+      total += level_size(U, t);
+    }
+    total_ = total;
+    if (vals.size() < total) vals.resize(total);
+  }
+
+  std::int64_t tmin() const { return tmin_; }
+  std::int64_t tmax() const { return tmax_; }
+
+  /// Number of cells in the window (live scratch prefix).
+  std::size_t size() const { return total_; }
+
+  /// Inclusive x-range of dimension i at level t (the region's own).
+  std::pair<std::int64_t, std::int64_t> x_range(int i, std::int64_t t) const {
+    return U_->x_range(i, t);
+  }
+
+  /// Slot of point q: per-level prefix offset plus the row-major x
+  /// offset — the position Region::for_each visits q at, so sequential
+  /// execution writes slots 0, 1, 2, ...
+  std::size_t slot(const geom::Point<D>& q) const {
+    std::size_t idx = 0;
+    for (int i = 0; i < D; ++i) {
+      auto [a, b] = U_->x_range(i, q.t);
+      idx = idx * static_cast<std::size_t>(b - a + 1) +
+            static_cast<std::size_t>(q.x[i] - a);
+    }
+    return (*off_)[static_cast<std::size_t>(q.t - tmin_)] + idx;
+  }
+
+  V& operator[](std::size_t s) { return (*vals_)[s]; }
+  const V& operator[](std::size_t s) const { return (*vals_)[s]; }
+
+  /// d=1: pointer to the cell at (x=a, t) where [a, b] = x_range(0, t);
+  /// the level's cells for x in [a, b] are ptr[0..b-a].
+  V* row(std::int64_t t)
+    requires(D == 1)
+  {
+    return vals_->data() + (*off_)[static_cast<std::size_t>(t - tmin_)];
+  }
+
+  /// d=2: pointer to the cell at (x0, x1=a1, t) where [a1, b1] =
+  /// x_range(1, t); the row's cells for x1 in [a1, b1] are ptr[0..b1-a1].
+  V* row(std::int64_t t, std::int64_t x0)
+    requires(D == 2)
+  {
+    auto [a0, b0] = U_->x_range(0, t);
+    auto [a1, b1] = U_->x_range(1, t);
+    (void)b0;
+    return vals_->data() +
+           (*off_)[static_cast<std::size_t>(t - tmin_)] +
+           static_cast<std::size_t>(x0 - a0) *
+               static_cast<std::size_t>(b1 - a1 + 1);
+  }
+
+ private:
+  static std::size_t level_size(const geom::Region<D>& U, std::int64_t t) {
+    std::size_t n = 1;
+    for (int i = 0; i < D; ++i) {
+      auto [a, b] = U.x_range(i, t);
+      if (a > b) return 0;
+      n *= static_cast<std::size_t>(b - a + 1);
+    }
+    return n;
+  }
+
+  const geom::Region<D>* U_;
+  std::vector<V>* vals_;
+  std::vector<std::size_t>* off_;
+  std::int64_t tmin_ = 0;
+  std::int64_t tmax_ = -1;
+  std::size_t total_ = 0;
+};
+
+// ---------------------------------------------------------------------
 // Uniform staging accessors: the executor is templated on its staging
 // store, and these overloads bridge the two supported families — each
 // generic over the per-point value type V.
@@ -246,6 +391,27 @@ inline bool store_insert(StagingStore<D, V>& s, const geom::Point<D>& q,
   return s.insert(q, v);
 }
 
+/// Insert n contiguous values along the innermost dimension starting
+/// at q; returns how many were newly added. Stores without dense rows
+/// fall back to per-cell insert — same values, same count.
+template <class Store, int D, class V>
+inline std::int64_t store_insert_span(Store& s, geom::Point<D> q,
+                                      const V* src, std::size_t n) {
+  std::int64_t added = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    added += store_insert(s, q, src[i]);
+    ++q.x[D - 1];
+  }
+  return added;
+}
+
+template <int D, class V>
+inline std::int64_t store_insert_span(StagingStore<D, V>& s,
+                                      const geom::Point<D>& q, const V* src,
+                                      std::size_t n) {
+  return s.insert_span(q, src, n);
+}
+
 /// Erase q; returns whether a value was actually removed.
 template <int D, class V>
 inline bool store_erase(BasicValueMap<D, V>& m, const geom::Point<D>& q) {
@@ -255,6 +421,24 @@ inline bool store_erase(BasicValueMap<D, V>& m, const geom::Point<D>& q) {
 template <int D, class V>
 inline bool store_erase(StagingStore<D, V>& s, const geom::Point<D>& q) {
   return s.erase(q);
+}
+
+/// Pointer to n contiguous live values along the innermost dimension
+/// starting at q, or nullptr when the store cannot serve the span as
+/// one dense row (absent cells, or a store without dense slabs). The
+/// SIMD leaf path tries this before staging a self-operand row cell
+/// by cell.
+template <class Store, int D>
+inline const store_value_t<Store>* store_row_span(const Store&,
+                                                  const geom::Point<D>&,
+                                                  std::size_t) {
+  return nullptr;
+}
+
+template <int D, class V>
+inline const V* store_row_span(const StagingStore<D, V>& s,
+                               const geom::Point<D>& q, std::size_t n) {
+  return s.row_span(q, n);
 }
 
 /// Pre-allocate the slab of time level t, where the store has slabs.

@@ -1,9 +1,12 @@
-// "hot" — the executor hot-path artifact: dense flat-staging executor
-// vs the retained hash-map baseline over the same full volumes. The
+// "hot" — the executor hot-path artifact: dense flat-staging executor,
+// its SIMD-kernel variant (run_dense_kernel + workload::MixKernel),
+// and the retained hash-map baseline over the same full volumes. The
 // emitted table carries only run-to-run deterministic fields (and is
 // therefore under the tier-2 byte-identity check like every other
-// emitter); wall-clock throughput goes to EngineCtx::metrics, which
-// bench_exec_hotpath serializes as metrics_hot.json.
+// emitter — identical with BSMP_SIMD on or off, since the ISA only
+// reaches the observational metrics); wall-clock throughput goes to
+// EngineCtx::metrics, which bench_exec_hotpath serializes as
+// metrics_hot.json.
 //
 // The two configs run as points of one engine sweep (not a bare loop)
 // so the emitter exercises the whole stack bench_exec_hotpath traces:
@@ -14,6 +17,7 @@
 #include <string>
 #include <utility>
 
+#include "sep/simd.hpp"
 #include "sim/observe.hpp"
 #include "tables/detail.hpp"
 #include "tables/emitters.hpp"
@@ -24,11 +28,11 @@ namespace bsmp::tables {
 
 namespace {
 
-/// Deterministic result of one hot config (both stores' stats; the
-/// seconds fields are observational and never reach the table).
+/// Deterministic result of one hot config (all three executors' stats;
+/// the seconds fields are observational and never reach the table).
 struct HotRun {
   std::string label;
-  hotpath::ExecStats dense, hash;
+  hotpath::ExecStats dense, simd, hash;
 };
 
 template <int D>
@@ -39,6 +43,9 @@ HotRun hot_config(const std::string& label,
 
   sep::StagingStore<D> dense_staging(&guest.stencil);
   hotpath::ExecStats dense = hotpath::run_dense<D>(guest, dense_staging);
+  sep::StagingStore<D> simd_staging(&guest.stencil);
+  hotpath::ExecStats simd = hotpath::run_dense_kernel<D>(
+      guest, simd_staging, workload::MixKernel<D>{});
   sep::ValueMap<D> hash_staging;
   hotpath::ExecStats hash = hotpath::run_hashmap<D>(guest, hash_staging);
 
@@ -57,7 +64,25 @@ HotRun hot_config(const std::string& label,
                           sim::extract_final<D>(guest.stencil, hash_staging)),
       label << ": dense and hashmap computed different guest values");
 
-  return {label, dense, hash};
+  // And the point of the SIMD leaf path: identical to dense in every
+  // deterministic field — values, charge totals, peak staging, even
+  // the slab allocation count — whether the vector path ran or the
+  // scalar fallback did (doc/PERF.md "Byte identity").
+  BSMP_REQUIRE_MSG(simd.vertices == dense.vertices,
+                   label << ": simd executed a different vertex count");
+  BSMP_REQUIRE_MSG(simd.total_cost == dense.total_cost,
+                   label << ": simd charged a different total — the vector "
+                            "leaf's charge stream is not bit-exact");
+  BSMP_REQUIRE_MSG(simd.peak_staging_words == dense.peak_staging_words,
+                   label << ": simd disagrees on peak staging");
+  BSMP_REQUIRE_MSG(simd.staging_allocs == dense.staging_allocs,
+                   label << ": simd disagrees on slab allocations");
+  BSMP_REQUIRE_MSG(
+      sim::same_values<D>(sim::extract_final<D>(guest.stencil, dense_staging),
+                          sim::extract_final<D>(guest.stencil, simd_staging)),
+      label << ": simd computed different guest values");
+
+  return {label, dense, simd, hash};
 }
 
 }  // namespace
@@ -73,25 +98,30 @@ std::vector<Emitted> hot_tables(EngineCtx& ctx) {
       },
       "hot configs");
 
-  core::Table t("HOT: executor hot path, dense flat staging vs hash-map "
-                "baseline (same run)",
+  core::Table t("HOT: executor hot path, dense flat staging (scalar and "
+                "SIMD kernel) vs hash-map baseline (same run)",
                 {"config", "store", "vertices", "peak staging", "slab allocs",
                  "cost total"});
   for (const HotRun& r : runs) {
-    for (const auto* run : {&r.dense, &r.hash}) {
-      const bool is_dense = run == &r.dense;
-      t.add_row({r.label, std::string(is_dense ? "dense" : "hashmap"),
+    const std::pair<const hotpath::ExecStats*, const char*> stores[] = {
+        {&r.dense, "dense"}, {&r.simd, "simd"}, {&r.hash, "hashmap"}};
+    for (const auto& [run, store] : stores) {
+      t.add_row({r.label, std::string(store),
                  static_cast<long long>(run->vertices),
                  static_cast<long long>(run->peak_staging_words),
                  static_cast<long long>(run->staging_allocs),
                  run->total_cost});
       if (ctx.metrics != nullptr) {
         engine::HotPathMetric h;
-        h.label = r.label + (is_dense ? "/dense" : "/hashmap");
+        h.label = r.label + "/" + store;
         h.vertices = run->vertices;
         h.seconds = run->seconds;
         h.peak_staging_words = run->peak_staging_words;
         h.staging_allocs = run->staging_allocs;
+        if (run == &r.simd) {
+          h.simd_isa = sep::simd::active_isa();
+          h.simd_lanes = sep::simd::lane_width();
+        }
         ctx.metrics->record_hot(std::move(h));
       }
     }

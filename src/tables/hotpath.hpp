@@ -264,4 +264,41 @@ ExecStats run_hashmap(const sep::Guest<D>& guest, sep::ValueMap<D>& staging) {
   return detail::drive(guest, exec, staging);
 }
 
+namespace detail {
+
+/// Adapter giving Executor::execute_with_rule the `execute(tile,
+/// staging)` shape drive() expects, with a concrete kernel functor in
+/// place of the guest's type-erased rule. When the kernel satisfies
+/// sep::simd::RowKernel this is the SIMD leaf path; either way it
+/// skips the per-vertex std::function dispatch.
+template <int D, class Kernel>
+struct KernelExec {
+  sep::Executor<D, sep::Word> exec;
+  Kernel kernel;
+
+  void set_ledger(core::CostLedger* ledger) { exec.set_ledger(ledger); }
+  void execute(const geom::Region<D>& U, sep::StagingStore<D>& staging) {
+    exec.execute_with_rule(U, staging, kernel);
+  }
+  std::int64_t vertices_executed() const { return exec.vertices_executed(); }
+  std::size_t peak_staging() const { return exec.peak_staging(); }
+};
+
+}  // namespace detail
+
+/// Full-volume run through the flat-staging executor with a concrete
+/// kernel functor (workload::MixKernel and friends) instead of the
+/// guest's std::function rule. The kernel must compute exactly
+/// guest.rule — charges and values are asserted equal to run_dense by
+/// the "hot" emitter. With a RowKernel and sep::simd::enabled(), leaf
+/// interiors run vectorized (doc/PERF.md "The SIMD leaf kernel").
+template <int D, class Kernel>
+ExecStats run_dense_kernel(const sep::Guest<D>& guest,
+                           sep::StagingStore<D>& staging, Kernel kernel) {
+  detail::KernelExec<D, Kernel> exec{
+      sep::Executor<D, sep::Word>(&guest, detail::exec_config(guest)),
+      kernel};
+  return detail::drive(guest, exec, staging);
+}
+
 }  // namespace bsmp::tables::hotpath

@@ -1,0 +1,127 @@
+#!/usr/bin/env python3
+"""Markdown link checker for the repo's documentation (CI `docs` job).
+
+Checks every inline markdown link in the files given on the command
+line:
+
+  * relative links must point at an existing file or directory
+    (resolved against the linking file's directory);
+  * fragment links -- `#anchor` alone or `file.md#anchor` -- must name
+    a heading in the target file, using GitHub's heading-to-anchor
+    slug rules (lowercase, punctuation stripped, spaces to hyphens,
+    `-N` suffixes for duplicates);
+  * absolute http(s) URLs are *not* fetched (CI must not flake on the
+    network); they are only validated for non-empty host.
+
+Usage: python3 tools/check_links.py README.md doc/*.md ...
+Exit status 1 if any link is broken, listing every failure.
+"""
+
+import re
+import sys
+from pathlib import Path
+
+# Inline links [text](target); images ![alt](target) match too via the
+# same pattern. Reference-style links are not used in this repo.
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+HEADING_RE = re.compile(r"^(#{1,6})\s+(.*?)\s*#*\s*$")
+CODE_FENCE_RE = re.compile(r"^(```|~~~)")
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's anchor slug for a heading line (markup stripped)."""
+    # Inline code/emphasis/links contribute their text only.
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", heading)
+    text = text.replace("`", "").replace("*", "").replace("_", " ")
+    text = text.strip().lower()
+    # Keep word characters, spaces and hyphens; drop the rest.
+    text = re.sub(r"[^\w\- ]", "", text)
+    return re.sub(r" +", "-", text)
+
+
+def heading_anchors(path: Path) -> set:
+    """All anchor slugs defined by a markdown file's headings."""
+    anchors = {}
+    in_fence = False
+    for line in path.read_text(encoding="utf-8").splitlines():
+        if CODE_FENCE_RE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        m = HEADING_RE.match(line)
+        if not m:
+            continue
+        slug = github_slug(m.group(2))
+        n = anchors.get(slug, 0)
+        anchors[slug] = n + 1
+        if n:  # duplicates get -1, -2, ... suffixes
+            anchors[f"{slug}-{n}"] = 1
+    return set(anchors)
+
+
+def iter_links(path: Path):
+    """Yield (lineno, target) for every inline link outside code."""
+    in_fence = False
+    for lineno, line in enumerate(
+        path.read_text(encoding="utf-8").splitlines(), start=1
+    ):
+        if CODE_FENCE_RE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        # Strip inline code spans so `[i](j)` array math is not a link.
+        stripped = re.sub(r"`[^`]*`", "", line)
+        for m in LINK_RE.finditer(stripped):
+            yield lineno, m.group(1)
+
+
+def check_file(path: Path, repo_root: Path, errors: list) -> None:
+    for lineno, target in iter_links(path):
+        where = f"{path.relative_to(repo_root)}:{lineno}"
+        if target.startswith(("http://", "https://")):
+            if not re.match(r"https?://[^/]+", target):
+                errors.append(f"{where}: malformed URL {target!r}")
+            continue
+        if target.startswith("mailto:"):
+            continue
+        base, _, fragment = target.partition("#")
+        dest = path if not base else (path.parent / base).resolve()
+        if not dest.exists():
+            errors.append(f"{where}: missing file {target!r}")
+            continue
+        if fragment:
+            if dest.is_dir() or dest.suffix.lower() != ".md":
+                errors.append(
+                    f"{where}: fragment on non-markdown target {target!r}"
+                )
+            elif fragment not in heading_anchors(dest):
+                errors.append(
+                    f"{where}: no heading for anchor {target!r} in "
+                    f"{dest.relative_to(repo_root)}"
+                )
+
+
+def main(argv: list) -> int:
+    if len(argv) < 2:
+        print(__doc__)
+        return 2
+    repo_root = Path.cwd().resolve()
+    errors = []
+    checked = 0
+    for arg in argv[1:]:
+        path = Path(arg).resolve()
+        if not path.exists():
+            errors.append(f"{arg}: file not found")
+            continue
+        checked += 1
+        check_file(path, repo_root, errors)
+    for e in errors:
+        print(f"BROKEN  {e}")
+    print(f"checked {checked} files, {len(errors)} broken links")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
