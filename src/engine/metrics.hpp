@@ -189,6 +189,14 @@ struct MetricsPass {
 ///   * per-hot "simd_isa" and "simd_lanes" — which SIMD dispatch the
 ///     section's leaf kernels took ("scalar" when the per-vertex loop
 ///     ran) and the 64-bit lanes per vector op of that ISA.
+///   * per-tasks "phases" — the same fork-join counters split by the
+///     forking mechanism (engine::ForkPhase: "machine-tile",
+///     "regime1-relocate", "regime2-wave", "regime2-subtile",
+///     "executor-leaf", "none" for unattributed scopes), each with
+///     "spawned", "inlined", "join_waits" and "park_ns" (wall time
+///     joins of that phase spent parked). Phases with all-zero
+///     counters are omitted; the object itself is omitted when no
+///     phase saw activity.
 /// The "hot" array carries the executor hot-path sections recorded via
 /// Metrics::record_hot; it is empty for passes that ran no simulator
 /// with a hot-metrics sink. The pass-level "tasks" object carries the

@@ -1,5 +1,6 @@
 #include "engine/task.hpp"
 
+#include <chrono>
 #include <utility>
 
 #include "core/expect.hpp"
@@ -15,6 +16,25 @@ thread_local int tl_slot = -1;
 
 TaskScheduler* TaskScheduler::current() { return tl_sched; }
 int TaskScheduler::current_slot() { return tl_slot; }
+
+const char* fork_phase_name(ForkPhase p) {
+  switch (p) {
+    case ForkPhase::kMachineTile:
+      return "machine-tile";
+    case ForkPhase::kRegime1Relocate:
+      return "regime1-relocate";
+    case ForkPhase::kRegime2Wave:
+      return "regime2-wave";
+    case ForkPhase::kRegime2Subtile:
+      return "regime2-subtile";
+    case ForkPhase::kExecutorLeaf:
+      return "executor-leaf";
+    case ForkPhase::kNone:
+    case ForkPhase::kCount:
+      break;
+  }
+  return "none";
+}
 
 TaskScheduler::Bind::Bind(TaskScheduler* sched, int slot)
     : prev_sched_(tl_sched), prev_slot_(tl_slot), sched_(sched), slot_(slot) {
@@ -148,6 +168,13 @@ TaskStats TaskScheduler::stats() const {
   s.stolen = stolen_.load(std::memory_order_relaxed);
   s.steal_ops = steal_ops_.load(std::memory_order_relaxed);
   s.join_waits = join_waits_.load(std::memory_order_relaxed);
+  for (std::size_t i = 0; i < kNumForkPhases; ++i) {
+    s.phase[i].spawned = phase_[i].spawned.load(std::memory_order_relaxed);
+    s.phase[i].inlined = phase_[i].inlined.load(std::memory_order_relaxed);
+    s.phase[i].join_waits =
+        phase_[i].join_waits.load(std::memory_order_relaxed);
+    s.phase[i].park_ns = phase_[i].park_ns.load(std::memory_order_relaxed);
+  }
   return s;
 }
 
@@ -157,10 +184,18 @@ void TaskScheduler::reset_stats() {
   stolen_.store(0, std::memory_order_relaxed);
   steal_ops_.store(0, std::memory_order_relaxed);
   join_waits_.store(0, std::memory_order_relaxed);
+  for (std::size_t i = 0; i < kNumForkPhases; ++i) {
+    phase_[i].spawned.store(0, std::memory_order_relaxed);
+    phase_[i].inlined.store(0, std::memory_order_relaxed);
+    phase_[i].join_waits.store(0, std::memory_order_relaxed);
+    phase_[i].park_ns.store(0, std::memory_order_relaxed);
+  }
 }
 
-TaskScope::TaskScope()
-    : sched_(TaskScheduler::current()), slot_(TaskScheduler::current_slot()) {}
+TaskScope::TaskScope(ForkPhase phase)
+    : sched_(TaskScheduler::current()),
+      slot_(TaskScheduler::current_slot()),
+      phase_(phase) {}
 
 TaskScope::~TaskScope() {
   if (!joined_) {
@@ -197,8 +232,11 @@ void TaskScope::fork(std::function<void()> fn) {
   joined_ = false;
   if (sched_ == nullptr || !sched_->parallel()) {
     // Sequential reference path: inline, immediately, in fork order.
-    if (sched_ != nullptr)
+    if (sched_ != nullptr) {
       sched_->inlined_.fetch_add(1, std::memory_order_relaxed);
+      sched_->phase_[static_cast<std::size_t>(phase_)].inlined.fetch_add(
+          1, std::memory_order_relaxed);
+    }
     try {
       fn();
     } catch (...) {
@@ -208,6 +246,8 @@ void TaskScope::fork(std::function<void()> fn) {
   }
   outstanding_.fetch_add(1, std::memory_order_acq_rel);
   sched_->spawned_.fetch_add(1, std::memory_order_relaxed);
+  sched_->phase_[static_cast<std::size_t>(phase_)].spawned.fetch_add(
+      1, std::memory_order_relaxed);
   TaskScheduler::Task t{std::move(fn), this, index};
 #if BSMP_TRACE_ENABLED
   if (trace::enabled()) {
@@ -222,6 +262,7 @@ void TaskScope::fork(std::function<void()> fn) {
 void TaskScope::join() {
   if (sched_ != nullptr) {
     bool waited = false;
+    std::uint64_t park_ns = 0;
     TaskScheduler::Task t;
     while (outstanding_.load(std::memory_order_acquire) != 0) {
       if (sched_->try_acquire(slot_, t)) {
@@ -236,13 +277,23 @@ void TaskScope::join() {
       if (!sched_->has_pending()) {
         waited = true;
         trace::Span park(trace::Cat::kTask, "join-park");
+        const auto t0 = std::chrono::steady_clock::now();
         sched_->sleep_cv_.wait(lk, [&] {
           return outstanding_.load(std::memory_order_acquire) == 0 ||
                  sched_->has_pending();
         });
+        park_ns += static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - t0)
+                .count());
       }
     }
-    if (waited) sched_->join_waits_.fetch_add(1, std::memory_order_relaxed);
+    if (waited) {
+      sched_->join_waits_.fetch_add(1, std::memory_order_relaxed);
+      auto& pc = sched_->phase_[static_cast<std::size_t>(phase_)];
+      pc.join_waits.fetch_add(1, std::memory_order_relaxed);
+      pc.park_ns.fetch_add(park_ns, std::memory_order_relaxed);
+    }
   }
   joined_ = true;
   std::lock_guard<std::mutex> lk(emu_);

@@ -30,6 +30,7 @@
 // Pool::parallel_for.
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
@@ -48,6 +49,43 @@ namespace bsmp::engine {
 
 class TaskScope;
 
+/// Which mechanism a TaskScope forks for. Fork/park counters are split
+/// by phase so the metrics-v2 `tasks.phases` block can attribute
+/// parallelism (and its idle cost) to the simulator mechanism that
+/// created it — the advisor's per-mechanism calibration reads these.
+enum class ForkPhase : int {
+  kNone = 0,             ///< unattributed scope (default TaskScope())
+  kMachineTile,          ///< multiproc top-level machine-tile wavefronts
+  kRegime1Relocate,      ///< regime-1 relocation subtrees
+  kRegime2Wave,          ///< regime-2 subtile wavefronts
+  kRegime2Subtile,       ///< executor forks inside a regime-2 subtile body
+  kExecutorLeaf,         ///< standalone executor sibling-region forks
+  kCount,
+};
+
+inline constexpr std::size_t kNumForkPhases =
+    static_cast<std::size_t>(ForkPhase::kCount);
+
+/// Stable name of a phase, matching the trace span names where one
+/// exists ("machine-tile", "regime1-relocate", ...).
+const char* fork_phase_name(ForkPhase p);
+
+/// Per-phase slice of the task counters (metrics-v2 `tasks.phases`).
+struct PhaseTaskStats {
+  std::uint64_t spawned = 0;     ///< tasks pushed onto a deque
+  std::uint64_t inlined = 0;     ///< forks executed inline (serial path)
+  std::uint64_t join_waits = 0;  ///< joins that parked (no runnable work)
+  std::uint64_t park_ns = 0;     ///< wall time spent parked in join()
+};
+
+inline PhaseTaskStats operator-(PhaseTaskStats a, const PhaseTaskStats& b) {
+  a.spawned -= b.spawned;
+  a.inlined -= b.inlined;
+  a.join_waits -= b.join_waits;
+  a.park_ns -= b.park_ns;
+  return a;
+}
+
 /// Task-layer counters of one scheduler (serialized into the per-pass
 /// and per-sweep `tasks` blocks of the bsmp-metrics-v2 artifact). All
 /// monotone; reset per measurement pass via Pool::reset_task_stats(),
@@ -58,6 +96,8 @@ struct TaskStats {
   std::uint64_t stolen = 0;      ///< tasks migrated by steal operations
   std::uint64_t steal_ops = 0;   ///< successful steal-half operations
   std::uint64_t join_waits = 0;  ///< joins that parked (no runnable work)
+  /// Same counters split by the forking mechanism (indexed by ForkPhase).
+  std::array<PhaseTaskStats, kNumForkPhases> phase{};
 };
 
 /// Counter-wise difference: scope a scheduler's monotone counters to
@@ -68,6 +108,8 @@ inline TaskStats operator-(TaskStats a, const TaskStats& b) {
   a.stolen -= b.stolen;
   a.steal_ops -= b.steal_ops;
   a.join_waits -= b.join_waits;
+  for (std::size_t i = 0; i < kNumForkPhases; ++i)
+    a.phase[i] = a.phase[i] - b.phase[i];
   return a;
 }
 
@@ -187,6 +229,15 @@ class TaskScheduler {
   std::atomic<std::uint64_t> stolen_{0};
   std::atomic<std::uint64_t> steal_ops_{0};
   std::atomic<std::uint64_t> join_waits_{0};
+
+  /// Per-phase slices of spawned / inlined / join_waits / park_ns.
+  struct PhaseCounters {
+    std::atomic<std::uint64_t> spawned{0};
+    std::atomic<std::uint64_t> inlined{0};
+    std::atomic<std::uint64_t> join_waits{0};
+    std::atomic<std::uint64_t> park_ns{0};
+  };
+  std::array<PhaseCounters, kNumForkPhases> phase_{};
 };
 
 /// A fork-join region. fork() schedules (or inlines) a task; join()
@@ -198,7 +249,9 @@ class TaskScheduler {
 class TaskScope {
  public:
   /// Captures the calling thread's ambient scheduler (may be none).
-  TaskScope();
+  /// `phase` attributes this scope's fork/park counters to one
+  /// mechanism in the metrics-v2 `tasks.phases` block.
+  explicit TaskScope(ForkPhase phase = ForkPhase::kNone);
   /// Joins (discarding any not-yet-rethrown exception) if the caller
   /// did not; prefer an explicit join().
   ~TaskScope();
@@ -225,6 +278,7 @@ class TaskScope {
 
   TaskScheduler* sched_;
   int slot_;
+  ForkPhase phase_;
   std::size_t next_index_ = 0;
   std::atomic<std::size_t> outstanding_{0};
   bool joined_ = false;

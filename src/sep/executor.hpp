@@ -110,6 +110,11 @@ struct ExecutorConfig {
   /// bit-identical either way. Defaults from
   /// sep::default_parallel_grain() (BSMP_PARALLEL_GRAIN).
   int64_t parallel_grain = default_parallel_grain();
+  /// Which mechanism this executor's forks are attributed to in the
+  /// per-phase task counters (metrics-v2 `tasks.phases`). Standalone
+  /// executors are "executor-leaf"; the multiproc simulator retags its
+  /// embedded executor as regime2-subtile.
+  engine::ForkPhase fork_phase = engine::ForkPhase::kExecutorLeaf;
 };
 
 template <int D, class V = Word>
@@ -402,7 +407,7 @@ class Executor {
         std::vector<Forked> forks(j - i);
         for (Forked& fk : forks) fk.shard.emplace(overlay, *cx.staging);
         const int child_depth = cx.depth;
-        engine::TaskScope scope;
+        engine::TaskScope scope(cfg_.fork_phase);
         for (std::size_t k = i; k < j; ++k) {
           Forked& fk = forks[k - i];
           const geom::Region<D>& child = children[k];

@@ -16,15 +16,27 @@ std::atomic<bool>& validation_flag() {
   return flag;
 }
 
+std::int64_t parse_grain_env(const char* name) {
+  const char* env = std::getenv(name);
+  if (env == nullptr || *env == '\0') return std::int64_t{0};
+  char* end = nullptr;
+  long long v = std::strtoll(env, &end, 10);
+  if (end == env || v < 0) return std::int64_t{0};
+  return static_cast<std::int64_t>(v);
+}
+
 std::atomic<std::int64_t>& grain_flag() {
-  static std::atomic<std::int64_t> flag = [] {
-    const char* env = std::getenv("BSMP_PARALLEL_GRAIN");
-    if (env == nullptr || *env == '\0') return std::int64_t{0};
-    char* end = nullptr;
-    long long v = std::strtoll(env, &end, 10);
-    if (end == env || v < 0) return std::int64_t{0};
-    return static_cast<std::int64_t>(v);
-  }();
+  static std::atomic<std::int64_t> flag = parse_grain_env("BSMP_PARALLEL_GRAIN");
+  return flag;
+}
+
+std::atomic<std::int64_t>& reloc_grain_flag() {
+  static std::atomic<std::int64_t> flag = parse_grain_env("BSMP_RELOC_GRAIN");
+  return flag;
+}
+
+std::atomic<std::int64_t>& wave_grain_flag() {
+  static std::atomic<std::int64_t> flag = parse_grain_env("BSMP_WAVE_GRAIN");
   return flag;
 }
 
@@ -36,6 +48,22 @@ std::int64_t default_parallel_grain() {
 
 void set_default_parallel_grain(std::int64_t grain) {
   grain_flag().store(grain < 0 ? 0 : grain, std::memory_order_relaxed);
+}
+
+std::int64_t default_reloc_grain() {
+  return reloc_grain_flag().load(std::memory_order_relaxed);
+}
+
+void set_default_reloc_grain(std::int64_t grain) {
+  reloc_grain_flag().store(grain < 0 ? 0 : grain, std::memory_order_relaxed);
+}
+
+std::int64_t default_wave_grain() {
+  return wave_grain_flag().load(std::memory_order_relaxed);
+}
+
+void set_default_wave_grain(std::int64_t grain) {
+  wave_grain_flag().store(grain < 0 ? 0 : grain, std::memory_order_relaxed);
 }
 
 bool validation_mode() {

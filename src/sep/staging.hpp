@@ -644,6 +644,30 @@ std::int64_t default_parallel_grain();
 void set_default_parallel_grain(std::int64_t grain);
 
 // ---------------------------------------------------------------------
+// Simulator fork grains, same contract and bit-identity guarantee as
+// the executor grain above (0 disables; env default at process start):
+//   * reloc grain (BSMP_RELOC_GRAIN): region width above which
+//     regime-1 relocation recursion forks independent equal-uppers
+//     child runs (sim::MultiprocConfig::reloc_grain);
+//   * wave grain (BSMP_WAVE_GRAIN): minimum antichain size (subtiles
+//     in a regime-2 wavefront, machine tiles in a top-level wave) at
+//     which the wave forks (sim::MultiprocConfig::wave_grain; values
+//     below 2 behave as 2 since a 1-wide wave has nothing to fork).
+// ---------------------------------------------------------------------
+
+/// Process-wide default for sim::MultiprocConfig::reloc_grain.
+std::int64_t default_reloc_grain();
+
+/// Override the process-wide default (tests; benches).
+void set_default_reloc_grain(std::int64_t grain);
+
+/// Process-wide default for sim::MultiprocConfig::wave_grain.
+std::int64_t default_wave_grain();
+
+/// Override the process-wide default (tests; benches).
+void set_default_wave_grain(std::int64_t grain);
+
+// ---------------------------------------------------------------------
 // Validation mode: when on, the executor re-materializes the
 // preboundary / out-set vectors at every recursion level and asserts
 // the topological-partition property (the pre-flat-staging behavior),

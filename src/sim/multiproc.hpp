@@ -19,13 +19,42 @@
 //    boundary are charged as interprocessor communication over one
 //    link, and the subtile body runs through the separator executor
 //    (recursing to Theorem-3 executable diamonds of width m).
+//
+// Parallel execution (doc/ENGINE.md "Task layer"): every antichain in
+// the hierarchy above can fork into the ambient engine::TaskScheduler —
+// machine-tile wavefronts and regime-2 subtile wavefronts when the
+// wave has at least MultiprocConfig::wave_grain independent pieces,
+// and equal-uppers runs of regime-1 bisection children when the node
+// is wider than MultiprocConfig::reloc_grain (the embedded executor
+// additionally forks below the subtile per ExecutorConfig::
+// parallel_grain). Each fork runs against a private StagingShard and
+// records its side effects — relocation charges, subtile charge logs,
+// barriers — in a PhaseLog instead of touching the shared ledgers,
+// clocks, planner, or op stream. The join replays the logs in
+// canonical (fork) order on the calling thread, reproducing the serial
+// floating-point charge sequence, clock trajectory, staging trajectory
+// and emitted op stream bit for bit at any thread count.
+//
+// Per-op emission and forking: earlier revisions disabled forking for
+// the whole run whenever a ParallelSchedule emitter was attached,
+// because subtile op emission ran the planner inside the wave loop
+// against shared caches. Emission is now part of canonical-order
+// replay — the planner and the emitter only ever run on the joining
+// thread, after the forks completed, in exactly the serial order — so
+// no phase needs a per-emitter gate anymore: the per-phase grain knobs
+// are the only forking gates, and the emitted stream is byte-identical
+// whether a phase forked or not.
 #pragma once
 
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <cstddef>
 #include <optional>
 #include <string>
+#include <type_traits>
+#include <utility>
+#include <variant>
 #include <vector>
 
 #include "core/expect.hpp"
@@ -48,12 +77,37 @@ struct MultiprocConfig {
   std::int64_t leaf_width = 0;  ///< 0: min(m, s)
   double space_const = 6.0;
   bool charge_rearrangement = true;
+  /// Region width above which regime-1 bisection forks its equal-uppers
+  /// child runs into the ambient scheduler; 0 disables. Execution is
+  /// bit-identical either way. Defaults from sep::default_reloc_grain()
+  /// (BSMP_RELOC_GRAIN).
+  std::int64_t reloc_grain = sep::default_reloc_grain();
+  /// Minimum number of independent pieces (subtiles of a regime-2
+  /// wavefront, machine tiles of a top-level wavefront) at which a wave
+  /// forks; 0 disables, values below 2 behave as 2. Bit-identical
+  /// either way. Defaults from sep::default_wave_grain()
+  /// (BSMP_WAVE_GRAIN).
+  std::int64_t wave_grain = sep::default_wave_grain();
   /// Opt-in hot-path observability (see DcConfig::metrics).
   engine::Metrics* metrics = nullptr;
   std::string hot_label;
 };
 
-template <int D, class V = sep::Word>
+namespace detail {
+
+/// Construct the simulator's staging store: StagingStore wants the
+/// stencil for its dense window geometry; a plain ValueMap does not.
+template <class Store, int D>
+Store make_staging(const geom::Stencil<D>* st) {
+  if constexpr (std::is_constructible_v<Store, const geom::Stencil<D>*>)
+    return Store(st);
+  else
+    return Store{};
+}
+
+}  // namespace detail
+
+template <int D, class V = sep::Word, class Store = sep::StagingStore<D, V>>
 class MultiprocSimulator {
  public:
   MultiprocSimulator(const sep::BasicGuest<D, V>* guest,
@@ -62,7 +116,7 @@ class MultiprocSimulator {
         host_(host),
         cfg_(cfg),
         clocks_(host.p),
-        staging_(&guest->stencil) {
+        staging_(detail::make_staging<Store, D>(&guest->stencil)) {
     guest_->validate();
     host_.validate();
     const geom::Stencil<D>& st = guest_->stencil;
@@ -91,8 +145,22 @@ class MultiprocSimulator {
     exec_cfg_.leaf_width = leaf_w_;
     exec_cfg_.f = host_.access_fn();
     exec_cfg_.space_const = cfg_.space_const;
+    // Executor forks happen inside a regime-2 subtile body here, so
+    // attribute them to that phase in the per-phase task counters.
+    exec_cfg_.fork_phase = engine::ForkPhase::kRegime2Subtile;
     exec_.emplace(guest_, exec_cfg_);
     ledgers_.resize(static_cast<std::size_t>(host_.p));
+
+    // Working-set address scale of a subtile's resident data inside its
+    // processor's memory after Regime 1 brought the macro domain near;
+    // run-wide constants (they depend on macro_w_, not the macro at
+    // hand), hoisted so forked subtile bodies share them.
+    s_rest_ = cfg_.space_const *
+                  static_cast<double>(std::min(st.reach(), macro_w_)) *
+                  std::pow(static_cast<double>(cfg_.s), D) +
+              8.0;
+    f_rest_ = host_.access_fn()(static_cast<std::uint64_t>(s_rest_));
+    link_ = host_.link_length();
 
     sched::PlannerConfig<D> pcfg;
     pcfg.tile_width = node_side_;
@@ -104,6 +172,9 @@ class MultiprocSimulator {
   /// When set, the simulator additionally emits its exact op stream as
   /// a ParallelSchedule (must be constructed with p == host.p); its
   /// makespan_under(host access fn) reproduces run()'s virtual time.
+  /// Emission happens on the canonical-order replay path, so it is
+  /// byte-identical whether phases fork or run serially (header
+  /// comment).
   void set_emit(sched::ParallelSchedule<D>* emit) {
     if (emit != nullptr)
       BSMP_REQUIRE_MSG(emit->num_procs() == host_.p,
@@ -138,13 +209,18 @@ class MultiprocSimulator {
     const double rdist = relocation_distance(node_side_);
     const auto hot_t0 = std::chrono::steady_clock::now();
     for (std::size_t k = 0; k < waves.size(); ++k) {
-      for (const auto& tile : waves[k]) {
-        engine::trace::Span tile_span(engine::trace::Cat::kSim,
-                                      "machine-tile", tile.width(),
-                                      static_cast<std::int64_t>(k));
-        charge_relocation(
-            static_cast<std::size_t>(tile.preboundary_count()), rdist);
-        relocate_rec(tile);
+      if (wave_parallel(waves[k].size())) {
+        exec_tilewave_forked(waves[k], k, rdist);
+      } else {
+        PhaseCtx<Store> cx{&staging_, nullptr};
+        for (const auto& tile : waves[k]) {
+          engine::trace::Span tile_span(engine::trace::Cat::kSim,
+                                        "machine-tile", tile.width(),
+                                        static_cast<std::int64_t>(k));
+          charge_relocation_ctx(
+              cx, static_cast<std::size_t>(tile.preboundary_count()), rdist);
+          relocate_rec(tile, cx);
+        }
       }
       detail::prune_staging<D>(st, staging_, suffix_tmin[k + 1]);
     }
@@ -156,7 +232,7 @@ class MultiprocSimulator {
                       std::chrono::steady_clock::now() - hot_t0)
                       .count();
       h.peak_staging_words = exec_->peak_staging();
-      h.staging_allocs = staging_.level_allocs();
+      h.staging_allocs = sep::store_level_allocs(staging_);
       cfg_.metrics->record_hot(std::move(h));
     }
 
@@ -170,6 +246,51 @@ class MultiprocSimulator {
   }
 
  private:
+  using Delta = typename sep::Executor<D, V>::ExecDelta;
+
+  // -------------------------------------------------------------------
+  // Phase logs: the recorded side effects of one forked subtree. A
+  // fork writes staged values into its private shard and pushes one
+  // step per serial side effect; the join replays the steps in
+  // canonical order against the shared ledgers / clocks / planner /
+  // emitter, reproducing the serial execution exactly.
+  // -------------------------------------------------------------------
+
+  /// One charge_relocation() call (regime-1 preboundary/out-set move).
+  struct RelocStep {
+    std::size_t words = 0;
+    double dist = 0.0;
+  };
+
+  /// One regime-2 subtile: its identity and home processor, the
+  /// preboundary split, the pre/body charge logs and the executor
+  /// delta. The body cost is *not* precomputed: the serial path reads
+  /// it off the live ledger (total() - before), so the replay must
+  /// recompute it against the ledger state at replay time.
+  struct SubtileStep {
+    std::optional<geom::Region<D>> sub;  // optional: Region has no default ctor
+    std::int64_t pr = 0;
+    std::size_t resident = 0, cross = 0;
+    core::ChargeLog pre, body;
+    Delta delta{};
+  };
+
+  /// One end-of-wave clock barrier (plus its emitted op).
+  struct BarrierStep {};
+
+  using PhaseStep = std::variant<RelocStep, SubtileStep, BarrierStep>;
+  using PhaseLog = std::vector<PhaseStep>;
+
+  /// Where a (possibly forked) subtree reads and writes: its staging
+  /// view, and — when forked — the log that defers its charges. A null
+  /// log means direct mode: charges go straight to the shared ledgers
+  /// and clocks, exactly the pre-fork serial path.
+  template <class S>
+  struct PhaseCtx {
+    S* store = nullptr;
+    PhaseLog* log = nullptr;
+  };
+
   double relocation_distance(std::int64_t width) const {
     // After the pi2*pi1 rearrangement, transfers for a width-w domain
     // occur at distance w / p^(1/d) (Section 4.2), never below one.
@@ -194,23 +315,226 @@ class MultiprocSimulator {
     }
   }
 
+  template <class S>
+  void charge_relocation_ctx(PhaseCtx<S>& cx, std::size_t words,
+                             double dist) {
+    if (words == 0) return;
+    if (cx.log != nullptr) {
+      cx.log->push_back(RelocStep{words, dist});
+      return;
+    }
+    charge_relocation(words, dist);
+  }
+
+  /// End-of-wave synchronization: all processor clocks meet.
+  void wave_barrier() {
+    clocks_.barrier();
+    if (emit_ != nullptr) {
+      sched::Op<D> b;
+      b.kind = sched::OpKind::kBarrier;
+      emit_->push(b);
+    }
+  }
+
+  bool sched_parallel() const {
+    engine::TaskScheduler* s = engine::TaskScheduler::current();
+    return s != nullptr && s->parallel();
+  }
+
+  /// Fork a wave (regime-2 subtiles or top-level machine tiles) when
+  /// it has enough independent pieces and forks can actually run
+  /// concurrently.
+  bool wave_parallel(std::size_t units) const {
+    if (cfg_.wave_grain <= 0) return false;
+    if (static_cast<std::int64_t>(units) <
+        std::max<std::int64_t>(2, cfg_.wave_grain))
+      return false;
+    return sched_parallel();
+  }
+
+  /// Fork a regime-1 node's equal-uppers child runs when the node is
+  /// above the relocation grain.
+  bool reloc_parallel(const geom::Region<D>& r) const {
+    return cfg_.reloc_grain > 0 && r.width() > cfg_.reloc_grain &&
+           sched_parallel();
+  }
+
+  // -------------------------------------------------------------------
+  // Replay: apply a fork's recorded steps to the shared state, in
+  // canonical order, on the joining thread. `base` is staging_'s size
+  // when the forked group's serial-equivalent execution would have
+  // started; `cum` accumulates the executor net deltas of the replayed
+  // subtiles so absorb() sees the exact serial staging trajectory.
+  // -------------------------------------------------------------------
+
+  void merge_subtile_step(SubtileStep& sb, std::size_t base,
+                          std::int64_t& cum) {
+    core::CostLedger& lg = ledgers_[static_cast<std::size_t>(sb.pr)];
+    sb.pre.replay_into(lg);
+    // The serial path's exact cost expression, with the executor's
+    // contribution recovered through the same total()-before read.
+    core::Cost cost = 0;
+    cost += 2.0 * f_rest_ * static_cast<core::Cost>(sb.resident);
+    if (sb.cross > 0) cost += link_ * static_cast<core::Cost>(sb.cross);
+    core::Cost before = lg.total();
+    sb.body.replay_into(lg);
+    cost += lg.total() - before;
+    clocks_.advance(sb.pr, cost);
+    exec_->absorb(sb.delta, base + static_cast<std::size_t>(cum));
+    cum += sb.delta.net;
+    emit_subtile_ops(*sb.sub, sb.pr, sb.resident, sb.cross);
+  }
+
+  void replay_phase_log(PhaseLog& log, std::size_t base, std::int64_t& cum) {
+    for (PhaseStep& step : log) {
+      if (auto* rs = std::get_if<RelocStep>(&step)) {
+        charge_relocation(rs->words, rs->dist);
+      } else if (auto* sb = std::get_if<SubtileStep>(&step)) {
+        merge_subtile_step(*sb, base, cum);
+      } else {
+        wave_barrier();
+      }
+    }
+  }
+
+  /// Join a group of forked subtrees. Nested in another fork: splice
+  /// the logs (the enclosing join replays them) and fold the shards
+  /// into the enclosing shard. At the root: replay each log against
+  /// the shared state and fold the shards into staging_ — always in
+  /// canonical fork order.
+  template <class Fork, class S>
+  void join_forked_group(std::vector<Fork>& forks, PhaseCtx<S>& cx) {
+    engine::trace::Span merge_span(engine::trace::Cat::kTask, "shard-merge",
+                                   static_cast<std::int64_t>(forks.size()));
+    if (cx.log != nullptr) {
+      for (Fork& fk : forks) {
+        for (PhaseStep& step : fk.log)
+          cx.log->push_back(std::move(step));
+        fk.shard->merge_into(*cx.store);
+      }
+      return;
+    }
+    const std::size_t base = staging_.size();
+    std::int64_t cum = 0;
+    for (Fork& fk : forks) {
+      replay_phase_log(fk.log, base, cum);
+      fk.shard->merge_into(staging_);
+    }
+  }
+
+  // -------------------------------------------------------------------
+  // Regime 1
+  // -------------------------------------------------------------------
+
   /// Regime 1: bisect down to macro width, charging relocations.
-  void relocate_rec(const geom::Region<D>& r) {
+  template <class S>
+  void relocate_rec(const geom::Region<D>& r, PhaseCtx<S>& cx) {
     if (r.width() <= macro_w_) {
-      regime2(r);
+      regime2(r, cx);
       return;
     }
     engine::trace::Span span(engine::trace::Cat::kSim, "regime1-relocate",
                              r.width());
-    for (const geom::Region<D>& child : r.split()) {
-      double dist = relocation_distance(child.width());
-      charge_relocation(static_cast<std::size_t>(child.preboundary_count()),
-                        dist);
-      relocate_rec(child);
-      charge_relocation(static_cast<std::size_t>(child.outset_count()),
-                        dist);
+    std::vector<geom::Region<D>> children = r.split();
+    if (reloc_parallel(r)) {
+      relocate_children_forked(r, children, cx);
+    } else {
+      for (const geom::Region<D>& child : children) relocate_child(child, cx);
     }
   }
+
+  template <class S>
+  void relocate_child(const geom::Region<D>& child, PhaseCtx<S>& cx) {
+    double dist = relocation_distance(child.width());
+    charge_relocation_ctx(
+        cx, static_cast<std::size_t>(child.preboundary_count()), dist);
+    relocate_rec(child, cx);
+    charge_relocation_ctx(cx, static_cast<std::size_t>(child.outset_count()),
+                          dist);
+  }
+
+  /// Fork runs of consecutive equal-uppers children of one regime-1
+  /// node — the same antichain argument as the executor's
+  /// exec_children_forked: split() orders children by how many
+  /// monotone coordinates take the upper half, and within one such run
+  /// no child can feed another. Singleton runs execute in place so
+  /// later runs see their out-sets.
+  template <class S>
+  void relocate_children_forked(const geom::Region<D>& r,
+                                const std::vector<geom::Region<D>>& children,
+                                PhaseCtx<S>& cx) {
+    using Shard = typename sep::ShardOf<D, S>::type;
+    struct Fork {
+      PhaseLog log;
+      std::optional<Shard> shard;
+    };
+    auto uppers = [&r](const geom::Region<D>& child) {
+      int u = 0;
+      for (int k = 0; k < geom::Region<D>::K; ++k)
+        if (child.lo()[k] != r.lo()[k]) ++u;
+      return u;
+    };
+    std::size_t i = 0;
+    while (i < children.size()) {
+      std::size_t j = i + 1;
+      while (j < children.size() && uppers(children[j]) == uppers(children[i]))
+        ++j;
+      if (j - i == 1) {
+        relocate_child(children[i], cx);
+      } else {
+        std::vector<Fork> forks(j - i);
+        for (Fork& fk : forks) fk.shard.emplace(sep::overlay, *cx.store);
+        engine::TaskScope scope(engine::ForkPhase::kRegime1Relocate);
+        for (std::size_t k = i; k < j; ++k) {
+          Fork& fk = forks[k - i];
+          const geom::Region<D>& child = children[k];
+          scope.fork([this, &fk, &child] {
+            PhaseCtx<Shard> sub{&*fk.shard, &fk.log};
+            relocate_child(child, sub);
+          });
+        }
+        scope.join();
+        join_forked_group(forks, cx);
+      }
+      i = j;
+    }
+  }
+
+  /// Fork one top-level machine-tile wavefront (tiles of one
+  /// anti-diagonal are mutually independent); each tile records its
+  /// whole regime-1 subtree in a PhaseLog over a private shard.
+  template <class TileWave>
+  void exec_tilewave_forked(const TileWave& wave, std::size_t k,
+                            double rdist) {
+    using Shard = typename sep::ShardOf<D, Store>::type;
+    struct Fork {
+      PhaseLog log;
+      std::optional<Shard> shard;
+    };
+    std::vector<Fork> forks(wave.size());
+    for (Fork& fk : forks) fk.shard.emplace(sep::overlay, staging_);
+    engine::TaskScope scope(engine::ForkPhase::kMachineTile);
+    for (std::size_t i = 0; i < wave.size(); ++i) {
+      Fork& fk = forks[i];
+      const auto& tile = wave[i];
+      scope.fork([this, &fk, &tile, k, rdist] {
+        engine::trace::Span tile_span(engine::trace::Cat::kSim,
+                                      "machine-tile", tile.width(),
+                                      static_cast<std::int64_t>(k));
+        PhaseCtx<Shard> cx{&*fk.shard, &fk.log};
+        charge_relocation_ctx(
+            cx, static_cast<std::size_t>(tile.preboundary_count()), rdist);
+        relocate_rec(tile, cx);
+      });
+    }
+    scope.join();
+    PhaseCtx<Store> root{&staging_, nullptr};
+    join_forked_group(forks, root);
+  }
+
+  // -------------------------------------------------------------------
+  // Regime 2
+  // -------------------------------------------------------------------
 
   std::int64_t proc_of_strip(const std::array<std::int64_t, D>& strip) const {
     std::int64_t pr = 0;
@@ -226,7 +550,8 @@ class MultiprocSimulator {
   }
 
   /// Regime 2: execute a macro domain via width-s subtile wavefronts.
-  void regime2(const geom::Region<D>& macro) {
+  template <class S>
+  void regime2(const geom::Region<D>& macro, PhaseCtx<S>& cx) {
     engine::trace::Span macro_span(engine::trace::Cat::kSim, "regime2-macro",
                                    macro.width());
     constexpr int K = geom::kMono<D>;
@@ -235,16 +560,6 @@ class MultiprocSimulator {
     std::array<std::int64_t, K> cells;
     for (int k = 0; k < K; ++k)
       cells[k] = core::div_ceil(macro.hi()[k] - macro.lo()[k], cfg_.s);
-
-    // Working-set address scale of a subtile's resident data inside its
-    // processor's memory after Regime 1 brought the macro domain near.
-    double s_rest = cfg_.space_const *
-                        static_cast<double>(std::min(st.reach(), macro_w_)) *
-                        std::pow(static_cast<double>(cfg_.s), D) +
-                    8.0;
-    const core::Cost f_rest =
-        host_.access_fn()(static_cast<std::uint64_t>(s_rest));
-    const core::Cost link = host_.link_length();
 
     // Group subtiles by wavefront (sum of grid indices).
     std::int64_t max_sum = 0;
@@ -277,30 +592,63 @@ class MultiprocSimulator {
       engine::trace::Span wave_span(engine::trace::Cat::kSim, "regime2-wave",
                                     static_cast<std::int64_t>(wave.size()),
                                     static_cast<std::int64_t>(wi));
-      if (wave_parallel(wave)) {
-        exec_wave_forked(wave, f_rest, link);
+      if (wave_parallel(wave.size())) {
+        exec_wave_forked(wave, cx);
+      } else if (cx.log != nullptr) {
+        // Serial within an enclosing fork: execute against the fork's
+        // shard, recording each subtile as a step for the join replay.
+        for (const geom::Region<D>& sub : wave) {
+          cx.log->push_back(SubtileStep{});
+          make_subtile_step(sub, *cx.store,
+                            std::get<SubtileStep>(cx.log->back()));
+        }
       } else {
-        for (const geom::Region<D>& sub : wave)
-          exec_subtile(sub, f_rest, s_rest, link);
+        for (const geom::Region<D>& sub : wave) exec_subtile(sub);
       }
-      clocks_.barrier();
-      if (emit_ != nullptr) {
-        sched::Op<D> b;
-        b.kind = sched::OpKind::kBarrier;
-        emit_->push(b);
-      }
+      if (cx.log != nullptr)
+        cx.log->push_back(BarrierStep{});
+      else
+        wave_barrier();
     }
   }
 
-  /// One subtile of a Regime-2 wave, serially (the reference path).
-  void exec_subtile(const geom::Region<D>& sub, core::Cost f_rest,
-                    double s_rest, core::Cost link) {
+  /// The forked/logged subtile body: identify the home processor,
+  /// split the preboundary, record the pre charges and run the body
+  /// through the executor against `store` — no shared state touched.
+  template <class S>
+  void make_subtile_step(const geom::Region<D>& sub, S& store,
+                         SubtileStep& sb) {
+    sb.sub = sub;
+    auto fp = sub.first_point();
+    BSMP_ASSERT(fp.has_value());
+    auto home = strip_of(fp->x);
+    sb.pr = proc_of_strip(home);
+    // Span args match exec_subtile's so the deterministic span set is
+    // the same whether the wave forked or ran serially.
+    engine::trace::Span sub_span(engine::trace::Cat::kSim, "regime2-subtile",
+                                 sub.width(), sb.pr);
+    sub.preboundary_visit([&](const geom::Point<D>& q) {
+      if (strip_of(q.x) != home)
+        ++sb.cross;
+      else
+        ++sb.resident;
+    });
+    sb.pre.charge(core::CostKind::kBlockMove,
+                  2.0 * f_rest_ * static_cast<core::Cost>(sb.resident),
+                  sb.resident);
+    if (sb.cross > 0)
+      sb.pre.charge(core::CostKind::kComm,
+                    link_ * static_cast<core::Cost>(sb.cross), sb.cross);
+    sb.delta = exec_->execute_delta(sub, store, sb.body);
+  }
+
+  /// One subtile of a Regime-2 wave, serially at the root (the
+  /// reference path: charges hit the shared ledgers directly).
+  void exec_subtile(const geom::Region<D>& sub) {
     auto fp = sub.first_point();
     BSMP_ASSERT(fp.has_value());
     auto home = strip_of(fp->x);
     std::int64_t pr = proc_of_strip(home);
-    // Span args match exec_wave_forked's so the deterministic span set
-    // is the same whether the wave forked or ran serially.
     engine::trace::Span sub_span(engine::trace::Cat::kSim, "regime2-subtile",
                                  sub.width(), pr);
 
@@ -315,12 +663,12 @@ class MultiprocSimulator {
     });
 
     core::Cost cost = 0;
-    cost += 2.0 * f_rest * static_cast<core::Cost>(resident);
+    cost += 2.0 * f_rest_ * static_cast<core::Cost>(resident);
     ledgers_[static_cast<std::size_t>(pr)].charge(
         core::CostKind::kBlockMove,
-        2.0 * f_rest * static_cast<core::Cost>(resident), resident);
+        2.0 * f_rest_ * static_cast<core::Cost>(resident), resident);
     if (cross > 0) {
-      core::Cost c = link * static_cast<core::Cost>(cross);
+      core::Cost c = link_ * static_cast<core::Cost>(cross);
       cost += c;
       ledgers_[static_cast<std::size_t>(pr)].charge(core::CostKind::kComm,
                                                     c, cross);
@@ -333,111 +681,78 @@ class MultiprocSimulator {
     cost += ledgers_[static_cast<std::size_t>(pr)].total() - before;
 
     clocks_.advance(pr, cost);
+    emit_subtile_ops(sub, pr, resident, cross);
+  }
 
-    if (emit_ != nullptr) {
-      if (resident > 0) {
-        sched::Op<D> in;
-        in.kind = sched::OpKind::kCopyIn;
-        in.proc = pr;
-        in.words = static_cast<std::int64_t>(resident);
-        in.addr_scale = s_rest;
-        emit_->push(in);
-      }
-      if (cross > 0) {
-        sched::Op<D> cm;
-        cm.kind = sched::OpKind::kComm;
-        cm.proc = pr;
-        cm.words = static_cast<std::int64_t>(cross);
-        cm.distance = link;
-        emit_->push(cm);
-      }
-      // The subtile body: the serial planner emits exactly the op
-      // stream the executor charges; annotate it with pr.
-      sched::Schedule<D> body;
-      planner_->plan_region(body, sub);
-      for (sched::Op<D> op : body.ops()) {
-        op.proc = pr;
-        emit_->push(op);
-      }
+  /// Emit one subtile's ops. Only ever called on the root thread — by
+  /// the serial path in wave order, or by the join replay in canonical
+  /// order — so the planner's shared caches see no concurrency and the
+  /// stream is byte-identical either way.
+  void emit_subtile_ops(const geom::Region<D>& sub, std::int64_t pr,
+                        std::size_t resident, std::size_t cross) {
+    if (emit_ == nullptr) return;
+    if (resident > 0) {
+      sched::Op<D> in;
+      in.kind = sched::OpKind::kCopyIn;
+      in.proc = pr;
+      in.words = static_cast<std::int64_t>(resident);
+      in.addr_scale = s_rest_;
+      emit_->push(in);
+    }
+    if (cross > 0) {
+      sched::Op<D> cm;
+      cm.kind = sched::OpKind::kComm;
+      cm.proc = pr;
+      cm.words = static_cast<std::int64_t>(cross);
+      cm.distance = link_;
+      emit_->push(cm);
+    }
+    // The subtile body: the serial planner emits exactly the op
+    // stream the executor charges; annotate it with pr.
+    sched::Schedule<D> body;
+    planner_->plan_region(body, sub);
+    for (sched::Op<D> op : body.ops()) {
+      op.proc = pr;
+      emit_->push(op);
     }
   }
 
-  /// Fork a wave when its subtiles can actually run concurrently:
-  /// parallelism is on, a multi-slot scheduler is ambient, and no op
-  /// stream is being emitted (the emit path runs the planner per
-  /// subtile against shared caches; the serial path keeps it exact).
-  bool wave_parallel(const std::vector<geom::Region<D>>& wave) const {
-    if (emit_ != nullptr || wave.size() < 2 || exec_cfg_.parallel_grain <= 0)
-      return false;
-    engine::TaskScheduler* s = engine::TaskScheduler::current();
-    return s != nullptr && s->parallel();
-  }
-
-  /// One Regime-2 wave with its subtiles forked. Subtiles of a wave
-  /// are mutually independent (anti-diagonal wavefronts), so each runs
-  /// against a private StagingShard over staging_ with private
-  /// ChargeLogs; the join merges in canonical subtile order, charging
-  /// each processor's ledger and clock with the exact floating-point
-  /// sequence the serial path produces.
+  /// One wave with its independent subtiles forked. Each runs against
+  /// a private StagingShard over cx's store with private ChargeLogs;
+  /// the join merges in canonical subtile order (directly at the root,
+  /// or by splicing into the enclosing fork's log).
+  template <class S>
   void exec_wave_forked(const std::vector<geom::Region<D>>& wave,
-                        core::Cost f_rest, core::Cost link) {
-    using Delta = typename sep::Executor<D, V>::ExecDelta;
-    struct Sub {
-      std::size_t resident = 0, cross = 0;
-      std::int64_t pr = 0;
-      core::ChargeLog pre, body;
-      Delta delta;
-      std::optional<sep::StagingShard<D, sep::StagingStore<D, V>>> shard;
+                        PhaseCtx<S>& cx) {
+    using Shard = typename sep::ShardOf<D, S>::type;
+    struct Fork {
+      SubtileStep step;
+      std::optional<Shard> shard;
     };
-    const std::size_t base = staging_.size();
-    std::vector<Sub> subs(wave.size());
-    for (Sub& sb : subs) sb.shard.emplace(sep::overlay, staging_);
-    engine::TaskScope scope;
+    std::vector<Fork> forks(wave.size());
+    for (Fork& fk : forks) fk.shard.emplace(sep::overlay, *cx.store);
+    engine::TaskScope scope(engine::ForkPhase::kRegime2Wave);
     for (std::size_t i = 0; i < wave.size(); ++i) {
-      Sub& sb = subs[i];
+      Fork& fk = forks[i];
       const geom::Region<D>& sub = wave[i];
-      scope.fork([this, &sb, &sub, f_rest, link] {
-        auto fp = sub.first_point();
-        BSMP_ASSERT(fp.has_value());
-        auto home = strip_of(fp->x);
-        sb.pr = proc_of_strip(home);
-        engine::trace::Span sub_span(engine::trace::Cat::kSim,
-                                     "regime2-subtile", sub.width(), sb.pr);
-        sub.preboundary_visit([&](const geom::Point<D>& q) {
-          if (strip_of(q.x) != home)
-            ++sb.cross;
-          else
-            ++sb.resident;
-        });
-        sb.pre.charge(core::CostKind::kBlockMove,
-                      2.0 * f_rest * static_cast<core::Cost>(sb.resident),
-                      sb.resident);
-        if (sb.cross > 0)
-          sb.pre.charge(core::CostKind::kComm,
-                        link * static_cast<core::Cost>(sb.cross), sb.cross);
-        sb.delta = exec_->execute_delta(sub, *sb.shard, sb.body);
-      });
+      scope.fork(
+          [this, &fk, &sub] { make_subtile_step(sub, *fk.shard, fk.step); });
     }
     scope.join();
     engine::trace::Span merge_span(engine::trace::Cat::kTask, "shard-merge",
                                    static_cast<std::int64_t>(wave.size()));
+    if (cx.log != nullptr) {
+      for (Fork& fk : forks) {
+        cx.log->push_back(std::move(fk.step));
+        fk.shard->merge_into(*cx.store);
+      }
+      return;
+    }
+    const std::size_t base = staging_.size();
     std::int64_t cum = 0;
-    for (Sub& sb : subs) {
-      core::CostLedger& lg = ledgers_[static_cast<std::size_t>(sb.pr)];
-      sb.pre.replay_into(lg);
-      // The serial path's exact cost expression, with the executor's
-      // contribution recovered through the same total()-before read.
-      core::Cost cost = 0;
-      cost += 2.0 * f_rest * static_cast<core::Cost>(sb.resident);
-      if (sb.cross > 0)
-        cost += link * static_cast<core::Cost>(sb.cross);
-      core::Cost before = lg.total();
-      sb.body.replay_into(lg);
-      cost += lg.total() - before;
-      clocks_.advance(sb.pr, cost);
-      sb.shard->merge_into(staging_);
-      exec_->absorb(sb.delta, base + static_cast<std::size_t>(cum));
-      cum += sb.delta.net;
+    for (Fork& fk : forks) {
+      merge_subtile_step(fk.step, base, cum);
+      fk.shard->merge_into(staging_);
     }
   }
 
@@ -450,18 +765,21 @@ class MultiprocSimulator {
   std::optional<sep::Executor<D, V>> exec_;
   std::optional<sched::Planner<D>> planner_;
   sched::ParallelSchedule<D>* emit_ = nullptr;
-  sep::StagingStore<D, V> staging_;
+  Store staging_;
   std::int64_t proc_side_ = 1;
   std::int64_t node_side_ = 1;
   std::int64_t macro_w_ = 1;
   std::int64_t leaf_w_ = 1;
+  double s_rest_ = 0.0;
+  core::Cost f_rest_ = 0;
+  core::Cost link_ = 0;
 };
 
-template <int D, class V>
+template <int D, class V, class Store = sep::StagingStore<D, V>>
 SimResult<D, V> simulate_multiproc(const sep::BasicGuest<D, V>& guest,
                                    const machine::MachineSpec& host,
                                    MultiprocConfig cfg = {}) {
-  MultiprocSimulator<D, V> sim(&guest, host, cfg);
+  MultiprocSimulator<D, V, Store> sim(&guest, host, cfg);
   return sim.run();
 }
 

@@ -10,8 +10,11 @@
 #include <string>
 #include <type_traits>
 
+#include "engine/metrics.hpp"
 #include "engine/pool.hpp"
+#include "engine/sweep.hpp"
 #include "geom/tiling.hpp"
+#include "sched/parallel.hpp"
 #include "sep/executor.hpp"
 #include "sim/dc_uniproc.hpp"
 #include "sim/multiproc.hpp"
@@ -548,10 +551,13 @@ TEST(ParallelGrainIdentity, MultiprocWaveForkingBitIdentical) {
   auto ref = sim::simulate_multiproc<1>(g, spec(1, 32, 4, 2), cfg);
   const int64_t saved = sep::default_parallel_grain();
   sep::set_default_parallel_grain(2);
+  sim::MultiprocConfig fcfg = cfg;
+  fcfg.reloc_grain = 2;
+  fcfg.wave_grain = 2;
   for (int threads : {1, 2, 4}) {
     engine::Pool pool(threads);
     auto bind = pool.bind_caller();
-    auto got = sim::simulate_multiproc<1>(g, spec(1, 32, 4, 2), cfg);
+    auto got = sim::simulate_multiproc<1>(g, spec(1, 32, 4, 2), fcfg);
     EXPECT_EQ(got.time, ref.time) << "threads=" << threads;
     EXPECT_EQ(got.utilization, ref.utilization) << "threads=" << threads;
     EXPECT_EQ(got.vertices, ref.vertices) << "threads=" << threads;
@@ -560,6 +566,236 @@ TEST(ParallelGrainIdentity, MultiprocWaveForkingBitIdentical) {
     EXPECT_TRUE(sim::same_values<1>(got.final_values, ref.final_values))
         << "threads=" << threads;
   }
+  sep::set_default_parallel_grain(saved);
+}
+
+// ---------------------------------------------------------------------
+// Multiproc forking identity: the forked regime-1 relocation levels,
+// forked wavefronts (d=1 and d=2) and forked subtile bodies must be
+// bit-identical to the serial run — per-kind charged costs (bitwise
+// doubles), event counts, virtual time, utilization, vertices, peak
+// staging, slab allocations, final values, and the emitted op stream —
+// across Pool {1,2,4} × grain {off, 2, huge} × store {dense, hashmap}.
+// ---------------------------------------------------------------------
+
+namespace {
+
+struct MpOutcome {
+  std::array<std::uint64_t, core::CostLedger::kNumKinds> cost_bits{};
+  std::array<std::uint64_t, core::CostLedger::kNumKinds> events{};
+  std::int64_t vertices = 0;
+  std::uint64_t time_bits = 0, util_bits = 0;
+  std::size_t peak = 0;
+  std::size_t allocs = 0;
+};
+
+std::uint64_t bits_of(double v) {
+  std::uint64_t b;
+  static_assert(sizeof v == sizeof b);
+  std::memcpy(&b, &v, sizeof v);
+  return b;
+}
+
+struct MpGrains {
+  int64_t reloc, wave, exec;
+};
+
+/// Run the multiproc simulator under one (grains, store) config and
+/// return everything the determinism contract pins.
+template <int D, class Store, class V>
+MpOutcome run_multiproc(const sep::BasicGuest<D, V>& g,
+                        const machine::MachineSpec& host, int64_t s,
+                        MpGrains grains, sep::BasicValueMap<D, V>& fin_out) {
+  const int64_t saved = sep::default_parallel_grain();
+  sep::set_default_parallel_grain(grains.exec);
+  engine::Metrics metrics;
+  sim::MultiprocConfig cfg;
+  cfg.s = s;
+  cfg.reloc_grain = grains.reloc;
+  cfg.wave_grain = grains.wave;
+  cfg.metrics = &metrics;
+  auto res = sim::simulate_multiproc<D, V, Store>(g, host, cfg);
+  sep::set_default_parallel_grain(saved);
+
+  MpOutcome out;
+  for (std::size_t i = 0; i < core::CostLedger::kNumKinds; ++i) {
+    auto kind = static_cast<core::CostKind>(i);
+    out.cost_bits[i] = bits_of(res.ledger.cost(kind));
+    out.events[i] = res.ledger.events(kind);
+  }
+  out.vertices = res.vertices;
+  out.time_bits = bits_of(res.time);
+  out.util_bits = bits_of(res.utilization);
+  auto hot = metrics.hot_snapshot();
+  EXPECT_EQ(hot.size(), 1u);
+  if (!hot.empty()) {
+    out.peak = hot[0].peak_staging_words;
+    out.allocs = hot[0].staging_allocs;
+  }
+  fin_out = std::move(res.final_values);
+  return out;
+}
+
+void expect_mp_eq(const MpOutcome& a, const MpOutcome& b,
+                  const std::string& what) {
+  for (std::size_t i = 0; i < core::CostLedger::kNumKinds; ++i) {
+    EXPECT_EQ(a.cost_bits[i], b.cost_bits[i])
+        << what << ": cost kind " << i << " not bit-identical";
+    EXPECT_EQ(a.events[i], b.events[i]) << what << ": events kind " << i;
+  }
+  EXPECT_EQ(a.vertices, b.vertices) << what;
+  EXPECT_EQ(a.time_bits, b.time_bits) << what << ": virtual time";
+  EXPECT_EQ(a.util_bits, b.util_bits) << what << ": utilization";
+  EXPECT_EQ(a.peak, b.peak) << what << ": peak staging";
+  EXPECT_EQ(a.allocs, b.allocs) << what << ": slab allocs";
+}
+
+/// The full matrix for one guest: serial dense reference vs every
+/// (grain combo, pool size) on both staging types. Grain combos turn
+/// each mechanism on alone and all together, plus a huge grain that
+/// must behave exactly like off.
+template <int D, class V>
+void multiproc_fork_matrix(const sep::BasicGuest<D, V>& g,
+                           const machine::MachineSpec& host, int64_t s) {
+  const MpGrains kOff{0, 0, 0};
+  const int64_t huge = int64_t{1} << 30;
+  const MpGrains combos[] = {
+      {2, 0, 0},           // regime-1 relocation forks alone
+      {0, 2, 0},           // wavefronts fork alone
+      {0, 0, 2},           // executor (subtile bodies) forks alone
+      {2, 2, 2},           // everything forks
+      {huge, huge, huge},  // above every width: must equal off
+  };
+
+  sep::BasicValueMap<D, V> ref_fin;
+  auto ref = run_multiproc<D, sep::StagingStore<D, V>>(g, host, s, kOff,
+                                                       ref_fin);
+
+  for (const MpGrains& gr : combos) {
+    for (int threads : {1, 2, 4}) {
+      engine::Pool pool(threads);
+      auto bind = pool.bind_caller();
+      sep::BasicValueMap<D, V> fin;
+      auto got =
+          run_multiproc<D, sep::StagingStore<D, V>>(g, host, s, gr, fin);
+      const std::string what =
+          "dense d=" + std::to_string(D) + " reloc=" +
+          std::to_string(gr.reloc) + " wave=" + std::to_string(gr.wave) +
+          " exec=" + std::to_string(gr.exec) +
+          " threads=" + std::to_string(threads);
+      expect_mp_eq(ref, got, what);
+      EXPECT_TRUE(sim::same_values<D>(ref_fin, fin)) << what;
+    }
+  }
+
+  // Hashmap staging through the same forks: the shard fall-through and
+  // merge must be store-agnostic (allocs are 0 on both sides).
+  sep::BasicValueMap<D, V> refm_fin;
+  auto refm = run_multiproc<D, sep::BasicValueMap<D, V>>(g, host, s, kOff,
+                                                         refm_fin);
+  for (int threads : {2, 4}) {
+    engine::Pool pool(threads);
+    auto bind = pool.bind_caller();
+    sep::BasicValueMap<D, V> fin;
+    auto got = run_multiproc<D, sep::BasicValueMap<D, V>>(
+        g, host, s, MpGrains{2, 2, 2}, fin);
+    const std::string what =
+        "map d=" + std::to_string(D) + " threads=" + std::to_string(threads);
+    expect_mp_eq(refm, got, what);
+    EXPECT_TRUE(sim::same_values<D>(refm_fin, fin)) << what;
+  }
+  // And the two staging types agree on everything but slab allocs
+  // (a hashmap never allocates level slabs).
+  for (std::size_t i = 0; i < core::CostLedger::kNumKinds; ++i)
+    EXPECT_EQ(ref.cost_bits[i], refm.cost_bits[i]) << "store-type drift";
+  EXPECT_EQ(ref.time_bits, refm.time_bits) << "store-type drift: time";
+  EXPECT_EQ(ref.peak, refm.peak) << "store-type drift: peak";
+  EXPECT_TRUE(sim::same_values<D>(ref_fin, refm_fin));
+}
+
+}  // namespace
+
+TEST(ParallelGrainIdentity, MultiprocD1ForkMatrixBitIdentical) {
+  auto g = workload::make_mix_guest<1>({64}, 64, 2, 1234);
+  multiproc_fork_matrix<1>(g, spec(1, 64, 4, 2), /*s=*/4);
+}
+
+TEST(ParallelGrainIdentity, MultiprocD2ForkMatrixBitIdentical) {
+  auto g = workload::make_mix_guest<2>({8, 8}, 8, 1, 4321);
+  multiproc_fork_matrix<2>(g, machine::MachineSpec{2, 64, 4, 1}, /*s=*/2);
+}
+
+TEST(ParallelGrainIdentity, MultiprocEmitConformance) {
+  // The op stream is emitted on the canonical-order replay path, so it
+  // must be byte-identical whether the run forked or not — and its
+  // makespan must still reproduce the simulator's virtual time.
+  auto g = workload::make_mix_guest<1>({64}, 64, 2, 77);
+  machine::MachineSpec host{1, 64, 4, 2};
+  sim::MultiprocConfig cfg;
+  cfg.s = 4;
+
+  sim::MultiprocSimulator<1> serial(&g, host, cfg);
+  sched::ParallelSchedule<1> ref(host.p);
+  serial.set_emit(&ref);
+  auto sres = serial.run();
+
+  const int64_t saved = sep::default_parallel_grain();
+  sep::set_default_parallel_grain(2);
+  sim::MultiprocConfig fcfg = cfg;
+  fcfg.reloc_grain = 2;
+  fcfg.wave_grain = 2;
+  engine::Pool pool(4);
+  auto bind = pool.bind_caller();
+  sim::MultiprocSimulator<1> forked(&g, host, fcfg);
+  sched::ParallelSchedule<1> got(host.p);
+  forked.set_emit(&got);
+  auto fres = forked.run();
+  sep::set_default_parallel_grain(saved);
+
+  EXPECT_EQ(fres.time, sres.time);
+  ASSERT_EQ(got.size(), ref.size());
+  for (std::size_t i = 0; i < ref.size(); ++i) {
+    const auto& a = ref.ops()[i];
+    const auto& b = got.ops()[i];
+    EXPECT_EQ(a.kind, b.kind) << "op " << i;
+    EXPECT_EQ(a.proc, b.proc) << "op " << i;
+    EXPECT_EQ(a.words, b.words) << "op " << i;
+    EXPECT_EQ(bits_of(a.addr_scale), bits_of(b.addr_scale)) << "op " << i;
+    EXPECT_EQ(bits_of(a.distance), bits_of(b.distance)) << "op " << i;
+    EXPECT_EQ(a.leaf_lo, b.leaf_lo) << "op " << i;
+    EXPECT_EQ(a.leaf_hi, b.leaf_hi) << "op " << i;
+  }
+  EXPECT_EQ(bits_of(got.makespan_under(g.stencil, host.access_fn())),
+            bits_of(ref.makespan_under(g.stencil, host.access_fn())));
+}
+
+TEST(ParallelGrainIdentity, NestedSweepAndSimulatorForksShareThePool) {
+  // Second nesting level: sweep points fork across the Pool, and each
+  // point's simulator forks its waves/relocations into the *same*
+  // scheduler (sweep workers are bound to slots, so TaskScope finds
+  // it) — no second pool, and the rows stay byte-identical across pool
+  // sizes.
+  const int64_t saved = sep::default_parallel_grain();
+  sep::set_default_parallel_grain(2);
+  auto run_rows = [&](int threads) {
+    engine::Pool pool(threads);
+    std::vector<int> points{0, 1, 2, 3};
+    return engine::sweep_map<std::uint64_t>(
+        pool, points, [&](int pt, engine::SweepContext&) {
+          auto g = workload::make_mix_guest<1>(
+              {32}, 32, 2, 100 + static_cast<std::uint64_t>(pt));
+          sim::MultiprocConfig cfg;
+          cfg.s = 4;
+          cfg.reloc_grain = 2;
+          cfg.wave_grain = 2;
+          auto res = sim::simulate_multiproc<1>(g, spec(1, 32, 4, 2), cfg);
+          return bits_of(res.time) ^
+                 static_cast<std::uint64_t>(res.vertices);
+        });
+  };
+  auto ref = run_rows(1);
+  EXPECT_EQ(run_rows(2), ref);
+  EXPECT_EQ(run_rows(4), ref);
   sep::set_default_parallel_grain(saved);
 }
 

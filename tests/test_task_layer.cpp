@@ -221,6 +221,66 @@ TEST(TaskStatsCounters, ResetAndAccumulate) {
   EXPECT_EQ(s.stolen, 0u);
   EXPECT_EQ(s.steal_ops, 0u);
   EXPECT_EQ(s.join_waits, 0u);
+  for (const auto& p : s.phase) {
+    EXPECT_EQ(p.spawned, 0u);
+    EXPECT_EQ(p.inlined, 0u);
+    EXPECT_EQ(p.join_waits, 0u);
+    EXPECT_EQ(p.park_ns, 0u);
+  }
+}
+
+TEST(TaskStatsCounters, PhaseAttributionSplitsForks) {
+  // Scopes tagged with a ForkPhase attribute their spawned/inlined
+  // counts to that phase; untagged scopes land under kNone. The phase
+  // slices sum to the aggregate counters.
+  engine::Pool pool(2);
+  {
+    auto bind = pool.bind_caller();
+    engine::TaskScope waves(engine::ForkPhase::kRegime2Wave);
+    for (int i = 0; i < 5; ++i) waves.fork([] {});
+    waves.join();
+    engine::TaskScope reloc(engine::ForkPhase::kRegime1Relocate);
+    for (int i = 0; i < 3; ++i) reloc.fork([] {});
+    reloc.join();
+    engine::TaskScope untagged;
+    untagged.fork([] {});
+    untagged.join();
+  }
+  engine::TaskStats s = pool.task_stats();
+  auto at = [&](engine::ForkPhase p) -> const engine::PhaseTaskStats& {
+    return s.phase[static_cast<std::size_t>(p)];
+  };
+  EXPECT_EQ(at(engine::ForkPhase::kRegime2Wave).spawned +
+                at(engine::ForkPhase::kRegime2Wave).inlined,
+            5u);
+  EXPECT_EQ(at(engine::ForkPhase::kRegime1Relocate).spawned +
+                at(engine::ForkPhase::kRegime1Relocate).inlined,
+            3u);
+  EXPECT_EQ(at(engine::ForkPhase::kNone).spawned +
+                at(engine::ForkPhase::kNone).inlined,
+            1u);
+  std::uint64_t phase_total = 0, phase_waits = 0;
+  for (const auto& p : s.phase) {
+    phase_total += p.spawned + p.inlined;
+    phase_waits += p.join_waits;
+  }
+  EXPECT_EQ(phase_total, s.spawned + s.inlined);
+  EXPECT_EQ(phase_waits, s.join_waits);
+  pool.reset_task_stats();
+}
+
+TEST(TaskStatsCounters, PhaseNamesAreStable) {
+  EXPECT_STREQ(engine::fork_phase_name(engine::ForkPhase::kNone), "none");
+  EXPECT_STREQ(engine::fork_phase_name(engine::ForkPhase::kMachineTile),
+               "machine-tile");
+  EXPECT_STREQ(engine::fork_phase_name(engine::ForkPhase::kRegime1Relocate),
+               "regime1-relocate");
+  EXPECT_STREQ(engine::fork_phase_name(engine::ForkPhase::kRegime2Wave),
+               "regime2-wave");
+  EXPECT_STREQ(engine::fork_phase_name(engine::ForkPhase::kRegime2Subtile),
+               "regime2-subtile");
+  EXPECT_STREQ(engine::fork_phase_name(engine::ForkPhase::kExecutorLeaf),
+               "executor-leaf");
 }
 
 // ---------------------------------------------------------------------
