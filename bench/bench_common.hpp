@@ -64,10 +64,11 @@ inline EmitterPass run_pass(const tables::Emitter& emitter, int threads) {
   engine::PlanCache plans;
   engine::Metrics metrics;
   tables::EngineCtx ctx{&pool, &plans, &metrics};
-  // The trace recorder is process-global; the pass's histogram block is
-  // the delta across the pass.
+  // The trace recorder and the arena are process-global; the pass's
+  // histogram and "mem" blocks are the deltas across the pass.
   const engine::trace::HistSnapshot hist_before =
       engine::trace::hist_snapshot();
+  const engine::ArenaStats mem_before = engine::Arena::instance().stats();
   auto t0 = std::chrono::steady_clock::now();
   EmitterPass pass;
   pass.artifacts = emitter.fn(ctx);
@@ -79,6 +80,7 @@ inline EmitterPass run_pass(const tables::Emitter& emitter, int threads) {
   pass.metrics.sweeps = metrics.snapshot();
   pass.metrics.hot = metrics.hot_snapshot();
   pass.metrics.tasks = pool.task_stats();
+  pass.metrics.mem = engine::Arena::instance().stats() - mem_before;
   pass.metrics.histograms = engine::trace::hist_snapshot();
   pass.metrics.histograms -= hist_before;
   return pass;

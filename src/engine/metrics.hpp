@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "engine/arena.hpp"
 #include "engine/plan_cache.hpp"
 #include "engine/task.hpp"
 #include "engine/trace.hpp"
@@ -125,8 +126,11 @@ class Metrics {
 struct MetricsPass {
   int threads = 1;          ///< pool size of the pass
   double seconds = 0;       ///< whole-pass wall clock
-  PlanCache::Stats cache;   ///< hit/miss/build accounting of the pass
+  PlanCache::Stats cache;   ///< hit/miss/build/evict accounting of the pass
   TaskStats tasks;          ///< fork-join scheduler counters of the pass
+  /// Arena and scratch-pool counter delta across the pass (monotone
+  /// fields) with end-of-pass residency gauges — the "mem" block.
+  ArenaStats mem;
   std::vector<SweepMetric> sweeps;  ///< every sweep the pass ran
   std::vector<HotPathMetric> hot;   ///< executor hot-path sections
   /// Per-phase span-duration and steal-latency histograms of the pass
@@ -197,6 +201,17 @@ struct MetricsPass {
 ///     joins of that phase spent parked). Phases with all-zero
 ///     counters are omitted; the object itself is omitted when no
 ///     phase saw activity.
+///   * per-cache "evictions" and "bytes" — the PlanCache LRU's
+///     evictions during the pass and its resident plan_bytes total at
+///     the end of it (BSMP_PLAN_CACHE_BYTES budget).
+///   * per-pass "mem" — the engine::Arena delta of the pass:
+///     {"cold_allocs", "slab_reuses", "releases", "scratch_checkouts",
+///      "scratch_cold"} count slab and scratch-pool traffic,
+///     {"bytes_held", "bytes_live", "peak_bytes"} are the end-of-pass
+///     residency gauges (free-listed, checked-out, and the process
+///     high-water of both). Present in every pass (all-zero when the
+///     arena saw no traffic); BSMP_ARENA=off runs show cold_allocs
+///     only.
 /// The "hot" array carries the executor hot-path sections recorded via
 /// Metrics::record_hot; it is empty for passes that ran no simulator
 /// with a hot-metrics sink. The pass-level "tasks" object carries the

@@ -8,8 +8,8 @@
 // per-time-level slab of num_nodes words. StagingStore<D> stores
 // values that way:
 //
-//   * one lazily-allocated slab per time level (values + liveness
-//     bytes), freed again when the level is pruned — so the resident
+//   * one lazily-materialized slab per time level (values + liveness
+//     bytes), retired again when the level is pruned — so the resident
 //     footprint follows the executor's wavefront, not the volume;
 //   * size() is the number of *live* words, maintained incrementally —
 //     identical semantics to the map's size(), which peak_staging()
@@ -26,14 +26,26 @@
 // sep/guest.hpp). Liveness, size() and level accounting count *points*
 // regardless of V, so peak-staging and slab-allocation metrics are
 // identical between a scalar run and a 64-lane batched run.
+//
+// Slab memory comes from engine::Arena (BSMP_ARENA, default on), and
+// liveness is epoch-tagged: a slot is live iff its liveness byte equals
+// the level's current epoch, so recycling a slab — from the store's own
+// retired-level stack or the process-wide arena pool — never re-zeroes
+// the value words. With the arena off every slab is a fresh, fully
+// zeroed allocation (the seed behavior); either way the table bytes are
+// identical because values are only ever read through live marks.
 #pragma once
 
 #include <algorithm>
 #include <cstdint>
+#include <cstring>
 #include <memory>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "core/expect.hpp"
+#include "engine/arena.hpp"
 #include "geom/lattice.hpp"
 #include "geom/region.hpp"
 #include "sep/guest.hpp"
@@ -42,6 +54,11 @@ namespace bsmp::sep {
 
 template <int D, class V = Word>
 class StagingStore {
+  static_assert(std::is_trivially_copyable_v<V>,
+                "level slabs treat V as raw bytes");
+  static_assert(alignof(V) <= __STDCPP_DEFAULT_NEW_ALIGNMENT__,
+                "arena slabs are operator-new aligned");
+
  public:
   using value_type = V;
 
@@ -53,6 +70,34 @@ class StagingStore {
     levels_.resize(static_cast<std::size_t>(st_->horizon));
   }
 
+  ~StagingStore() {
+    for (Level& lv : levels_) engine::Arena::instance().release(lv.block);
+    for (Level& lv : free_) engine::Arena::instance().release(lv.block);
+  }
+
+  StagingStore(StagingStore&& o) noexcept
+      : st_(o.st_),
+        nodes_(o.nodes_),
+        levels_(std::move(o.levels_)),
+        free_(std::move(o.free_)),
+        live_(o.live_),
+        allocs_(o.allocs_) {
+    o.levels_.clear();
+    o.free_.clear();
+    o.live_ = 0;
+    o.allocs_ = 0;
+  }
+
+  StagingStore& operator=(StagingStore&& o) noexcept {
+    std::swap(st_, o.st_);
+    std::swap(nodes_, o.nodes_);
+    levels_.swap(o.levels_);
+    free_.swap(o.free_);
+    std::swap(live_, o.live_);
+    std::swap(allocs_, o.allocs_);
+    return *this;
+  }
+
   bool contains(const geom::Point<D>& q) const {
     return find(q) != nullptr;
   }
@@ -61,10 +106,10 @@ class StagingStore {
   /// not a vertex position at all).
   const V* find(const geom::Point<D>& q) const {
     if (q.t < 0 || q.t >= st_->horizon) return nullptr;
-    const Level* lv = levels_[static_cast<std::size_t>(q.t)].get();
-    if (lv == nullptr || !st_->in_space(q.x)) return nullptr;
+    const Level* lv = &levels_[static_cast<std::size_t>(q.t)];
+    if (lv->epoch == 0 || !st_->in_space(q.x)) return nullptr;
     std::size_t s = slot(q.x);
-    return lv->live[s] ? &lv->vals[s] : nullptr;
+    return lv->live[s] == lv->epoch ? &lv->vals[s] : nullptr;
   }
 
   /// Pointer to n contiguous live values along the innermost dimension
@@ -74,23 +119,24 @@ class StagingStore {
   /// path hands it to a kernel without any per-cell staging copy.
   const V* row_span(const geom::Point<D>& q, std::size_t n) const {
     if (q.t < 0 || q.t >= st_->horizon) return nullptr;
-    const Level* lv = levels_[static_cast<std::size_t>(q.t)].get();
-    if (lv == nullptr || !st_->in_space(q.x)) return nullptr;
+    const Level* lv = &levels_[static_cast<std::size_t>(q.t)];
+    if (lv->epoch == 0 || !st_->in_space(q.x)) return nullptr;
     if (q.x[D - 1] + static_cast<std::int64_t>(n) > st_->extent[D - 1])
       return nullptr;
     std::size_t s = slot(q.x);
     for (std::size_t i = 0; i < n; ++i)
-      if (!lv->live[s + i]) return nullptr;
+      if (lv->live[s + i] != lv->epoch) return nullptr;
     return &lv->vals[s];
   }
 
   /// Mutable value at q; asserts q is live (mirrors map::at).
   V& at(const geom::Point<D>& q) {
     BSMP_REQUIRE(q.t >= 0 && q.t < st_->horizon && st_->in_space(q.x));
-    Level* lv = levels_[static_cast<std::size_t>(q.t)].get();
-    BSMP_REQUIRE_MSG(lv != nullptr, "StagingStore::at on absent point");
+    Level* lv = &levels_[static_cast<std::size_t>(q.t)];
+    BSMP_REQUIRE_MSG(lv->epoch != 0, "StagingStore::at on absent point");
     std::size_t s = slot(q.x);
-    BSMP_REQUIRE_MSG(lv->live[s], "StagingStore::at on absent point");
+    BSMP_REQUIRE_MSG(lv->live[s] == lv->epoch,
+                     "StagingStore::at on absent point");
     return lv->vals[s];
   }
 
@@ -99,9 +145,9 @@ class StagingStore {
     BSMP_REQUIRE(q.t >= 0 && q.t < st_->horizon && st_->in_space(q.x));
     Level& lv = level(q.t);
     std::size_t s = slot(q.x);
-    bool added = !lv.live[s];
+    bool added = lv.live[s] != lv.epoch;
     if (added) {
-      lv.live[s] = 1;
+      lv.live[s] = lv.epoch;
       ++lv.nlive;
       ++live_;
     }
@@ -121,8 +167,8 @@ class StagingStore {
     std::size_t s = slot(q.x);
     std::int64_t added = 0;
     for (std::size_t i = 0; i < n; ++i) {
-      added += !lv.live[s + i];
-      lv.live[s + i] = 1;
+      added += lv.live[s + i] != lv.epoch;
+      lv.live[s + i] = lv.epoch;
       lv.vals[s + i] = src[i];
     }
     lv.nlive += added;
@@ -134,11 +180,11 @@ class StagingStore {
   /// value was actually removed.
   bool erase(const geom::Point<D>& q) {
     if (q.t < 0 || q.t >= st_->horizon || !st_->in_space(q.x)) return false;
-    Level* lv = levels_[static_cast<std::size_t>(q.t)].get();
-    if (lv == nullptr) return false;
+    Level* lv = &levels_[static_cast<std::size_t>(q.t)];
+    if (lv->epoch == 0) return false;
     std::size_t s = slot(q.x);
-    if (!lv->live[s]) return false;
-    lv->live[s] = 0;
+    if (lv->live[s] != lv->epoch) return false;
+    lv->live[s] = 0;  // epochs start at 1, so 0 never reads live
     --lv->nlive;
     --live_;
     return true;
@@ -159,19 +205,56 @@ class StagingStore {
   /// so peak-staging accounting is unchanged by the dense layout.
   std::size_t size() const { return live_; }
 
-  /// Drop every level with t < dead_below and t < keep_from, releasing
-  /// its slab. Levels are all-or-nothing here because staleness is a
-  /// pure function of t (see sim::detail::prune_staging).
+  /// Drop every level with t < dead_below and t < keep_from, retiring
+  /// its slab (arena on: onto the store's recycle stack for a pure
+  /// epoch-bump reuse; off: back to the allocator). Levels are
+  /// all-or-nothing here because staleness is a pure function of t
+  /// (see sim::detail::prune_staging).
   void prune_below(std::int64_t dead_below, std::int64_t keep_from) {
     std::int64_t top = std::min(dead_below, keep_from);
     top = std::min(top, st_->horizon);
     for (std::int64_t t = 0; t < top; ++t) {
-      auto& lv = levels_[static_cast<std::size_t>(t)];
-      if (lv != nullptr) {
-        live_ -= static_cast<std::size_t>(lv->nlive);
-        lv.reset();
+      Level& lv = levels_[static_cast<std::size_t>(t)];
+      if (lv.epoch == 0) continue;
+      live_ -= static_cast<std::size_t>(lv.nlive);
+      if (engine::arena_enabled() && lv.block) {
+        free_.push_back(lv);
+        free_.back().nlive = 0;
+      } else {
+        engine::Arena::instance().release(lv.block);
       }
+      lv = Level{};
     }
+  }
+
+  /// Forget every live value in O(levels): each present slab stays
+  /// bound to its level with a bumped epoch (no memset until the 8-bit
+  /// epoch wraps), ready for reuse. For pooled shard-local stores
+  /// (detail::shard_local); the stencil pointer is dropped — the store
+  /// is unusable until try_rebind installs a live one.
+  void reset_for_reuse() {
+    for (Level& lv : levels_) {
+      if (lv.epoch == 0) continue;
+      bump_epoch(lv);
+      lv.nlive = 0;
+    }
+    live_ = 0;
+    allocs_ = 0;
+    st_ = nullptr;
+  }
+
+  /// Rebind a reset store to a (possibly different) stencil with the
+  /// same slab geometry; false when the geometry differs and the
+  /// caller must construct fresh. Only layout equality matters
+  /// (num_nodes and horizon): a reset store holds no live values, so
+  /// an extent permutation cannot resurrect stale data.
+  bool try_rebind(const geom::Stencil<D>* stencil) {
+    BSMP_REQUIRE(stencil != nullptr);
+    if (stencil->num_nodes() != nodes_ ||
+        static_cast<std::size_t>(stencil->horizon) != levels_.size())
+      return false;
+    st_ = stencil;
+    return true;
   }
 
   /// Slab allocations performed so far (hot-path metric: a steady
@@ -183,12 +266,12 @@ class StagingStore {
   template <class F>
   void for_each(F&& visit) const {
     for (std::int64_t t = 0; t < st_->horizon; ++t) {
-      const Level* lv = levels_[static_cast<std::size_t>(t)].get();
-      if (lv == nullptr || lv->nlive == 0) continue;
+      const Level* lv = &levels_[static_cast<std::size_t>(t)];
+      if (lv->epoch == 0 || lv->nlive == 0) continue;
       geom::Point<D> p;
       p.t = t;
-      for (std::size_t s = 0; s < lv->live.size(); ++s) {
-        if (!lv->live[s]) continue;
+      for (std::size_t s = 0; s < static_cast<std::size_t>(nodes_); ++s) {
+        if (lv->live[s] != lv->epoch) continue;
         unslot(s, p.x);
         visit(p, lv->vals[s]);
       }
@@ -196,21 +279,62 @@ class StagingStore {
   }
 
  private:
+  /// One time level's slab: vals then live bytes inside one arena
+  /// block. epoch == 0 means the level is absent; otherwise slot s is
+  /// live iff live[s] == epoch, which is what lets a recycled slab skip
+  /// re-zeroing its value words.
   struct Level {
-    std::vector<V> vals;
-    std::vector<std::uint8_t> live;
+    V* vals = nullptr;
+    std::uint8_t* live = nullptr;
     std::int64_t nlive = 0;
+    std::uint8_t epoch = 0;
+    engine::Arena::Block block;
   };
 
-  Level& level(std::int64_t t) {
-    auto& lv = levels_[static_cast<std::size_t>(t)];
-    if (lv == nullptr) {
-      lv = std::make_unique<Level>();
-      lv->vals.assign(static_cast<std::size_t>(nodes_), V{});
-      lv->live.assign(static_cast<std::size_t>(nodes_), 0);
-      ++allocs_;
+  void bump_epoch(Level& lv) {
+    if (lv.epoch == 255) {
+      if (lv.live != nullptr)
+        std::memset(lv.live, 0, static_cast<std::size_t>(nodes_));
+      lv.epoch = 1;
+    } else {
+      ++lv.epoch;
     }
-    return *lv;
+  }
+
+  std::size_t slab_bytes() const {
+    return static_cast<std::size_t>(nodes_) * (sizeof(V) + 1);
+  }
+
+  Level& level(std::int64_t t) {
+    Level& lv = levels_[static_cast<std::size_t>(t)];
+    if (lv.epoch != 0) return lv;
+    if (!free_.empty()) {
+      // Recycled retired level: stale marks carry dead epochs, so
+      // materialization is a pure epoch bump.
+      Level slab = free_.back();
+      free_.pop_back();
+      lv = slab;
+      bump_epoch(lv);
+    } else {
+      lv.block = engine::Arena::instance().acquire(slab_bytes());
+      if (lv.block) {
+        lv.vals = static_cast<V*>(lv.block.data);
+        lv.live = reinterpret_cast<std::uint8_t*>(lv.vals) +
+                  static_cast<std::size_t>(nodes_) * sizeof(V);
+        if (engine::arena_enabled()) {
+          // Arbitrary pool contents; only liveness needs resetting —
+          // values are read strictly through live marks.
+          std::memset(lv.live, 0, static_cast<std::size_t>(nodes_));
+        } else {
+          // Seed-faithful cold path: a fully zeroed fresh slab.
+          std::memset(lv.block.data, 0, lv.block.bytes);
+        }
+      }
+      lv.epoch = 1;
+    }
+    lv.nlive = 0;
+    ++allocs_;
+    return lv;
   }
 
   std::size_t slot(const std::array<std::int64_t, D>& x) const {
@@ -229,7 +353,8 @@ class StagingStore {
 
   const geom::Stencil<D>* st_;
   std::int64_t nodes_ = 0;
-  std::vector<std::unique_ptr<Level>> levels_;
+  std::vector<Level> levels_;
+  std::vector<Level> free_;  // retired slabs awaiting an epoch-bump reuse
   std::size_t live_ = 0;
   std::size_t allocs_ = 0;
 };
@@ -506,8 +631,53 @@ inline BasicValueMap<D, V> shard_local(const BasicValueMap<D, V>&) {
 }
 
 template <int D, class V>
+inline void shard_retire(BasicValueMap<D, V>&&) {}
+
+/// Per-thread cache of retired shard-local dense stores, so the Nth
+/// fork on a thread reuses the (N-1)th fork's slabs instead of
+/// re-materializing them. The constructor primes the arena's thread
+/// cache first: the pool's destructor releases slabs, and priming
+/// guarantees the cache it releases into dies later.
+template <int D, class V>
+struct ShardStorePool {
+  static constexpr std::size_t kCap = 16;
+
+  ShardStorePool() { engine::Arena::instance().prime_thread(); }
+
+  std::vector<StagingStore<D, V>> stores;
+};
+
+template <int D, class V>
+inline ShardStorePool<D, V>& shard_store_pool() {
+  thread_local ShardStorePool<D, V> pool;
+  return pool;
+}
+
+template <int D, class V>
 inline StagingStore<D, V> shard_local(const StagingStore<D, V>& s) {
+  if (engine::arena_enabled()) {
+    auto& pool = shard_store_pool<D, V>().stores;
+    while (!pool.empty()) {
+      StagingStore<D, V> cand = std::move(pool.back());
+      pool.pop_back();
+      if (cand.try_rebind(s.stencil())) {
+        engine::Arena::instance().note_scratch(false);
+        return cand;
+      }
+      // Geometry mismatch: drop it (its slabs return to the arena).
+    }
+  }
+  engine::Arena::instance().note_scratch(true);
   return StagingStore<D, V>(s.stencil());
+}
+
+template <int D, class V>
+inline void shard_retire(StagingStore<D, V>&& s) {
+  if (!engine::arena_enabled()) return;
+  auto& pool = shard_store_pool<D, V>().stores;
+  if (pool.size() >= ShardStorePool<D, V>::kCap) return;
+  s.reset_for_reuse();
+  pool.push_back(std::move(s));
 }
 
 }  // namespace detail
@@ -541,6 +711,11 @@ class StagingShard {
 
   StagingShard(const StagingShard&) = delete;
   StagingShard& operator=(const StagingShard&) = delete;
+
+  /// Hand the local store back to the calling thread's shard-store
+  /// pool (dense stores, arena on): the next fork here reuses its
+  /// slabs with a bumped epoch instead of materializing cold ones.
+  ~StagingShard() { detail::shard_retire(std::move(local_)); }
 
   const value_type* find(const geom::Point<D>& q) const {
     if (const value_type* v = store_find(local_, q)) return v;

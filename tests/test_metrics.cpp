@@ -120,6 +120,12 @@ engine::MetricsReport sample_report() {
   pass.cache.hits = 7;
   pass.cache.misses = 3;
   pass.cache.builds = 3;
+  pass.cache.evictions = 2;
+  pass.cache.bytes = 4096;
+  pass.mem.cold_allocs = 11;
+  pass.mem.slab_reuses = 89;
+  pass.mem.scratch_checkouts = 13;
+  pass.mem.peak_bytes = 65536;
   engine::SweepMetric sm;
   sm.label = "sweep A";
   sm.points = 2;
@@ -154,6 +160,7 @@ TEST(Metrics, JsonSchemaContainsEveryStableField) {
         "\"speedup\"", "\"manifest\"", "\"git_sha\"", "\"build_type\"",
         "\"compiler\"", "\"hardware_threads\"", "\"trace_compiled\"",
         "\"trace_enabled\"", "\"BSMP_TRACE\"", "\"BSMP_METRICS_DIR\"",
+        "\"BSMP_ARENA\"", "\"BSMP_PLAN_CACHE_BYTES\"",
         "\"threads\": 2", "\"seconds\"", "\"hits\": 7", "\"misses\": 3",
         "\"builds\": 3", "\"hit_rate\"", "\"label\": \"sweep A\"",
         "\"points\": 2", "\"pool_threads\": 2", "\"wall_s\"", "\"busy_s\"",
@@ -161,7 +168,11 @@ TEST(Metrics, JsonSchemaContainsEveryStableField) {
         "\"label\": \"hot A\"", "\"vertices\": 1000",
         "\"vertices_per_sec\": 2000", "\"peak_staging_words\": 64",
         "\"staging_allocs\": 4", "\"histograms\"",
-        "\"sep-region\": [[12, 9]]", "\"steal_latency_ns\": [[10, 3]]"}) {
+        "\"sep-region\": [[12, 9]]", "\"steal_latency_ns\": [[10, 3]]",
+        "\"evictions\": 2", "\"bytes\": 4096", "\"mem\"",
+        "\"cold_allocs\": 11", "\"slab_reuses\": 89", "\"releases\": 0",
+        "\"scratch_checkouts\": 13", "\"scratch_cold\": 0",
+        "\"bytes_held\": 0", "\"bytes_live\": 0", "\"peak_bytes\": 65536"}) {
     EXPECT_NE(j.find(key), std::string::npos) << "missing " << key << "\n"
                                               << j;
   }
