@@ -30,11 +30,13 @@
 
 #include "analytic/tradeoff.hpp"
 #include "core/table.hpp"
+#include "engine/attribution.hpp"
 #include "engine/metrics.hpp"
 #include "engine/plan_cache.hpp"
 #include "engine/pool.hpp"
 #include "engine/trace.hpp"
 #include "machine/spec.hpp"
+#include "sep/simd.hpp"
 #include "sim/dc_uniproc.hpp"
 #include "sim/multiproc.hpp"
 #include "sim/naive.hpp"
@@ -65,9 +67,13 @@ inline EmitterPass run_pass(const tables::Emitter& emitter, int threads) {
   engine::Metrics metrics;
   tables::EngineCtx ctx{&pool, &plans, &metrics};
   // The trace recorder and the arena are process-global; the pass's
-  // histogram and "mem" blocks are the deltas across the pass.
+  // histogram and "mem" blocks are the deltas across the pass, and the
+  // attribution fold covers the spans that *started* during it (the
+  // mark below scopes the fold — attribution is not delta-subtractable
+  // the way the histograms are).
   const engine::trace::HistSnapshot hist_before =
       engine::trace::hist_snapshot();
+  const std::uint64_t trace_mark = engine::trace::mark();
   const engine::ArenaStats mem_before = engine::Arena::instance().stats();
   auto t0 = std::chrono::steady_clock::now();
   EmitterPass pass;
@@ -83,6 +89,8 @@ inline EmitterPass run_pass(const tables::Emitter& emitter, int threads) {
   pass.metrics.mem = engine::Arena::instance().stats() - mem_before;
   pass.metrics.histograms = engine::trace::hist_snapshot();
   pass.metrics.histograms -= hist_before;
+  pass.metrics.attribution = engine::fold_attribution_since(trace_mark);
+  pass.metrics.calibration = metrics.calibration_snapshot();
   return pass;
 }
 
@@ -119,8 +127,11 @@ inline void emit_tables(const char* emitter_name) {
   report.name = emitter.name;
   report.passes = {std::move(seq.metrics), std::move(par.metrics)};
   // The manifest reads the recorder's live state (event/drop counts,
-  // digest), so build it before the per-emitter clear() below.
+  // digest), so build it before the per-emitter clear() below. The
+  // SIMD ISA is stamped here because engine cannot call into sep
+  // (layering).
   report.manifest = engine::trace::make_run_manifest(report.name);
+  report.manifest.simd_isa = sep::simd::active_isa();
   std::string trace_path;
   bool trace_wrote = false;
   if (engine::trace::compiled() && engine::trace::enabled()) {

@@ -40,11 +40,15 @@ Recommendation recommend(int d, double n, double m, double p) {
   return rec;
 }
 
-std::array<double, 3> Calibration::terms(double n, double m, double p) {
+std::array<double, 3> calibration_terms(double n, double m, double p) {
   double s = feasible_s_star(n, m, p);
   ATerms t = A_terms(n, m, p, s);
   double brent = n / p;
   return {brent * t.relocation, brent * t.execution, brent * t.communication};
+}
+
+std::array<double, 3> Calibration::terms(double n, double m, double p) {
+  return calibration_terms(n, m, p);
 }
 
 void Calibration::add_measurement(double n, double m, double p,
@@ -80,6 +84,93 @@ double Calibration::training_error() const {
     mre += std::fabs(pred - y_[i]) / y_[i];
   }
   return mre / static_cast<double>(y_.size());
+}
+
+void MechanismCalibration::add_measurement(double n, double m, double p,
+                                           double slowdown,
+                                           double slow_reloc,
+                                           double slow_exec,
+                                           double slow_comm) {
+  BSMP_REQUIRE(slowdown > 0);
+  BSMP_REQUIRE(slow_reloc >= 0 && slow_exec >= 0 && slow_comm >= 0);
+  Sample s;
+  s.t = calibration_terms(n, m, p);
+  s.share = {slow_reloc, slow_exec, slow_comm};
+  s.y = slowdown;
+  // The calibration grid simulates 1-dimensional meshes; the A-terms
+  // above are the d=1 forms, so the range split follows suit.
+  s.range = classify_range(1, n, m, p);
+  s.n = n;
+  s.m = m;
+  s.p = p;
+  samples_.push_back(s);
+  y_.push_back(slowdown);
+  fitted_ = false;
+}
+
+void MechanismCalibration::fit() {
+  BSMP_REQUIRE_MSG(!samples_.empty(), "need at least 1 measurement");
+  // One-parameter origin least squares of share_k against term_k in
+  // ABSOLUTE units, over the sample subset `pred` selects. Unlike the
+  // aggregate Calibration (which weights by 1/y to balance relative
+  // error across scales), the per-mechanism fit deliberately lets the
+  // large-n points dominate: mechanism shares span orders of magnitude
+  // across the sweep, and the regime the constants must extrapolate
+  // into is exactly the one relative weighting suppresses (measured
+  // relocation cost grows faster than the model term at small n, so a
+  // relative fit anchors c_reloc to the small-n plateau and
+  // underpredicts large problems ~3x). Zero when the mechanism never
+  // charged (numerator 0) or the term vanishes on the subset
+  // (denominator 0).
+  auto fit_subset = [&](auto pred) {
+    std::array<double, 3> c{};
+    for (int k = 0; k < 3; ++k) {
+      double num = 0, den = 0;
+      for (const Sample& s : samples_) {
+        if (!pred(s)) continue;
+        num += s.t[static_cast<std::size_t>(k)] *
+               s.share[static_cast<std::size_t>(k)];
+        den += s.t[static_cast<std::size_t>(k)] *
+               s.t[static_cast<std::size_t>(k)];
+      }
+      c[static_cast<std::size_t>(k)] = den > 0 ? num / den : 0.0;
+    }
+    return c;
+  };
+  pooled_ = fit_subset([](const Sample&) { return true; });
+  for (int r = 0; r < 4; ++r) {
+    auto in_range = [r](const Sample& s) {
+      return static_cast<int>(s.range) == r;
+    };
+    bool any = false;
+    for (const Sample& s : samples_)
+      if (in_range(s)) any = true;
+    has_range_[static_cast<std::size_t>(r)] = any;
+    per_range_[static_cast<std::size_t>(r)] =
+        any ? fit_subset(in_range) : pooled_;
+  }
+  fitted_ = true;
+}
+
+const std::array<double, 3>& MechanismCalibration::constants(Range r) const {
+  BSMP_REQUIRE_MSG(fitted_, "call fit() first");
+  auto i = static_cast<std::size_t>(r);
+  return has_range_[i] ? per_range_[i] : pooled_;
+}
+
+double MechanismCalibration::predict(double n, double m, double p) const {
+  BSMP_REQUIRE_MSG(fitted_, "call fit() first");
+  const std::array<double, 3>& c = constants(classify_range(1, n, m, p));
+  auto t = calibration_terms(n, m, p);
+  return c[0] * t[0] + c[1] * t[1] + c[2] * t[2];
+}
+
+double MechanismCalibration::training_error() const {
+  BSMP_REQUIRE(fitted_);
+  double mre = 0;
+  for (const Sample& s : samples_)
+    mre += std::fabs(predict(s.n, s.m, s.p) - s.y) / s.y;
+  return mre / static_cast<double>(samples_.size());
 }
 
 }  // namespace bsmp::analytic

@@ -58,6 +58,13 @@ struct Recommendation {
 /// m = n at d=1 is pinned by a unit test (test_advisor_io).
 Recommendation recommend(int d, double n, double m, double p);
 
+/// The shared predictor basis of Calibration and
+/// MechanismCalibration: the model's per-mechanism terms
+///   {(n/p) * A_relocation, (n/p) * A_execution, (n/p) * A_communication}
+/// at s = feasible_s_star(n,m,p). These are what the metrics-v3
+/// calibration_points record as term_reloc / term_exec / term_comm.
+std::array<double, 3> calibration_terms(double n, double m, double p);
+
 /// Calibration: given measured slowdowns at a few (n, m, p) points,
 /// fit the constants of the model
 ///   slowdown ~ (n/p) * (c_r * t_reloc + c_e * t_exec + c_c * t_comm)
@@ -107,6 +114,88 @@ class Calibration {
   std::vector<std::array<double, 3>> x_;
   std::vector<double> y_;
   std::array<double, 3> c_{};
+  bool fitted_ = false;
+};
+
+/// Per-mechanism, per-range calibration: the alternative fit the
+/// metrics-v3 attribution data enables.
+///
+/// Calibration above solves one coupled 3-constant least-squares
+/// problem against *total* slowdowns; when one mechanism dominates the
+/// grid (execution does), the solver happily zeroes the other two
+/// constants and the model loses all relocation/communication
+/// sensitivity — the committed aggregate fit has c_reloc = c_comm = 0
+/// and under-predicts the n=256 holdout by ~2x. This class instead
+/// takes each training point's *measured per-mechanism decomposition*
+/// (slow_k = slowdown * ledger cost_k / sum of mechanism costs, from
+/// the simulator's virtual-time ledger — deterministic, not wall
+/// clock) and fits each constant against its own mechanism's share:
+/// three decoupled one-parameter regressions through the origin in
+/// absolute units,
+///   c_k = sum(T_k * slow_k) / sum(T_k^2)
+/// so c_k > 0 whenever mechanism k charged anything anywhere. This is
+/// deliberately NOT the 1/y relative weighting the aggregate
+/// Calibration uses: mechanism shares span orders of magnitude across
+/// a sweep, and the large-n regime these constants must extrapolate
+/// into is exactly what relative weighting votes down (measured on the
+/// S*-ablation sweep, the n=256 holdout ratio is ~0.76 absolute vs
+/// ~0.33 relative, against ~0.52 for the aggregate fit).
+///
+/// Constants are additionally split by analytic tradeoff range
+/// (classify_range at d=1): the A-terms change shape across ranges,
+/// and a constant fitted in range 2 extrapolates poorly into range 3.
+/// Ranges with no training points fall back to the pooled (all-point)
+/// constants.
+class MechanismCalibration {
+ public:
+  /// Add one training point: total measured slowdown decomposed into
+  /// per-mechanism shares (slow_reloc + slow_exec + slow_comm ==
+  /// slowdown, up to the ledger's excluded preprocess cost).
+  /// \pre slowdown > 0; shares >= 0.
+  void add_measurement(double n, double m, double p, double slowdown,
+                       double slow_reloc, double slow_exec,
+                       double slow_comm);
+
+  /// Fit pooled and per-range constants. \pre at least 1 measurement.
+  void fit();
+
+  bool fitted() const { return fitted_; }
+
+  /// Fitted constants of the range `r` (pooled fallback when the
+  /// range had no training points). \pre fitted().
+  double c_relocation(Range r) const { return constants(r)[0]; }
+  double c_execution(Range r) const { return constants(r)[1]; }
+  double c_communication(Range r) const { return constants(r)[2]; }
+  /// Pooled (all-point) constants. \pre fitted().
+  double c_relocation() const { return pooled_[0]; }
+  double c_execution() const { return pooled_[1]; }
+  double c_communication() const { return pooled_[2]; }
+
+  /// Predicted total slowdown at (n, m, p): the point's range's
+  /// constants applied to calibration_terms(n, m, p). \pre fitted().
+  double predict(double n, double m, double p) const;
+
+  /// Mean relative error of the total-slowdown prediction on the
+  /// training points. \pre fitted().
+  double training_error() const;
+
+  std::size_t num_measurements() const { return y_.size(); }
+
+ private:
+  const std::array<double, 3>& constants(Range r) const;
+
+  struct Sample {
+    std::array<double, 3> t;      ///< calibration_terms at the point
+    std::array<double, 3> share;  ///< measured per-mechanism slowdown
+    double y;                     ///< total slowdown
+    Range range;
+    double n, m, p;
+  };
+  std::vector<Sample> samples_;
+  std::vector<double> y_;  ///< parallel totals (num_measurements)
+  std::array<double, 3> pooled_{};
+  std::array<std::array<double, 3>, 4> per_range_{};
+  std::array<bool, 4> has_range_{};
   bool fitted_ = false;
 };
 

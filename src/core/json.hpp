@@ -1,0 +1,116 @@
+// Minimal JSON DOM for the observability toolchain.
+//
+// The repo's artifacts — bsmp-metrics-v1..v3 reports, Chrome trace
+// JSON, google-benchmark --benchmark_out files, and the declared
+// tolerance specs of the CI regression sentinel — are all JSON, and
+// `bsmp-stat` (tools/bsmp_stat.cpp) must read them without pulling a
+// third-party dependency into the build. This is a strict, small
+// recursive-descent parser into an immutable DOM:
+//
+//   * full JSON: objects, arrays, strings (with \uXXXX escapes),
+//     numbers, true/false/null; rejects trailing garbage;
+//   * numbers are held as double (the artifacts' integers are counters
+//     far below 2^53, where double is exact);
+//   * object member order is preserved (objects are vectors of pairs,
+//     with linear find — artifact objects are small);
+//   * parse errors carry line/column, never throw past parse(): the
+//     result is checked via Parsed::ok.
+//
+// This is a *reader*. Serialization stays where it is today
+// (engine/metrics.cpp, engine/trace.cpp write their schemas directly).
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace bsmp::core::json {
+
+class Value;
+
+/// Object members in source order. Linear lookup: artifact objects
+/// have tens of keys, not thousands.
+using Members = std::vector<std::pair<std::string, Value>>;
+using Array = std::vector<Value>;
+
+enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+/// One JSON value. Copyable; arrays/objects share nothing.
+class Value {
+ public:
+  Value() = default;  // null
+  explicit Value(bool b) : type_(Type::kBool), bool_(b) {}
+  explicit Value(double d) : type_(Type::kNumber), num_(d) {}
+  explicit Value(std::string s) : type_(Type::kString), str_(std::move(s)) {}
+  explicit Value(Array a)
+      : type_(Type::kArray), arr_(std::make_shared<Array>(std::move(a))) {}
+  explicit Value(Members m)
+      : type_(Type::kObject), obj_(std::make_shared<Members>(std::move(m))) {}
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  /// Typed reads with caller-supplied fallbacks — the artifact readers
+  /// treat a missing or differently-typed field as "not recorded".
+  bool as_bool(bool fallback = false) const {
+    return is_bool() ? bool_ : fallback;
+  }
+  double as_number(double fallback = 0.0) const {
+    return is_number() ? num_ : fallback;
+  }
+  const std::string& as_string() const {
+    static const std::string kEmpty;
+    return is_string() ? str_ : kEmpty;
+  }
+
+  /// Empty for non-arrays / non-objects: readers can chain lookups
+  /// without checking every level.
+  const Array& items() const {
+    static const Array kEmpty;
+    return is_array() && arr_ ? *arr_ : kEmpty;
+  }
+  const Members& members() const {
+    static const Members kEmpty;
+    return is_object() && obj_ ? *obj_ : kEmpty;
+  }
+
+  /// Member lookup (first match); a shared static null when absent, so
+  /// `v["a"]["b"].as_number()` walks missing paths safely.
+  const Value& operator[](std::string_view key) const;
+
+  /// has("a") distinguishes a present null from an absent member.
+  bool has(std::string_view key) const;
+
+ private:
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double num_ = 0;
+  std::string str_;
+  std::shared_ptr<Array> arr_;
+  std::shared_ptr<Members> obj_;
+};
+
+/// parse() result: `ok` gates `value`; on failure `error` carries a
+/// human-readable message with 1-based line:column.
+struct Parsed {
+  bool ok = false;
+  Value value;
+  std::string error;
+};
+
+/// Parse a complete JSON document (trailing whitespace allowed,
+/// trailing tokens are an error).
+Parsed parse(std::string_view text);
+
+/// Read and parse a file; IO failure reports in Parsed::error.
+Parsed parse_file(const std::string& path);
+
+}  // namespace bsmp::core::json

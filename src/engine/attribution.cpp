@@ -1,0 +1,153 @@
+#include "engine/attribution.hpp"
+
+#include <algorithm>
+#include <cstddef>
+
+namespace bsmp::engine {
+
+const char* mechanism_name(Mechanism m) {
+  switch (m) {
+    case Mechanism::kCompute: return "compute";
+    case Mechanism::kRelocation: return "relocation";
+    case Mechanism::kStaging: return "staging";
+    case Mechanism::kStealIdle: return "steal-idle";
+    case Mechanism::kJoinPark: return "join-park";
+    case Mechanism::kOther: return "other";
+    case Mechanism::kCount: break;
+  }
+  return "?";
+}
+
+Mechanism classify_mechanism(trace::Cat cat, std::string_view name) {
+  switch (cat) {
+    case trace::Cat::kSepRegion: return Mechanism::kCompute;
+    case trace::Cat::kStaging: return Mechanism::kStaging;
+    case trace::Cat::kSweepPoint: return Mechanism::kCompute;
+    case trace::Cat::kSim:
+      // Relocation is the one simulator mechanism with its own span
+      // name; tiles and wavefronts are the compute skeleton.
+      return name == "regime1-relocate" ? Mechanism::kRelocation
+                                        : Mechanism::kCompute;
+    case trace::Cat::kTask:
+      if (name == "join-park") return Mechanism::kJoinPark;
+      // Shard merges do real work (guest-table reduction) on the task
+      // layer's clock.
+      if (name == "shard-merge") return Mechanism::kCompute;
+      return Mechanism::kStealIdle;
+    case trace::Cat::kCount: break;
+  }
+  return Mechanism::kOther;
+}
+
+namespace {
+
+/// Phase a span *itself* names, before ancestor inheritance. The sep
+/// executor's spans belong to kExecutorLeaf even though no span is
+/// literally named "executor-leaf".
+ForkPhase own_phase(std::string_view name) {
+  if (name == "sep-region" || name == "sep-leaf")
+    return ForkPhase::kExecutorLeaf;
+  return fork_phase_from_name(name);
+}
+
+/// Weighted interval scheduling over (start, end, weight) triples:
+/// the maximum total weight of a pairwise non-overlapping subset
+/// (end_i <= start_j or vice versa). O(n log n).
+std::uint64_t max_chain(std::vector<std::array<std::uint64_t, 3>>& iv) {
+  if (iv.empty()) return 0;
+  std::sort(iv.begin(), iv.end(),
+            [](const auto& a, const auto& b) { return a[1] < b[1]; });
+  // dp[i] = best over the first i intervals (by end time); ends[] is
+  // the sorted end-time array for the predecessor binary search.
+  std::vector<std::uint64_t> ends(iv.size()), dp(iv.size() + 1, 0);
+  for (std::size_t i = 0; i < iv.size(); ++i) ends[i] = iv[i][1];
+  for (std::size_t i = 0; i < iv.size(); ++i) {
+    // Last interval ending at or before this start.
+    auto it = std::upper_bound(ends.begin(), ends.begin() + i, iv[i][0]);
+    std::size_t j = static_cast<std::size_t>(it - ends.begin());
+    dp[i + 1] = std::max(dp[i], dp[j] + iv[i][2]);
+  }
+  return dp[iv.size()];
+}
+
+}  // namespace
+
+Attribution fold_attribution(const std::vector<trace::SpanRec>& spans,
+                             std::uint64_t dropped) {
+  Attribution out;
+  out.dropped = dropped;
+
+  // Complete spans only: instants carry no duration.
+  std::vector<std::size_t> complete;
+  int max_tid = -1;
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    if (spans[i].ph != 'X') continue;
+    complete.push_back(i);
+    max_tid = std::max(max_tid, spans[i].tid);
+  }
+  out.spans = complete.size();
+  if (complete.empty()) return out;
+
+  // Self-time: per thread, sort by (start asc, duration desc) so a
+  // parent precedes the children it encloses, then walk a nesting
+  // stack subtracting each direct child's duration from its parent.
+  std::vector<std::uint64_t> self(spans.size(), 0);
+  std::vector<ForkPhase> phase(spans.size(), ForkPhase::kNone);
+  std::vector<std::size_t> idx;
+  struct Open {
+    std::uint64_t end;
+    std::size_t i;
+  };
+  std::vector<Open> stack;
+  for (int t = 0; t <= max_tid; ++t) {
+    idx.clear();
+    for (std::size_t i : complete)
+      if (spans[i].tid == t) idx.push_back(i);
+    std::stable_sort(idx.begin(), idx.end(),
+                     [&](std::size_t a, std::size_t b) {
+                       if (spans[a].t0_ns != spans[b].t0_ns)
+                         return spans[a].t0_ns < spans[b].t0_ns;
+                       return spans[a].dur_ns > spans[b].dur_ns;
+                     });
+    stack.clear();
+    for (std::size_t i : idx) {
+      const auto& s = spans[i];
+      while (!stack.empty() && stack.back().end <= s.t0_ns)
+        stack.pop_back();
+      self[i] = s.dur_ns;
+      ForkPhase p = own_phase(s.name);
+      if (!stack.empty()) {
+        self[stack.back().i] -= std::min(self[stack.back().i], s.dur_ns);
+        if (p == ForkPhase::kNone) p = phase[stack.back().i];
+      }
+      phase[i] = p;
+      stack.push_back({s.t0_ns + s.dur_ns, i});
+    }
+  }
+
+  std::vector<std::array<std::uint64_t, 3>> iv;
+  iv.reserve(complete.size());
+  for (std::size_t i : complete) {
+    const auto& s = spans[i];
+    Mechanism m = classify_mechanism(s.cat, s.name);
+    auto mi = static_cast<std::size_t>(m);
+    out.mechanism[mi].self_ns += self[i];
+    out.mechanism[mi].spans += 1;
+    out.total_self_ns += self[i];
+    out.phase[static_cast<std::size_t>(phase[i])][mi] += self[i];
+    iv.push_back({s.t0_ns, s.t0_ns + s.dur_ns, s.dur_ns});
+  }
+  out.critical_path_ns = max_chain(iv);
+  return out;
+}
+
+Attribution fold_attribution_since(std::uint64_t mark_ns) {
+  std::vector<trace::SpanRec> all = trace::snapshot();
+  std::vector<trace::SpanRec> windowed;
+  windowed.reserve(all.size());
+  for (auto& s : all)
+    if (s.t0_ns >= mark_ns) windowed.push_back(std::move(s));
+  return fold_attribution(windowed, trace::dropped());
+}
+
+}  // namespace bsmp::engine

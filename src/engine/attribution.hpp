@@ -1,0 +1,109 @@
+// engine::attribution — per-mechanism self-time fold over a trace
+// span snapshot (the `attribution` block of bsmp-metrics-v3).
+//
+// The trace recorder answers "where did the time go" span by span;
+// this fold reduces a snapshot to two numbers a regression gate can
+// act on, plus a small additive decomposition in between:
+//
+//   * *self-time* per mechanism: each complete span's duration minus
+//     the durations of the spans nested directly inside it on the same
+//     thread, classified into compute / relocation / staging /
+//     steal-idle / join-park by (category, span name). Self-times are
+//     additive — they sum to total busy wall-clock across threads
+//     with no double counting, so `bsmp-stat diff` can compare slices
+//     independently;
+//   * the *critical path*: the maximum-total-duration chain of
+//     non-overlapping spans (classic weighted interval scheduling
+//     over all threads). A parallelism regression moves this number
+//     even when total self-time is unchanged;
+//   * a phase x mechanism matrix: every self-time slice is also keyed
+//     by the innermost enclosing engine::ForkPhase ("machine-tile",
+//     "regime1-relocate", ...; sep-region/sep-leaf spans imply
+//     kExecutorLeaf), connecting wall-clock attribution to the same
+//     phase axis as the metrics `tasks.phases` counters.
+//
+// The fold is a pure function of the span multiset: timestamps decide
+// nesting and the critical path, but classification depends only on
+// (cat, name), so the *keys* of the result are deterministic whenever
+// the span set is (pinned by the attribution determinism test across
+// pool sizes and fork grains). A fold from a snapshot with ring-buffer
+// drops is marked untrusted — the timeline is truncated and the
+// numbers under-count; consumers (bsmp-stat) must not gate on it.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "engine/task.hpp"
+#include "engine/trace.hpp"
+
+namespace bsmp::engine {
+
+/// Wall-clock mechanism buckets of the metrics-v3 attribution block.
+/// kOther catches spans no rule claims (currently none) so the fold
+/// stays additive if instrumentation grows faster than this table.
+enum class Mechanism : int {
+  kCompute = 0,  ///< sep recursion, leaf kernels, sweeps, sim wavefronts
+  kRelocation,   ///< regime-1 relocation subtree spans
+  kStaging,      ///< staging-store maintenance (wavefront pruning)
+  kStealIdle,    ///< task-layer overhead: task-run shells, steals
+  kJoinPark,     ///< threads parked waiting on a join
+  kOther,        ///< unclassified (additivity backstop)
+  kCount,
+};
+inline constexpr std::size_t kNumMechanisms =
+    static_cast<std::size_t>(Mechanism::kCount);
+
+/// Stable mechanism name ("compute", "relocation", ...): the keys of
+/// the metrics-v3 `attribution.mechanisms` object.
+const char* mechanism_name(Mechanism m);
+
+/// Classification rule, exposed for the attribution tests:
+///   kSepRegion -> compute            kStaging -> staging
+///   kSweepPoint -> compute           kSim "regime1-relocate" -> relocation
+///   other kSim -> compute            kTask "join-park" -> join-park
+///   kTask "shard-merge" -> compute   other kTask -> steal-idle
+Mechanism classify_mechanism(trace::Cat cat, std::string_view name);
+
+/// One mechanism's additive slice of the fold.
+struct MechanismSlice {
+  std::uint64_t self_ns = 0;  ///< summed span self-time
+  std::uint64_t spans = 0;    ///< complete spans classified here
+};
+
+/// The folded attribution of one measurement pass.
+struct Attribution {
+  std::uint64_t spans = 0;    ///< complete ('X') spans folded
+  std::uint64_t dropped = 0;  ///< recorder drop count at fold time
+  /// Sum of every span's self-time == sum over mechanisms. Total busy
+  /// wall-clock across threads (parked join time included, as its own
+  /// mechanism).
+  std::uint64_t total_self_ns = 0;
+  /// Maximum-total-duration chain of non-overlapping spans.
+  std::uint64_t critical_path_ns = 0;
+  std::array<MechanismSlice, kNumMechanisms> mechanism{};
+  /// Self-time split by innermost enclosing fork phase. Row kNone
+  /// holds spans outside any phase-mapped ancestor.
+  std::array<std::array<std::uint64_t, kNumMechanisms>, kNumForkPhases>
+      phase{};
+
+  /// Attribution from a drop-free snapshot. Untrusted folds
+  /// under-count (the timeline was truncated); bsmp-stat skips them
+  /// instead of gating.
+  bool trusted() const { return dropped == 0; }
+  bool empty() const { return spans == 0; }
+};
+
+/// Fold a span snapshot. `dropped` is the recorder's drop counter for
+/// the window the snapshot covers; it only sets the trust bit.
+Attribution fold_attribution(const std::vector<trace::SpanRec>& spans,
+                             std::uint64_t dropped);
+
+/// Fold the live recorder's spans that started at or after `mark_ns`
+/// (a value from trace::mark()): the per-pass hook bench_common uses.
+/// Empty (and trusted) when tracing is compiled out or disabled.
+Attribution fold_attribution_since(std::uint64_t mark_ns);
+
+}  // namespace bsmp::engine

@@ -44,10 +44,21 @@ std::vector<HotPathMetric> Metrics::hot_snapshot() const {
   return hot_;
 }
 
+void Metrics::record_calibration(CalibrationSample s) {
+  std::lock_guard<std::mutex> lk(mu_);
+  calibration_.push_back(std::move(s));
+}
+
+std::vector<CalibrationSample> Metrics::calibration_snapshot() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return calibration_;
+}
+
 void Metrics::clear() {
   std::lock_guard<std::mutex> lk(mu_);
   sweeps_.clear();
   hot_.clear();
+  calibration_.clear();
 }
 
 double MetricsReport::speedup() const {
@@ -125,7 +136,7 @@ void json_hist(std::ostream& os,
 }  // namespace
 
 void MetricsReport::write_json(std::ostream& os) const {
-  os << "{\n  \"schema\": \"bsmp-metrics-v2\",\n  \"name\": ";
+  os << "{\n  \"schema\": \"bsmp-metrics-v3\",\n  \"name\": ";
   json_string(os, name);
   os << ",\n  \"speedup\": ";
   json_real(os, speedup());
@@ -138,7 +149,12 @@ void MetricsReport::write_json(std::ostream& os) const {
   os << ",\n    \"compiler\": ";
   json_string(os, manifest.compiler);
   os << ",\n    \"hardware_threads\": " << manifest.hardware_threads
-     << ",\n    \"trace_compiled\": " << (manifest.trace_compiled ? 1 : 0)
+     << ",\n    \"num_cpus\": " << manifest.num_cpus
+     << ",\n    \"hostname\": ";
+  json_string(os, manifest.hostname);
+  os << ",\n    \"simd_isa\": ";
+  json_string(os, manifest.simd_isa);
+  os << ",\n    \"trace_compiled\": " << (manifest.trace_compiled ? 1 : 0)
      << ",\n    \"trace_enabled\": " << (manifest.trace_enabled ? 1 : 0);
   for (const auto& [k, v] : manifest.knobs) {
     os << ",\n    ";
@@ -243,6 +259,77 @@ void MetricsReport::write_json(std::ostream& os) const {
       }
       os << "},\n        \"steal_latency_ns\": ";
       json_hist(os, pass.histograms.steal_latency_ns);
+      os << "\n      }";
+    }
+    if (!pass.attribution.empty() || !pass.calibration.empty()) {
+      const Attribution& at = pass.attribution;
+      os << ",\n      \"attribution\": {\n        \"trusted\": "
+         << (at.trusted() ? 1 : 0) << ", \"dropped\": " << at.dropped
+         << ", \"spans\": " << at.spans
+         << ",\n        \"total_self_ns\": " << at.total_self_ns
+         << ", \"critical_path_ns\": " << at.critical_path_ns
+         << ",\n        \"mechanisms\": {";
+      bool first_m = true;
+      for (std::size_t i = 0; i < kNumMechanisms; ++i) {
+        const MechanismSlice& sl = at.mechanism[i];
+        if (sl.spans == 0 && sl.self_ns == 0) continue;
+        os << (first_m ? "" : ", ");
+        json_string(os, mechanism_name(static_cast<Mechanism>(i)));
+        os << ": {\"self_ns\": " << sl.self_ns << ", \"spans\": " << sl.spans
+           << "}";
+        first_m = false;
+      }
+      os << "},\n        \"phases\": {";
+      bool first_p = true;
+      for (std::size_t pj = 0; pj < kNumForkPhases; ++pj) {
+        bool any = false;
+        for (auto v : at.phase[pj])
+          if (v != 0) any = true;
+        if (!any) continue;
+        os << (first_p ? "" : ", ");
+        json_string(os, fork_phase_name(static_cast<ForkPhase>(pj)));
+        os << ": {";
+        bool first_c = true;
+        for (std::size_t i = 0; i < kNumMechanisms; ++i) {
+          if (at.phase[pj][i] == 0) continue;
+          os << (first_c ? "" : ", ");
+          json_string(os, mechanism_name(static_cast<Mechanism>(i)));
+          os << ": " << at.phase[pj][i];
+          first_c = false;
+        }
+        os << "}";
+        first_p = false;
+      }
+      os << "}";
+      if (!pass.calibration.empty()) {
+        os << ",\n        \"calibration_points\": [";
+        for (std::size_t ci = 0; ci < pass.calibration.size(); ++ci) {
+          const CalibrationSample& cs = pass.calibration[ci];
+          os << (ci ? ",\n          {" : "\n          {");
+          os << "\"n\": " << cs.n << ", \"m\": " << cs.m
+             << ", \"p\": " << cs.p << ", \"s\": ";
+          json_real(os, cs.s);
+          os << ", \"range\": ";
+          json_string(os, cs.range);
+          os << ", \"holdout\": " << (cs.holdout ? 1 : 0)
+             << ",\n           \"slowdown\": ";
+          json_real(os, cs.slowdown);
+          os << ", \"slow_reloc\": ";
+          json_real(os, cs.slow_reloc);
+          os << ", \"slow_exec\": ";
+          json_real(os, cs.slow_exec);
+          os << ", \"slow_comm\": ";
+          json_real(os, cs.slow_comm);
+          os << ",\n           \"term_reloc\": ";
+          json_real(os, cs.term_reloc);
+          os << ", \"term_exec\": ";
+          json_real(os, cs.term_exec);
+          os << ", \"term_comm\": ";
+          json_real(os, cs.term_comm);
+          os << "}";
+        }
+        os << "\n        ]";
+      }
       os << "\n      }";
     }
     os << "\n    }";

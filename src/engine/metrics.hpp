@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "engine/arena.hpp"
+#include "engine/attribution.hpp"
 #include "engine/plan_cache.hpp"
 #include "engine/task.hpp"
 #include "engine/trace.hpp"
@@ -91,6 +92,31 @@ struct HotPathMetric {
   }
 };
 
+/// One calibration-grid point's measured per-mechanism decomposition,
+/// recorded by tables::calibration and serialized into the metrics-v3
+/// `attribution.calibration_points` array so `bsmp-stat fit` can
+/// derive per-mechanism constants from the artifact alone. The slow_*
+/// fields split the measured slowdown by the virtual-time cost ledger
+/// (slow_k = slowdown * cost_k / sum of mechanism costs); the term_*
+/// fields are the advisor model's per-mechanism predictor terms at the
+/// same (n, m, p). The `range` string names the analytic tradeoff
+/// range the point falls in (analytic::classify_range), kept as text
+/// so engine stays independent of analytic. Deterministic: the values
+/// come from the simulator's cost ledger, not the wall clock.
+struct CalibrationSample {
+  int n = 0, m = 0, p = 0;  ///< grid point
+  double s = 0;             ///< feasible window length the model chose
+  std::string range;        ///< analytic tradeoff range ("1".."4")
+  bool holdout = false;     ///< excluded from training fits
+  double slowdown = 0;      ///< measured time / guest_time
+  double slow_reloc = 0;    ///< relocation share of the slowdown
+  double slow_exec = 0;     ///< execution (compute+local) share
+  double slow_comm = 0;     ///< communication share
+  double term_reloc = 0;    ///< model term: (n/p)*A_relocation
+  double term_exec = 0;     ///< model term: (n/p)*A_execution
+  double term_comm = 0;     ///< model term: (n/p)*A_communication
+};
+
 /// Thread-safe sink the engine reports into. Hand one to
 /// SweepOptions::metrics (or tables::EngineCtx::metrics) and every
 /// sweep that runs appends one SweepMetric; snapshot() hands them back
@@ -113,12 +139,21 @@ class Metrics {
   /// Copy of all hot-path records so far, in recording order.
   std::vector<HotPathMetric> hot_snapshot() const;
 
+  /// Append one calibration-grid decomposition (tables::calibration;
+  /// called from the emitter thread after the sweep, in point order,
+  /// so the serialized array is deterministic).
+  void record_calibration(CalibrationSample s);
+
+  /// Copy of all calibration samples so far, in recording order.
+  std::vector<CalibrationSample> calibration_snapshot() const;
+
   void clear();
 
  private:
   mutable std::mutex mu_;
   std::vector<SweepMetric> sweeps_;
   std::vector<HotPathMetric> hot_;
+  std::vector<CalibrationSample> calibration_;
 };
 
 /// One emitter pass (one thread count, one fresh PlanCache) inside a
@@ -137,6 +172,13 @@ struct MetricsPass {
   /// (engine::trace delta across the pass); all-zero when tracing is
   /// compiled out or disabled.
   trace::HistSnapshot histograms;
+  /// Per-mechanism wall-clock self-time fold of the pass's trace spans
+  /// (metrics-v3 `attribution`); empty when tracing is off.
+  Attribution attribution;
+  /// Calibration-grid per-mechanism decompositions recorded during the
+  /// pass (metrics-v3 `attribution.calibration_points`); empty for
+  /// non-calibration emitters.
+  std::vector<CalibrationSample> calibration;
 };
 
 /// The `metrics_<name>.json` artifact: a named sequence of passes
@@ -144,13 +186,15 @@ struct MetricsPass {
 /// Schema (stable, versioned by the "schema" field):
 ///
 /// {
-///   "schema": "bsmp-metrics-v2",
+///   "schema": "bsmp-metrics-v3",
 ///   "name": "e6d",
 ///   "speedup": 1.02,
 ///   "manifest": { "name": "e6d", "git_sha": "6bd49c5...",
 ///                 "build_type": "Release", "compiler": "...",
-///                 "hardware_threads": "8", "trace_compiled": "1",
-///                 "trace_enabled": "0", "BSMP_TRACE": "", ... },
+///                 "hardware_threads": 8, "num_cpus": 8,
+///                 "hostname": "ci-runner-3", "simd_isa": "avx2",
+///                 "trace_compiled": 1,
+///                 "trace_enabled": 0, "BSMP_TRACE": "unset", ... },
 ///   "passes": [
 ///     { "threads": 1, "seconds": 2.31,
 ///       "cache": {"hits": 93, "misses": 3, "builds": 3,
@@ -172,12 +216,47 @@ struct MetricsPass {
 ///           "simd_isa": "scalar", "simd_lanes": 1 } ],
 ///       "histograms": {
 ///         "spans": { "sep-region": [[12, 3], [13, 41]], ... },
-///         "steal_latency_ns": [[10, 7], [11, 2]] } } ]
+///         "steal_latency_ns": [[10, 7], [11, 2]] },
+///       "attribution": {
+///         "trusted": 1, "dropped": 0, "spans": 412,
+///         "total_self_ns": 81234567, "critical_path_ns": 23456789,
+///         "mechanisms": {
+///           "compute": {"self_ns": 61234567, "spans": 380},
+///           "relocation": {"self_ns": 9123456, "spans": 12}, ... },
+///         "phases": {
+///           "none": {"compute": 1234, ...},
+///           "regime1-relocate": {"relocation": 9123456, ...}, ... },
+///         "calibration_points": [
+///           { "n": 64, "m": 4, "p": 4, "s": 16, "range": "2",
+///             "holdout": 0, "slowdown": 81.2, "slow_reloc": 11.0,
+///             "slow_exec": 66.1, "slow_comm": 4.1,
+///             "term_reloc": 0.12, "term_exec": 0.88,
+///             "term_comm": 0.04 } ] } } ]
 /// }
 ///
-/// v2 is a strict superset of bsmp-metrics-v1: every v1 field keeps
-/// its name, position and meaning (pinned by the compat test in
-/// tests/test_metrics.cpp). Additions:
+/// v3 is a strict superset of bsmp-metrics-v2, which is a strict
+/// superset of v1: every earlier field keeps its name, position and
+/// meaning (pinned by the compat tests in tests/test_metrics.cpp).
+/// v3 additions:
+///   * manifest "num_cpus", "hostname", "simd_isa" — the hardware
+///     identity of the producing host ("num_cpus" mirrors
+///     "hardware_threads" under google-benchmark's name for it), so
+///     `bsmp-stat diff` refuses cross-hardware comparisons.
+///   * per-pass "attribution" — the per-mechanism wall-clock self-time
+///     fold of the pass's trace spans (engine/attribution.hpp):
+///     "mechanisms" maps mechanism name -> {"self_ns", "spans"}
+///     (additive: self_ns sums to "total_self_ns"), "phases" maps
+///     engine::ForkPhase name -> per-mechanism self-time of spans
+///     under that phase, "critical_path_ns" is the max-duration
+///     non-overlapping span chain, "trusted" is 0 when the recorder
+///     dropped events during the pass (timeline truncated — consumers
+///     must not gate on the numbers), and "calibration_points" (for
+///     the `cal` emitter) carries the per-grid-point per-mechanism
+///     slowdown decomposition `bsmp-stat fit` trains on. Mechanisms
+///     with no spans and all-zero phase rows are omitted; the block
+///     itself is omitted when the pass recorded no spans and no
+///     calibration points.
+/// v2 additions over v1:
 ///   * "manifest" — the run's provenance (engine::trace::RunManifest):
 ///     git SHA, build type, compiler, hardware threads, the tracing
 ///     state, and every BSMP_* env knob that shaped the run.

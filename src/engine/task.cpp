@@ -36,6 +36,14 @@ const char* fork_phase_name(ForkPhase p) {
   return "none";
 }
 
+ForkPhase fork_phase_from_name(std::string_view name) {
+  for (std::size_t i = 1; i < kNumForkPhases; ++i) {
+    auto p = static_cast<ForkPhase>(i);
+    if (name == fork_phase_name(p)) return p;
+  }
+  return ForkPhase::kNone;
+}
+
 TaskScheduler::Bind::Bind(TaskScheduler* sched, int slot)
     : prev_sched_(tl_sched), prev_slot_(tl_slot), sched_(sched), slot_(slot) {
   BSMP_REQUIRE(sched != nullptr);

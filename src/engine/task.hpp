@@ -40,6 +40,7 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <string_view>
 #include <thread>
 #include <vector>
 
@@ -69,6 +70,10 @@ inline constexpr std::size_t kNumForkPhases =
 /// Stable name of a phase, matching the trace span names where one
 /// exists ("machine-tile", "regime1-relocate", ...).
 const char* fork_phase_name(ForkPhase p);
+
+/// Inverse of fork_phase_name, for the attribution fold's span-name ->
+/// phase classification. kNone for names no phase claims.
+ForkPhase fork_phase_from_name(std::string_view name);
 
 /// Per-phase slice of the task counters (metrics-v2 `tasks.phases`).
 struct PhaseTaskStats {

@@ -1,6 +1,7 @@
 #include "engine/trace.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -8,6 +9,10 @@
 #include <memory>
 #include <mutex>
 #include <thread>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>  // gethostname
+#endif
 
 #ifndef BSMP_GIT_SHA
 #define BSMP_GIT_SHA "unknown"
@@ -268,6 +273,8 @@ std::uint64_t dropped() {
   return n;
 }
 
+std::uint64_t mark() { return detail::now_ns(); }
+
 std::uint64_t digest() {
   detail::Registry& r = detail::registry();
   std::lock_guard<std::mutex> lk(r.mu);
@@ -315,6 +322,7 @@ std::vector<SpanRec> snapshot() { return {}; }
 HistSnapshot hist_snapshot() { return {}; }
 std::uint64_t events_recorded() { return 0; }
 std::uint64_t dropped() { return 0; }
+std::uint64_t mark() { return 0; }
 std::uint64_t digest() { return 0; }
 void clear() {}
 
@@ -332,6 +340,14 @@ RunManifest make_run_manifest(const std::string& name) {
 #endif
   unsigned hw = std::thread::hardware_concurrency();
   m.hardware_threads = hw == 0 ? 1 : static_cast<int>(hw);
+  m.num_cpus = m.hardware_threads;
+#if defined(__unix__) || defined(__APPLE__)
+  {
+    char host[256] = {};
+    if (gethostname(host, sizeof host - 1) == 0 && host[0] != '\0')
+      m.hostname = host;
+  }
+#endif
   m.trace_compiled = compiled();
   m.trace_enabled = enabled();
   for (const char* knob : {"BSMP_TRACE", "BSMP_TRACE_BUFFER",
@@ -469,6 +485,9 @@ bool write_chrome_json(const std::string& path, const RunManifest& manifest) {
   kv("build_type", manifest.build_type);
   kv("compiler", manifest.compiler);
   kv("hardware_threads", std::to_string(manifest.hardware_threads));
+  kv("num_cpus", std::to_string(manifest.num_cpus));
+  kv("hostname", manifest.hostname);
+  kv("simd_isa", manifest.simd_isa);
   for (const auto& [k, v] : manifest.knobs) kv(k.c_str(), v);
   kv("trace_events", std::to_string(manifest.trace_events));
   kv("trace_dropped", std::to_string(manifest.trace_dropped));

@@ -98,6 +98,19 @@ struct RunManifest {
   std::string build_type;  ///< CMAKE_BUILD_TYPE
   std::string compiler;    ///< __VERSION__ of the building compiler
   int hardware_threads = 1;
+  /// Hardware identity of the producing host, so `bsmp-stat diff` can
+  /// refuse cross-hardware comparisons instead of reporting bogus
+  /// regressions (metrics-v3). num_cpus mirrors hardware_threads under
+  /// the name google-benchmark uses for the same fact
+  /// (context.num_cpus), so both artifact families key comparability
+  /// the same way.
+  int num_cpus = 1;
+  std::string hostname = "unknown";  ///< gethostname() of the producer
+  /// SIMD leaf-kernel dispatch active for the run
+  /// (sep::simd::active_isa()); "unknown" until the producer fills it —
+  /// engine cannot call into sep (layering), so bench_common and the
+  /// conformance serializers stamp it after make_run_manifest().
+  std::string simd_isa = "unknown";
   bool trace_compiled = false;  ///< BSMP_TRACE compiled in
   bool trace_enabled = false;   ///< recorder on at manifest time
   /// Raw values of the BSMP_* environment knobs ("unset" when absent),
@@ -241,6 +254,12 @@ HistSnapshot hist_snapshot();
 /// Events currently held across all buffers / dropped for lack of room.
 std::uint64_t events_recorded();
 std::uint64_t dropped();
+
+/// Monotonic timestamp on the recorder's clock (ns), for scoping a
+/// span snapshot to one measurement pass: spans with t0_ns >= mark()
+/// started after the mark. 0 when tracing is compiled out — every
+/// span (there are none) trivially passes the filter.
+std::uint64_t mark();
 
 /// Order-independent FNV-1a-based hash over the identity (name, cat,
 /// ph, a0, a1, detail) of every *held* event — stable for a

@@ -5,6 +5,8 @@
 #include <cmath>
 #include <sstream>
 
+#include "core/cost.hpp"
+#include "engine/metrics.hpp"
 #include "sim/multiproc.hpp"
 #include "tables/detail.hpp"
 
@@ -49,9 +51,19 @@ std::vector<CalibrationPoint> default_calibration_grid() {
 
 std::vector<double> measure_calibration_points(
     EngineCtx& ctx, const std::vector<CalibrationPoint>& pts) {
-  return sweep_values<double>(
+  auto meas = measure_calibration_breakdown(ctx, pts);
+  std::vector<double> slows;
+  slows.reserve(meas.size());
+  for (const auto& m : meas) slows.push_back(m.slowdown);
+  return slows;
+}
+
+std::vector<CalibrationMeasurement> measure_calibration_breakdown(
+    EngineCtx& ctx, const std::vector<CalibrationPoint>& pts) {
+  return sweep_values<CalibrationMeasurement>(
       ctx, pts,
-      [&](const CalibrationPoint& pt, engine::SweepContext& c) -> double {
+      [&](const CalibrationPoint& pt,
+          engine::SweepContext& c) -> CalibrationMeasurement {
         auto ref = cached_reference<1>(*c.plans, {pt.n}, pt.n, pt.m, kCalSeed);
         auto g = cached_mix_guest<1>(*c.plans, {pt.n}, pt.n, pt.m, kCalSeed);
         sim::MultiprocConfig cfg;
@@ -59,7 +71,22 @@ std::vector<double> measure_calibration_points(
         auto res = sim::simulate_multiproc<1>(*g, spec(1, pt.n, pt.p, pt.m),
                                               cfg);
         require_equivalent<1>(res, *ref, "advisor calibration");
-        return res.slowdown();
+        CalibrationMeasurement out;
+        out.slowdown = res.slowdown();
+        // Proportional split of the slowdown by the ledger's mechanism
+        // costs; kRearrange is the amortized one-time preprocess and
+        // stays out of the denominator, matching slowdown() itself.
+        double reloc = res.ledger.cost(core::CostKind::kBlockMove);
+        double exec = res.ledger.cost(core::CostKind::kCompute) +
+                      res.ledger.cost(core::CostKind::kLocalAccess);
+        double comm = res.ledger.cost(core::CostKind::kComm);
+        double denom = reloc + exec + comm;
+        if (denom > 0) {
+          out.slow_reloc = out.slowdown * reloc / denom;
+          out.slow_exec = out.slowdown * exec / denom;
+          out.slow_comm = out.slowdown * comm / denom;
+        }
+        return out;
       },
       "calibration grid");
 }
@@ -75,16 +102,74 @@ analytic::Calibration run_calibration(EngineCtx& ctx,
   return cal;
 }
 
+analytic::MechanismCalibration run_mechanism_calibration(
+    EngineCtx& ctx, const std::vector<CalibrationPoint>& pts) {
+  auto meas = measure_calibration_breakdown(ctx, pts);
+  analytic::MechanismCalibration cal;
+  for (std::size_t i = 0; i < pts.size(); ++i)
+    cal.add_measurement((double)pts[i].n, (double)pts[i].m, (double)pts[i].p,
+                        meas[i].slowdown, meas[i].slow_reloc,
+                        meas[i].slow_exec, meas[i].slow_comm);
+  cal.fit();
+  return cal;
+}
+
+namespace {
+
+// One metrics-v3 calibration sample (attribution.calibration_points)
+// per grid point, recorded from the emitter thread *after* the sweep,
+// in point order, so the serialized array is deterministic however the
+// pool scheduled the measurements.
+void record_calibration_samples(EngineCtx& ctx,
+                                const std::vector<CalibrationPoint>& pts,
+                                const std::vector<CalibrationMeasurement>& meas,
+                                bool holdout) {
+  if (ctx.metrics == nullptr) return;
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    const auto& pt = pts[i];
+    engine::CalibrationSample s;
+    s.n = (int)pt.n;
+    s.m = (int)pt.m;
+    s.p = (int)pt.p;
+    s.s = (double)measured_strip(pt);
+    s.range = analytic::to_string(analytic::classify_range(
+        1, (double)pt.n, (double)pt.m, (double)pt.p));
+    s.holdout = holdout;
+    s.slowdown = meas[i].slowdown;
+    s.slow_reloc = meas[i].slow_reloc;
+    s.slow_exec = meas[i].slow_exec;
+    s.slow_comm = meas[i].slow_comm;
+    auto t = analytic::calibration_terms((double)pt.n, (double)pt.m,
+                                         (double)pt.p);
+    s.term_reloc = t[0];
+    s.term_exec = t[1];
+    s.term_comm = t[2];
+    ctx.metrics->record_calibration(std::move(s));
+  }
+}
+
+}  // namespace
+
 std::vector<Emitted> calibration_tables(EngineCtx& ctx) {
   std::vector<Emitted> out;
   auto grid = default_calibration_grid();
-  auto slows = measure_calibration_points(ctx, grid);
+  auto meas = measure_calibration_breakdown(ctx, grid);
+  record_calibration_samples(ctx, grid, meas, /*holdout=*/false);
+  std::vector<double> slows;
+  for (const auto& m : meas) slows.push_back(m.slowdown);
 
   analytic::Calibration cal;
-  for (std::size_t i = 0; i < grid.size(); ++i)
+  analytic::MechanismCalibration mcal;
+  for (std::size_t i = 0; i < grid.size(); ++i) {
     cal.add_measurement((double)grid[i].n, (double)grid[i].m,
                         (double)grid[i].p, slows[i]);
+    mcal.add_measurement((double)grid[i].n, (double)grid[i].m,
+                         (double)grid[i].p, meas[i].slowdown,
+                         meas[i].slow_reloc, meas[i].slow_exec,
+                         meas[i].slow_comm);
+  }
   cal.fit();
+  mcal.fit();
 
   {
     core::Table t("CAL-a: advisor calibration — training measurements "
@@ -115,12 +200,13 @@ std::vector<Emitted> calibration_tables(EngineCtx& ctx) {
                cal.training_error()});
     out.push_back({std::move(t), ""});
   }
+  // Holdout: predict a size excluded from the training grid (inside
+  // its n range since {384,4,4} joined), measured through the same
+  // engine path.
+  std::vector<CalibrationPoint> holdout{{256, 4, 4}};
+  auto holdout_meas = measure_calibration_breakdown(ctx, holdout);
+  record_calibration_samples(ctx, holdout, holdout_meas, /*holdout=*/true);
   {
-    // Holdout: predict a size excluded from the training grid (inside
-    // its n range since {384,4,4} joined), measured through the same
-    // engine path.
-    std::vector<CalibrationPoint> holdout{{256, 4, 4}};
-    auto measured = measure_calibration_points(ctx, holdout);
     core::Table t("CAL-c: holdout prediction (n held out of the training grid)",
                   {"n", "m", "p", "Tp/Tn measured", "predicted",
                    "predicted/measured"});
@@ -128,13 +214,76 @@ std::vector<Emitted> calibration_tables(EngineCtx& ctx) {
       const auto& pt = holdout[i];
       double pred = cal.predict((double)pt.n, (double)pt.m, (double)pt.p);
       t.add_row({(long long)pt.n, (long long)pt.m, (long long)pt.p,
-                 measured[i], pred, pred / measured[i]});
+                 holdout_meas[i].slowdown, pred,
+                 pred / holdout_meas[i].slowdown});
     }
     out.push_back(
         {std::move(t),
          "# Expected: prediction within a small factor of measured — the\n"
          "# three-mechanism model interpolates a held-out n once its\n"
          "# constants are calibrated.\n"});
+  }
+  {
+    // Per-mechanism decomposition of the training measurements: the
+    // ledger shares the per-mechanism fit trains on.
+    core::Table t("CAL-d: per-mechanism slowdown decomposition and "
+                  "per-range constants (ledger shares)",
+                  {"n", "m", "p", "range", "slow_reloc", "slow_exec",
+                   "slow_comm", "mech fitted", "rel err"});
+    for (std::size_t i = 0; i < grid.size(); ++i) {
+      const auto& pt = grid[i];
+      double pred = mcal.predict((double)pt.n, (double)pt.m, (double)pt.p);
+      t.add_row({(long long)pt.n, (long long)pt.m, (long long)pt.p,
+                 std::string(analytic::to_string(analytic::classify_range(
+                     1, (double)pt.n, (double)pt.m, (double)pt.p))),
+                 meas[i].slow_reloc, meas[i].slow_exec, meas[i].slow_comm,
+                 pred, std::fabs(pred - slows[i]) / slows[i]});
+    }
+    out.push_back(
+        {std::move(t),
+         "# shares come from the simulator's virtual-time cost ledger\n"
+         "# (relocation = block moves, execution = compute + local\n"
+         "# access, communication = word x distance transfers), so the\n"
+         "# decomposition is deterministic like the slowdowns.\n"});
+  }
+  {
+    core::Table t("CAL-e: per-mechanism constants (pooled and per-range) "
+                  "and the holdout under both fits",
+                  {"range", "points", "c_relocation", "c_execution",
+                   "c_communication"});
+    auto count_in = [&](analytic::Range r) {
+      long long k = 0;
+      for (const auto& pt : grid)
+        if (analytic::classify_range(1, (double)pt.n, (double)pt.m,
+                                     (double)pt.p) == r)
+          ++k;
+      return k;
+    };
+    t.add_row({std::string("pooled"), (long long)grid.size(),
+               mcal.c_relocation(), mcal.c_execution(),
+               mcal.c_communication()});
+    for (int r = 0; r < 4; ++r) {
+      auto range = static_cast<analytic::Range>(r);
+      long long k = count_in(range);
+      if (k == 0) continue;
+      t.add_row({std::string(analytic::to_string(range)), k,
+                 mcal.c_relocation(range), mcal.c_execution(range),
+                 mcal.c_communication(range)});
+    }
+    std::ostringstream note;
+    note << "# training MRE: aggregate fit " << cal.training_error()
+         << ", per-mechanism fit " << mcal.training_error() << "\n";
+    for (std::size_t i = 0; i < holdout.size(); ++i) {
+      const auto& pt = holdout[i];
+      double agg = cal.predict((double)pt.n, (double)pt.m, (double)pt.p);
+      double mech = mcal.predict((double)pt.n, (double)pt.m, (double)pt.p);
+      note << "# holdout n=" << pt.n << ": measured "
+           << holdout_meas[i].slowdown << ", aggregate fit " << agg
+           << " (ratio " << agg / holdout_meas[i].slowdown
+           << "), per-mechanism fit " << mech << " (ratio "
+           << mech / holdout_meas[i].slowdown << ")\n";
+    }
+    out.push_back({std::move(t), note.str()});
   }
   return out;
 }

@@ -45,4 +45,31 @@ std::vector<double> measure_calibration_points(
 analytic::Calibration run_calibration(EngineCtx& ctx,
                                       const std::vector<CalibrationPoint>& pts);
 
+/// One grid point's measured slowdown with its per-mechanism
+/// decomposition: the simulator's virtual-time cost ledger splits the
+/// charged time into relocation (kBlockMove), execution (kCompute +
+/// kLocalAccess) and communication (kComm) — kRearrange preprocessing
+/// is amortized out, as in SimResult::slowdown() — and each mechanism
+/// gets its proportional share of the measured slowdown. Deterministic
+/// (ledger, not wall clock), so the CAL-d/CAL-e tables built from it
+/// hold under `ctest -L conformance`.
+struct CalibrationMeasurement {
+  double slowdown = 0;
+  double slow_reloc = 0;
+  double slow_exec = 0;
+  double slow_comm = 0;
+};
+
+/// Measured slowdown + mechanism decomposition for `pts` through the
+/// same sweep harness as measure_calibration_points (identical
+/// slowdown values; one simulation per point covers both).
+std::vector<CalibrationMeasurement> measure_calibration_breakdown(
+    EngineCtx& ctx, const std::vector<CalibrationPoint>& pts);
+
+/// measure_calibration_breakdown on `pts` fed into a fitted
+/// analytic::MechanismCalibration: the per-mechanism, per-range
+/// alternative to run_calibration (requires pts.size() >= 1).
+analytic::MechanismCalibration run_mechanism_calibration(
+    EngineCtx& ctx, const std::vector<CalibrationPoint>& pts);
+
 }  // namespace bsmp::tables

@@ -1,0 +1,326 @@
+// engine::attribution — the per-mechanism self-time fold behind the
+// metrics-v3 `attribution` block.
+//
+// The fold's contract has two halves. The arithmetic half (self-time
+// nesting subtraction, additivity, the weighted-interval-scheduling
+// critical path, phase inheritance) is pinned on synthetic SpanRec
+// timelines where every expected number is computable by hand. The
+// determinism half — classification is a pure function of (cat, name),
+// so the *keys* of the fold are identical whenever the span multiset
+// is — is pinned by folding the real traced workload across pool sizes
+// and fork grains, mirroring the trace determinism property.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "engine/attribution.hpp"
+#include "engine/plan_cache.hpp"
+#include "engine/pool.hpp"
+#include "engine/sweep.hpp"
+#include "engine/trace.hpp"
+#include "sep/executor.hpp"
+#include "sim/dc_uniproc.hpp"
+#include "sim/multiproc.hpp"
+#include "workload/rules.hpp"
+
+using namespace bsmp;
+using engine::Attribution;
+using engine::classify_mechanism;
+using engine::fold_attribution;
+using engine::Mechanism;
+namespace trace = bsmp::engine::trace;
+
+namespace {
+
+trace::SpanRec span(const char* name, trace::Cat cat, int tid,
+                    std::uint64_t t0, std::uint64_t dur) {
+  trace::SpanRec s;
+  s.name = name;
+  s.cat = cat;
+  s.ph = 'X';
+  s.tid = tid;
+  s.t0_ns = t0;
+  s.dur_ns = dur;
+  return s;
+}
+
+std::uint64_t mech_self(const Attribution& at, Mechanism m) {
+  return at.mechanism[static_cast<std::size_t>(m)].self_ns;
+}
+
+std::uint64_t mech_spans(const Attribution& at, Mechanism m) {
+  return at.mechanism[static_cast<std::size_t>(m)].spans;
+}
+
+}  // namespace
+
+TEST(AttributionUnits, ClassificationTable) {
+  using trace::Cat;
+  EXPECT_EQ(classify_mechanism(Cat::kSepRegion, "sep-leaf"),
+            Mechanism::kCompute);
+  EXPECT_EQ(classify_mechanism(Cat::kSepRegion, "sep-region"),
+            Mechanism::kCompute);
+  EXPECT_EQ(classify_mechanism(Cat::kStaging, "staging-prune"),
+            Mechanism::kStaging);
+  EXPECT_EQ(classify_mechanism(Cat::kSweepPoint, "sweep-point"),
+            Mechanism::kCompute);
+  EXPECT_EQ(classify_mechanism(Cat::kSweepPoint, "plan-build"),
+            Mechanism::kCompute);
+  EXPECT_EQ(classify_mechanism(Cat::kSim, "regime1-relocate"),
+            Mechanism::kRelocation);
+  EXPECT_EQ(classify_mechanism(Cat::kSim, "regime2-wave"),
+            Mechanism::kCompute);
+  EXPECT_EQ(classify_mechanism(Cat::kSim, "dc-tile"), Mechanism::kCompute);
+  EXPECT_EQ(classify_mechanism(Cat::kTask, "join-park"),
+            Mechanism::kJoinPark);
+  EXPECT_EQ(classify_mechanism(Cat::kTask, "shard-merge"),
+            Mechanism::kCompute);
+  EXPECT_EQ(classify_mechanism(Cat::kTask, "task-run"),
+            Mechanism::kStealIdle);
+  EXPECT_EQ(classify_mechanism(Cat::kTask, "steal"), Mechanism::kStealIdle);
+}
+
+TEST(AttributionUnits, MechanismNamesAreStable) {
+  EXPECT_STREQ(engine::mechanism_name(Mechanism::kCompute), "compute");
+  EXPECT_STREQ(engine::mechanism_name(Mechanism::kRelocation), "relocation");
+  EXPECT_STREQ(engine::mechanism_name(Mechanism::kStaging), "staging");
+  EXPECT_STREQ(engine::mechanism_name(Mechanism::kStealIdle), "steal-idle");
+  EXPECT_STREQ(engine::mechanism_name(Mechanism::kJoinPark), "join-park");
+  EXPECT_STREQ(engine::mechanism_name(Mechanism::kOther), "other");
+}
+
+TEST(AttributionFold, EmptyAndInstantOnlySnapshots) {
+  Attribution at = fold_attribution({}, 0);
+  EXPECT_TRUE(at.empty());
+  EXPECT_TRUE(at.trusted());
+  EXPECT_EQ(at.total_self_ns, 0u);
+  EXPECT_EQ(at.critical_path_ns, 0u);
+
+  trace::SpanRec i = span("steal", trace::Cat::kTask, 0, 10, 0);
+  i.ph = 'i';
+  at = fold_attribution({i}, 3);
+  EXPECT_TRUE(at.empty());  // instants carry no duration
+  EXPECT_FALSE(at.trusted());
+  EXPECT_EQ(at.dropped, 3u);
+}
+
+TEST(AttributionFold, SelfTimeSubtractsDirectChildrenOnly) {
+  // One thread: task-run [0,100) encloses sep-region [10,90), which
+  // encloses sep-leaf [20,40) and sep-leaf [50,70).
+  std::vector<trace::SpanRec> spans = {
+      span("task-run", trace::Cat::kTask, 0, 0, 100),
+      span("sep-region", trace::Cat::kSepRegion, 0, 10, 80),
+      span("sep-leaf", trace::Cat::kSepRegion, 0, 20, 20),
+      span("sep-leaf", trace::Cat::kSepRegion, 0, 50, 20),
+  };
+  Attribution at = fold_attribution(spans, 0);
+  EXPECT_EQ(at.spans, 4u);
+  // task-run self = 100 - 80 (its one direct child; the leaves
+  // subtract from sep-region, not from task-run).
+  EXPECT_EQ(mech_self(at, Mechanism::kStealIdle), 20u);
+  // sep-region self = 80 - 20 - 20, plus the two leaves' own 40.
+  EXPECT_EQ(mech_self(at, Mechanism::kCompute), 40u + 40u);
+  EXPECT_EQ(mech_spans(at, Mechanism::kCompute), 3u);
+  // Additive: self-times sum to the outermost span's wall clock.
+  EXPECT_EQ(at.total_self_ns, 100u);
+  // One thread, nested spans: the critical path is the longest single
+  // chain of non-overlapping spans — the outer task-run alone.
+  EXPECT_EQ(at.critical_path_ns, 100u);
+}
+
+TEST(AttributionFold, SiblingThreadsDoNotNestIntoEachOther) {
+  std::vector<trace::SpanRec> spans = {
+      span("sep-leaf", trace::Cat::kSepRegion, 0, 0, 100),
+      span("sep-leaf", trace::Cat::kSepRegion, 1, 10, 50),  // other thread
+  };
+  Attribution at = fold_attribution(spans, 0);
+  // No subtraction across threads: both spans keep their full time.
+  EXPECT_EQ(mech_self(at, Mechanism::kCompute), 150u);
+  EXPECT_EQ(at.total_self_ns, 150u);
+}
+
+TEST(AttributionFold, CriticalPathIsMaxWeightNonOverlappingChain) {
+  // Two short compatible spans (total 20) vs one long span (21)
+  // overlapping both: weighted interval scheduling must pick the 21.
+  std::vector<trace::SpanRec> spans = {
+      span("sep-leaf", trace::Cat::kSepRegion, 0, 0, 10),
+      span("sep-leaf", trace::Cat::kSepRegion, 0, 20, 10),
+      span("sep-leaf", trace::Cat::kSepRegion, 1, 5, 21),
+  };
+  Attribution at = fold_attribution(spans, 0);
+  EXPECT_EQ(at.critical_path_ns, 21u);
+  // Make the pair win: extend the second short span.
+  spans[1].dur_ns = 15;  // chain A+B = 25 > 21
+  at = fold_attribution(spans, 0);
+  EXPECT_EQ(at.critical_path_ns, 25u);
+}
+
+TEST(AttributionFold, PhaseIsOwnNameOrInheritedFromEnclosingSpan) {
+  using engine::ForkPhase;
+  // machine-tile [0,100) encloses regime1-relocate [10,50), which
+  // encloses staging-prune [20,30) (no own phase -> inherits).
+  // sep-leaf [60,80) has its own phase (kExecutorLeaf) regardless of
+  // the enclosing machine-tile.
+  std::vector<trace::SpanRec> spans = {
+      span("machine-tile", trace::Cat::kSim, 0, 0, 100),
+      span("regime1-relocate", trace::Cat::kSim, 0, 10, 40),
+      span("staging-prune", trace::Cat::kStaging, 0, 20, 10),
+      span("sep-leaf", trace::Cat::kSepRegion, 0, 60, 20),
+  };
+  Attribution at = fold_attribution(spans, 0);
+  auto cell = [&](ForkPhase p, Mechanism m) {
+    return at.phase[static_cast<std::size_t>(p)][static_cast<std::size_t>(m)];
+  };
+  // machine-tile self = 100 - 40 - 20 = 40, in its own phase.
+  EXPECT_EQ(cell(ForkPhase::kMachineTile, Mechanism::kCompute), 40u);
+  // regime1-relocate self = 40 - 10 = 30.
+  EXPECT_EQ(cell(ForkPhase::kRegime1Relocate, Mechanism::kRelocation), 30u);
+  // staging-prune inherits the relocation phase.
+  EXPECT_EQ(cell(ForkPhase::kRegime1Relocate, Mechanism::kStaging), 10u);
+  // sep-leaf claims kExecutorLeaf over the inherited machine-tile.
+  EXPECT_EQ(cell(ForkPhase::kExecutorLeaf, Mechanism::kCompute), 20u);
+  // The phase matrix is the same total partitioned a second way.
+  std::uint64_t phase_total = 0;
+  for (const auto& row : at.phase)
+    for (auto v : row) phase_total += v;
+  EXPECT_EQ(phase_total, at.total_self_ns);
+  EXPECT_EQ(at.total_self_ns, 100u);
+}
+
+#if BSMP_TRACE_ENABLED
+
+namespace {
+
+machine::MachineSpec spec(int d, std::int64_t n, std::int64_t p,
+                          std::int64_t m) {
+  return machine::MachineSpec{d, n, p, m};
+}
+
+/// The trace determinism workload (mirrors test_trace): one dc
+/// uniprocessor point and one multiprocessor point through a sweep.
+void run_workload(int threads) {
+  engine::Pool pool(threads);
+  engine::PlanCache plans;
+  engine::SweepOptions opt;
+  opt.plans = &plans;
+  opt.label = "attribution workload";
+  engine::PlanKey key;
+  key.d = 1;
+  key.family = engine::PlanFamily::kGuest;
+  key.width = 32;
+  key.horizon = 32;
+  key.m = 2;
+  auto rows = engine::sweep_map<int>(
+      pool, std::vector<int>{0, 1},
+      [&](int point, engine::SweepContext& c) {
+        auto g = c.plans->get_or_build<sep::Guest<1>>(key, [] {
+          return workload::make_mix_guest<1>({32}, 32, 2, 9);
+        });
+        if (point == 0) {
+          auto res = sim::simulate_dc_uniproc<1>(*g, spec(1, 32, 1, 2));
+          return static_cast<int>(res.vertices & 0x7fffffff);
+        }
+        sim::MultiprocConfig cfg;
+        cfg.s = 4;
+        auto res = sim::simulate_multiproc<1>(*g, spec(1, 32, 4, 2), cfg);
+        return static_cast<int>(res.vertices & 0x7fffffff);
+      },
+      opt);
+  ASSERT_EQ(rows.size(), 2u);
+}
+
+/// Per-mechanism span counts of the deterministic categories (kTask
+/// spans are scheduling noise — which forks ran, who stole what — so
+/// they are filtered before the fold), plus the set of mechanisms the
+/// full fold keys. Both are pure functions of the executed work.
+struct FoldSignature {
+  std::array<std::uint64_t, engine::kNumMechanisms> det_spans{};
+  std::vector<std::string> keys;  ///< sorted nonzero mechanism names
+
+  bool operator==(const FoldSignature& o) const {
+    return det_spans == o.det_spans && keys == o.keys;
+  }
+};
+
+FoldSignature folded_signature(int threads, std::int64_t grain) {
+  const std::int64_t saved = sep::default_parallel_grain();
+  sep::set_default_parallel_grain(grain);
+  trace::clear();
+  trace::set_enabled(true);
+  run_workload(threads);
+  trace::set_enabled(false);
+  sep::set_default_parallel_grain(saved);
+
+  std::vector<trace::SpanRec> all = trace::snapshot();
+  std::vector<trace::SpanRec> det;
+  for (const auto& s : all)
+    if (s.cat != trace::Cat::kTask) det.push_back(s);
+
+  FoldSignature sig;
+  Attribution det_at = fold_attribution(det, 0);
+  for (std::size_t i = 0; i < engine::kNumMechanisms; ++i)
+    sig.det_spans[i] = det_at.mechanism[i].spans;
+  Attribution full = fold_attribution(all, trace::dropped());
+  EXPECT_TRUE(full.trusted()) << "buffer too small for the workload";
+  for (std::size_t i = 0; i < engine::kNumMechanisms; ++i)
+    if (full.mechanism[i].spans != 0)
+      sig.keys.push_back(
+          engine::mechanism_name(static_cast<Mechanism>(i)));
+  std::sort(sig.keys.begin(), sig.keys.end());
+  return sig;
+}
+
+}  // namespace
+
+TEST(AttributionDeterminism, KeysIdenticalAcrossPoolAndGrain) {
+  const FoldSignature ref = folded_signature(1, 0);
+  // The workload touches every deterministic mechanism.
+  ASSERT_GT(ref.det_spans[static_cast<int>(Mechanism::kCompute)], 0u);
+  ASSERT_GT(ref.det_spans[static_cast<int>(Mechanism::kRelocation)], 0u);
+  ASSERT_GT(ref.det_spans[static_cast<int>(Mechanism::kStaging)], 0u);
+  // Nothing lands in the additivity backstop.
+  EXPECT_EQ(ref.det_spans[static_cast<int>(Mechanism::kOther)], 0u);
+
+  for (int threads : {1, 2, 4}) {
+    for (std::int64_t grain : {std::int64_t{0}, std::int64_t{4}}) {
+      if (threads == 1 && grain == 0) continue;  // the reference itself
+      FoldSignature sig = folded_signature(threads, grain);
+      EXPECT_EQ(sig.det_spans, ref.det_spans)
+          << "deterministic span counts moved at threads=" << threads
+          << " grain=" << grain;
+      // The full fold may add task-layer mechanisms (steal-idle,
+      // join-park) depending on scheduling, but must never lose the
+      // deterministic ones.
+      for (const std::string& k : {std::string("compute"),
+                                   std::string("relocation"),
+                                   std::string("staging")})
+        EXPECT_TRUE(std::find(sig.keys.begin(), sig.keys.end(), k) !=
+                    sig.keys.end())
+            << "mechanism " << k << " vanished at threads=" << threads
+            << " grain=" << grain;
+    }
+  }
+  trace::clear();
+}
+
+TEST(AttributionDeterminism, FoldSinceMarkScopesToOnePass) {
+  trace::clear();
+  trace::set_enabled(true);
+  run_workload(1);
+  const std::uint64_t mid = trace::mark();
+  run_workload(1);
+  trace::set_enabled(false);
+
+  Attribution whole = engine::fold_attribution_since(0);
+  Attribution second = engine::fold_attribution_since(mid);
+  Attribution none = engine::fold_attribution_since(trace::mark());
+  EXPECT_GT(whole.spans, second.spans);
+  EXPECT_GT(second.spans, 0u);
+  EXPECT_TRUE(none.empty());
+  trace::clear();
+}
+
+#endif  // BSMP_TRACE_ENABLED

@@ -156,9 +156,10 @@ TEST(Metrics, JsonSchemaContainsEveryStableField) {
   sample_report().write_json(os);
   const std::string j = os.str();
   for (const char* key :
-       {"\"schema\": \"bsmp-metrics-v2\"", "\"name\": \"unit\"",
+       {"\"schema\": \"bsmp-metrics-v3\"", "\"name\": \"unit\"",
         "\"speedup\"", "\"manifest\"", "\"git_sha\"", "\"build_type\"",
-        "\"compiler\"", "\"hardware_threads\"", "\"trace_compiled\"",
+        "\"compiler\"", "\"hardware_threads\"", "\"num_cpus\"",
+        "\"hostname\"", "\"simd_isa\"", "\"trace_compiled\"",
         "\"trace_enabled\"", "\"BSMP_TRACE\"", "\"BSMP_METRICS_DIR\"",
         "\"BSMP_ARENA\"", "\"BSMP_PLAN_CACHE_BYTES\"",
         "\"threads\": 2", "\"seconds\"", "\"hits\": 7", "\"misses\": 3",
@@ -205,6 +206,89 @@ TEST(Metrics, V2IsAStrictSupersetOfV1) {
   }
   // All-zero histograms are omitted entirely, not serialized as noise.
   EXPECT_EQ(j.find("\"histograms\""), std::string::npos) << j;
+}
+
+// Structural compatibility one schema later: v3 is a strict superset
+// of bsmp-metrics-v2. Every v2 field keeps its exact serialized name,
+// and the v3 additions are self-contained additive blocks — three new
+// manifest keys (num_cpus/hostname/simd_isa) and a per-pass
+// "attribution" object that is omitted entirely when the pass recorded
+// no spans and no calibration points.
+TEST(Metrics, V3IsAStrictSupersetOfV2) {
+  engine::MetricsReport report = sample_report();
+  std::ostringstream os;
+  report.write_json(os);
+  const std::string j = os.str();
+  // The complete v2 key set, as pinned by JsonSchemaContainsEveryStableField
+  // before the v3 migration (schema marker aside).
+  for (const char* key :
+       {"\"name\"", "\"speedup\"", "\"manifest\"", "\"git_sha\"",
+        "\"build_type\"", "\"compiler\"", "\"hardware_threads\"",
+        "\"trace_compiled\"", "\"trace_enabled\"", "\"BSMP_TRACE\"",
+        "\"BSMP_METRICS_DIR\"", "\"BSMP_ARENA\"",
+        "\"BSMP_PLAN_CACHE_BYTES\"", "\"threads\"", "\"seconds\"",
+        "\"cache\"", "\"hits\"", "\"misses\"", "\"builds\"", "\"hit_rate\"",
+        "\"evictions\"", "\"bytes\"", "\"mem\"", "\"cold_allocs\"",
+        "\"slab_reuses\"", "\"scratch_checkouts\"", "\"peak_bytes\"",
+        "\"sweeps\"", "\"label\"", "\"points\"", "\"pool_threads\"",
+        "\"wall_s\"", "\"busy_s\"", "\"occupancy\"", "\"per_point\"",
+        "\"queue_wait_s\"", "\"run_s\"", "\"hot\"", "\"vertices\"",
+        "\"vertices_per_sec\"", "\"peak_staging_words\"",
+        "\"staging_allocs\"", "\"histograms\"", "\"steal_latency_ns\""}) {
+    EXPECT_NE(j.find(key), std::string::npos) << "v2 field lost: " << key;
+  }
+  // sample_report has no spans and no calibration points: the v3
+  // attribution block is omitted, not serialized empty.
+  EXPECT_EQ(j.find("\"attribution\""), std::string::npos) << j;
+}
+
+// The v3 attribution block: mechanism slices, phase matrix and
+// calibration points serialize under the documented keys; all-zero
+// slices are omitted.
+TEST(Metrics, V3AttributionBlockSerializesMechanismsAndPhases) {
+  engine::MetricsReport report = sample_report();
+  engine::Attribution& at = report.passes[0].attribution;
+  at.spans = 3;
+  at.dropped = 0;
+  at.total_self_ns = 300;
+  at.critical_path_ns = 200;
+  using engine::Mechanism;
+  at.mechanism[static_cast<int>(Mechanism::kCompute)] = {200, 2};
+  at.mechanism[static_cast<int>(Mechanism::kRelocation)] = {100, 1};
+  at.phase[static_cast<int>(engine::ForkPhase::kRegime1Relocate)]
+          [static_cast<int>(Mechanism::kRelocation)] = 100;
+  engine::CalibrationSample cs;
+  cs.n = 128, cs.m = 4, cs.p = 4;
+  cs.s = 8.0;
+  cs.range = "range2";
+  cs.holdout = false;
+  cs.slowdown = 3.5;
+  cs.slow_reloc = 0.5, cs.slow_exec = 2.5, cs.slow_comm = 0.5;
+  cs.term_reloc = 1.0, cs.term_exec = 2.0, cs.term_comm = 0.25;
+  report.passes[0].calibration.push_back(cs);
+
+  std::ostringstream os;
+  report.write_json(os);
+  const std::string j = os.str();
+  for (const char* key :
+       {"\"attribution\"", "\"trusted\": 1", "\"spans\": 3",
+        "\"total_self_ns\": 300", "\"critical_path_ns\": 200",
+        "\"mechanisms\"", "\"compute\"", "\"relocation\"", "\"phases\"",
+        "\"regime1-relocate\"", "\"calibration_points\"",
+        "\"range\": \"range2\"", "\"slowdown\": 3.5", "\"slow_reloc\"",
+        "\"slow_exec\"", "\"slow_comm\"", "\"term_reloc\"",
+        "\"holdout\": 0"}) {
+    EXPECT_NE(j.find(key), std::string::npos) << "missing " << key << "\n"
+                                              << j;
+  }
+  // Mechanisms that charged nothing stay out of the artifact.
+  EXPECT_EQ(j.find("\"steal-idle\""), std::string::npos) << j;
+  // A run with drops serializes as untrusted.
+  report.passes[0].attribution.dropped = 5;
+  std::ostringstream os2;
+  report.write_json(os2);
+  EXPECT_NE(os2.str().find("\"trusted\": 0"), std::string::npos);
+  EXPECT_NE(os2.str().find("\"dropped\": 5"), std::string::npos);
 }
 
 TEST(Metrics, HotPathRecordsAccumulateAndClear) {

@@ -1,0 +1,10 @@
+// bsmp-stat: show / diff / fit over the repo's JSON artifacts. All
+// logic lives in the bsmp_stat library (src/stat/bsmp_stat.hpp) so the
+// tests can drive the exact CLI surface in-process.
+#include <iostream>
+
+#include "stat/bsmp_stat.hpp"
+
+int main(int argc, char** argv) {
+  return bsmp::stat::run_cli(argc, argv, std::cout, std::cerr);
+}
